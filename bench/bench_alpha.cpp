@@ -1,0 +1,106 @@
+// Alpha exhibit (section 3.2.1): the paper argues that the useful maximum
+// fanout per buffer "is usually bounded by a certain value which is
+// dependent on the library parameters and not the problem size".  This
+// bench sweeps alpha on fixed nets and shows quality saturating at a small,
+// size-independent alpha, plus the runtime each extra unit costs.  It also
+// ablates the two structural options of the engine: unbuffered group roots
+// and bubbling itself.
+
+#include <chrono>
+#include <cstdio>
+
+#include "buflib/library.h"
+#include "core/bubble.h"
+#include "flow/report.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+
+namespace {
+
+merlin::BubbleConfig base_cfg() {
+  merlin::BubbleConfig cfg;
+  cfg.candidates.budget_factor = 1.5;
+  cfg.candidates.max_candidates = 16;
+  cfg.inner_prune.max_solutions = 4;
+  cfg.group_prune.max_solutions = 5;
+  cfg.buffer_stride = 3;
+  cfg.extension_neighbors = 8;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace merlin;
+  const BufferLibrary lib = make_standard_library();
+
+  std::printf("Quality vs alpha (driver required time, ps):\n\n");
+  {
+    TextTable t({"net", "alpha=2", "alpha=3", "alpha=4", "alpha=5", "time@5 (ms)"});
+    for (std::size_t n : {8, 12, 16}) {
+      NetSpec spec;
+      spec.n_sinks = n;
+      spec.seed = 300 + n;
+      const Net net = make_random_net(spec, lib);
+      t.begin_row();
+      t.cell("n=" + std::to_string(n));
+      double last_ms = 0.0;
+      for (std::size_t a = 2; a <= 5; ++a) {
+        BubbleConfig cfg = base_cfg();
+        cfg.alpha = a;
+        const auto t0 = std::chrono::steady_clock::now();
+        const BubbleResult r = bubble_construct(net, lib, tsp_order(net), cfg);
+        last_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        t.cell(r.driver_req_time, 1);
+      }
+      t.cell(last_ms, 0);
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf("Ablations (n = 12, alpha = 3): what each mechanism buys\n\n");
+  {
+    NetSpec spec;
+    spec.n_sinks = 12;
+    spec.seed = 312;
+    const Net net = make_random_net(spec, lib);
+    TextTable t({"configuration", "driver req time (ps)", "buffers", "time (ms)"});
+    struct Variant {
+      const char* name;
+      bool bubbling;
+      bool unbuffered_groups;
+      std::size_t internal_children;
+    };
+    for (const Variant v :
+         {Variant{"full engine", true, true, 1},
+          Variant{"no bubbling (fixed order)", false, true, 1},
+          Variant{"strict Ca_Tree (all roots buffered)", true, false, 1},
+          Variant{"neither", false, false, 1},
+          Variant{"relaxed Ca_Tree (2 internal children)", true, true, 2}}) {
+      BubbleConfig cfg = base_cfg();
+      cfg.alpha = 3;
+      cfg.enable_bubbling = v.bubbling;
+      cfg.allow_unbuffered_groups = v.unbuffered_groups;
+      cfg.max_internal_children = v.internal_children;
+      const auto t0 = std::chrono::steady_clock::now();
+      const BubbleResult r = bubble_construct(net, lib, tsp_order(net), cfg);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      t.begin_row();
+      t.cell(std::string(v.name));
+      t.cell(r.driver_req_time, 1);
+      t.cell(r.tree.buffer_count());
+      t.cell(ms, 0);
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf("paper used alpha = 15 (Table 1) / 10 (Table 2); with this\n"
+              "library quality saturates far earlier, matching the paper's\n"
+              "remark that the bound is a library property.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenches of the hot machinery: curve pruning, the
+// curve algebra, PTREE, and single BUBBLE_CONSTRUCT layers.  These are the
+// operations Theorem 6's complexity is made of; tracking them keeps the
+// table-level benches honest.
+
+#include <benchmark/benchmark.h>
+
+#include "buflib/library.h"
+#include "core/bubble.h"
+#include "curve/curve.h"
+#include "net/generator.h"
+#include "net/rng.h"
+#include "order/tsp.h"
+#include "ptree/ptree.h"
+
+namespace merlin {
+namespace {
+
+SolutionCurve random_curve(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  SolutionCurve c;
+  for (std::size_t i = 0; i < n; ++i) {
+    Solution s;
+    s.req_time = rng.uniform(0, 1000);
+    s.load = rng.uniform(1, 50);
+    s.area = rng.uniform(0, 10);
+    s.node = make_sink_node({0, 0}, 0);
+    c.push(std::move(s));
+  }
+  return c;
+}
+
+void BM_CurvePrune(benchmark::State& state) {
+  const auto base = random_curve(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    SolutionCurve c = base;
+    c.prune();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CurvePrune)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CurvePruneCapped(benchmark::State& state) {
+  const auto base = random_curve(128, 7);
+  PruneConfig cfg;
+  cfg.max_solutions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SolutionCurve c = base;
+    c.prune(cfg);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CurvePruneCapped)->Arg(4)->Arg(8);
+
+void BM_MergeCurves(benchmark::State& state) {
+  const auto a = random_curve(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = random_curve(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto m = merge_curves(a, b, {0, 0}, {});
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MergeCurves)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BufferedOptions(benchmark::State& state) {
+  const BufferLibrary lib = make_standard_library();
+  const auto src = random_curve(6, 3);
+  for (auto _ : state) {
+    SolutionCurve dst;
+    push_buffered_options(src, {0, 0}, lib, dst,
+                          static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(dst);
+  }
+}
+BENCHMARK(BM_BufferedOptions)->Arg(1)->Arg(3);
+
+void BM_PTree(benchmark::State& state) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = static_cast<std::size_t>(state.range(0));
+  spec.seed = 5;
+  const Net net = make_random_net(spec, lib);
+  const Order order = tsp_order(net);
+  PTreeConfig cfg;
+  cfg.candidates.budget_factor = 1.5;
+  cfg.prune.max_solutions = 6;
+  for (auto _ : state) {
+    auto r = ptree_route(net, order, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PTree)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_BubbleConstruct(benchmark::State& state) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = static_cast<std::size_t>(state.range(0));
+  spec.seed = 5;
+  const Net net = make_random_net(spec, lib);
+  const Order order = tsp_order(net);
+  BubbleConfig cfg;
+  cfg.alpha = 3;
+  cfg.candidates.budget_factor = 1.2;
+  cfg.candidates.max_candidates = 14;
+  cfg.inner_prune.max_solutions = 3;
+  cfg.group_prune.max_solutions = 4;
+  cfg.buffer_stride = 4;
+  cfg.extension_neighbors = 6;
+  for (auto _ : state) {
+    auto r = bubble_construct(net, lib, order, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BubbleConstruct)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace merlin
+
+BENCHMARK_MAIN();

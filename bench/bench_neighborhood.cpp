@@ -1,0 +1,56 @@
+// Theorem 1 exhibit: the neighborhood N(Pi) grows as a Fibonacci number
+// (exponentially in n), yet BUBBLE_CONSTRUCT searches all of it in
+// polynomial time.  This bench prints |N(Pi)| against n together with the
+// measured single-call BUBBLE_CONSTRUCT runtime and work counters.
+
+#include <chrono>
+#include <cstdio>
+
+#include "buflib/library.h"
+#include "core/bubble.h"
+#include "flow/report.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+
+int main() {
+  using namespace merlin;
+  const BufferLibrary lib = make_standard_library();
+
+  std::printf("Theorem 1: |N(Pi)| vs n, and BUBBLE_CONSTRUCT's polynomial "
+              "search of that space\n\n");
+  TextTable t({"n", "|N(Pi)|", "bubble time (ms)", "layer calls", "stored sols"});
+
+  for (std::size_t n : {2, 4, 6, 8, 10, 12, 14, 16, 20, 24}) {
+    NetSpec spec;
+    spec.name = "nbr" + std::to_string(n);
+    spec.n_sinks = n;
+    spec.seed = 1000 + n;
+    const Net net = make_random_net(spec, lib);
+
+    BubbleConfig cfg;
+    cfg.alpha = 4;
+    cfg.candidates.budget_factor = 1.5;
+    cfg.candidates.max_candidates = 32;
+    cfg.inner_prune.max_solutions = 4;
+    cfg.group_prune.max_solutions = 6;
+    cfg.buffer_stride = 3;
+    cfg.extension_neighbors = 8;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const BubbleResult r = bubble_construct(net, lib, tsp_order(net), cfg);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    t.begin_row();
+    t.cell(n);
+    t.cell(static_cast<std::size_t>(neighborhood_size(n)));
+    t.cell(ms, 1);
+    t.cell(r.layer_calls);
+    t.cell(r.solutions_stored);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("|N(Pi)| doubles roughly every 1.44 sinks (golden ratio) while\n"
+              "the search cost grows polynomially - the paper's core claim.\n");
+  return 0;
+}

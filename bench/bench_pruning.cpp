@@ -1,0 +1,129 @@
+// Curve-mechanics exhibit (Definition 6, Lemmas 9/10): how large the
+// non-inferior solution curves actually get, and what the quantization and
+// capping knobs (the engineering reading of the paper's pseudo-polynomial
+// "q distinct load values" assumption) trade away.
+
+#include <chrono>
+#include <cstdio>
+
+#include "buflib/library.h"
+#include "core/bubble.h"
+#include "curve/curve.h"
+#include "flow/report.h"
+#include "net/generator.h"
+#include "net/rng.h"
+#include "order/tsp.h"
+
+int main() {
+  using namespace merlin;
+  const BufferLibrary lib = make_standard_library();
+
+  std::printf("Raw curve growth: merging random curves with/without pruning\n\n");
+  {
+    TextTable t({"merge depth", "pushed", "after prune", "prune time (us)"});
+    Rng rng(1);
+    SolutionCurve acc;
+    for (int i = 0; i < 32; ++i) {
+      Solution s;
+      s.req_time = rng.uniform(0, 1000);
+      s.load = rng.uniform(1, 50);
+      s.area = rng.uniform(0, 10);
+      s.node = make_sink_node({0, 0}, 0);
+      acc.push(std::move(s));
+    }
+    acc.prune();
+    std::size_t pushed = acc.size();
+    for (int depth = 1; depth <= 5; ++depth) {
+      SolutionCurve other;
+      Rng r2(depth + 10);
+      for (int i = 0; i < 32; ++i) {
+        Solution s;
+        s.req_time = r2.uniform(0, 1000);
+        s.load = r2.uniform(1, 50);
+        s.area = r2.uniform(0, 10);
+        s.node = make_sink_node({0, 0}, 1);
+        other.push(std::move(s));
+      }
+      other.prune();
+      const auto t0 = std::chrono::steady_clock::now();
+      acc = merge_curves(acc, other, {0, 0}, {});
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      pushed = pushed * other.size();
+      t.begin_row();
+      t.cell(static_cast<std::size_t>(depth));
+      t.cell(pushed);
+      t.cell(acc.size());
+      t.cell(us, 1);
+      pushed = acc.size();
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf("End-to-end effect of curve budgets on BUBBLE_CONSTRUCT (n=8):\n\n");
+  {
+    NetSpec spec;
+    spec.n_sinks = 8;
+    spec.seed = 88;
+    const Net net = make_random_net(spec, lib);
+    TextTable t({"group cap", "inner cap", "driver req time (ps)",
+                 "stored sols", "time (ms)"});
+    struct Budget {
+      std::size_t group, inner;
+    };
+    for (const Budget b :
+         {Budget{2, 2}, Budget{4, 3}, Budget{6, 4}, Budget{8, 6}, Budget{12, 8}}) {
+      BubbleConfig cfg;
+      cfg.alpha = 3;
+      cfg.candidates.budget_factor = 1.5;
+      cfg.candidates.max_candidates = 16;
+      cfg.group_prune.max_solutions = b.group;
+      cfg.inner_prune.max_solutions = b.inner;
+      cfg.buffer_stride = 3;
+      const auto t0 = std::chrono::steady_clock::now();
+      const BubbleResult r = bubble_construct(net, lib, tsp_order(net), cfg);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      t.begin_row();
+      t.cell(b.group);
+      t.cell(b.inner);
+      t.cell(r.driver_req_time, 1);
+      t.cell(r.solutions_stored);
+      t.cell(ms, 0);
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf("Quantization (the paper's q): load/area bins vs quality (n=8):\n\n");
+  {
+    NetSpec spec;
+    spec.n_sinks = 8;
+    spec.seed = 88;
+    const Net net = make_random_net(spec, lib);
+    TextTable t({"load quantum (fF)", "area quantum", "driver req time (ps)",
+                 "stored sols"});
+    for (const double q : {0.0, 1.0, 5.0, 20.0, 80.0}) {
+      BubbleConfig cfg;
+      cfg.alpha = 3;
+      cfg.candidates.budget_factor = 1.5;
+      cfg.candidates.max_candidates = 16;
+      cfg.group_prune = PruneConfig{q, q / 4.0, 0};
+      cfg.inner_prune = PruneConfig{q, q / 4.0, 0};
+      cfg.buffer_stride = 3;
+      const BubbleResult r = bubble_construct(net, lib, tsp_order(net), cfg);
+      t.begin_row();
+      t.cell(q, 1);
+      t.cell(q / 4.0, 1);
+      t.cell(r.driver_req_time, 1);
+      t.cell(r.solutions_stored);
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf("Lemma 10 bounds curves by O(nmq); in practice exact Pareto\n"
+              "pruning keeps them tiny, and coarse quanta trade little delay.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a buffered routing tree for one synthetic net with
+// MERLIN and inspect the result.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the full public API surface: library construction, net
+// generation, the MERLIN optimizer, the independent evaluator, and the
+// area/required-time tradeoff curve.
+
+#include <cstdio>
+
+#include "buflib/library.h"
+#include "core/merlin.h"
+#include "flow/report.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+#include "tree/evaluate.h"
+#include "tree/validate.h"
+
+int main() {
+  using namespace merlin;
+
+  // 1. A 0.35um-style library of 34 buffers (like the paper's).
+  const BufferLibrary lib = make_standard_library();
+  std::printf("library: %zu buffers, cin %.1f..%.1f fF\n\n", lib.size(),
+              lib[0].input_cap, lib[lib.size() - 1].input_cap);
+
+  // 2. A synthetic 10-sink net, sized so wire delay ~ gate delay (the
+  //    paper's Table-1 construction).
+  NetSpec spec;
+  spec.name = "demo";
+  spec.n_sinks = 10;
+  spec.seed = 42;
+  const Net net = make_random_net(spec, lib);
+  std::printf("net '%s': %zu sinks in a %lldx%lld um box\n\n", net.name.c_str(),
+              net.fanout(), static_cast<long long>(net.bbox().width()),
+              static_cast<long long>(net.bbox().height()));
+
+  // 3. Run MERLIN from a TSP initial order.
+  MerlinConfig cfg;
+  cfg.bubble.alpha = 4;
+  cfg.bubble.candidates.budget_factor = 2.5;
+  const MerlinResult mr = merlin_optimize(net, lib, tsp_order(net), cfg);
+  std::printf("MERLIN converged after %zu loop(s)\n\n", mr.iterations);
+
+  // 4. The resulting hierarchical buffered routing tree.
+  std::printf("%s\n", mr.best.tree.to_string(net, lib).c_str());
+
+  // 5. Independent evaluation (must agree with the DP's own prediction).
+  const EvalResult ev = evaluate_tree(net, mr.best.tree, lib);
+  std::printf("driver required time : %8.1f ps\n", ev.driver_req_time);
+  std::printf("net delay            : %8.1f ps\n", ev.table_delay(net));
+  std::printf("buffer area          : %8.1f (x1000 lambda^2), %zu buffers\n",
+              ev.buffer_area, ev.buffer_count);
+  std::printf("wirelength           : %8.0f um\n\n", ev.wirelength);
+
+  const TreeStructure st = analyze_structure(net, mr.best.tree);
+  std::printf("structure: fanout<=%zu, chain depth %zu, well-formed=%s\n\n",
+              st.max_fanout, st.chain_depth, st.well_formed ? "yes" : "no");
+
+  // 6. The three-dimensional tradeoff curve at the root (Figure 8).
+  TextTable t({"req time (ps)", "root load (fF)", "buffer area"});
+  for (const Solution& s : mr.best.root_curve) {
+    t.begin_row();
+    t.cell(s.req_time, 1);
+    t.cell(s.load, 1);
+    t.cell(s.area, 1);
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

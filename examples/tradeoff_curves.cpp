@@ -1,0 +1,75 @@
+// Area/delay tradeoff exploration: both problem variants of section III.1.
+//
+//   variant I  : maximize the driver required time subject to a total
+//                buffer area constraint,
+//   variant II : minimize total buffer area subject to a required-time
+//                constraint.
+//
+// The engine produces the full three-dimensional non-inferior curve in one
+// run; this example sweeps an area budget over it, then solves variant II
+// against a chosen target — what a physical-synthesis flow does when a net
+// only needs to be "fast enough".
+
+#include <cstdio>
+
+#include "buflib/library.h"
+#include "core/merlin.h"
+#include "flow/report.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+#include "tree/evaluate.h"
+
+int main() {
+  using namespace merlin;
+  const BufferLibrary lib = make_standard_library();
+
+  NetSpec spec;
+  spec.name = "tradeoff";
+  spec.n_sinks = 9;
+  spec.seed = 2026;
+  const Net net = make_random_net(spec, lib);
+
+  MerlinConfig cfg;
+  cfg.bubble.alpha = 4;
+  cfg.bubble.candidates.budget_factor = 2.0;
+  cfg.bubble.group_prune.max_solutions = 12;  // keep a rich final curve
+  const MerlinResult mr = merlin_optimize(net, lib, tsp_order(net), cfg);
+
+  std::printf("net '%s' (%zu sinks) - full non-inferior curve at the driver:\n\n",
+              net.name.c_str(), net.fanout());
+  TextTable curve({"driver req time (ps)", "root load (fF)", "buffer area"});
+  for (const Solution& s : mr.best.root_curve) {
+    curve.begin_row();
+    curve.cell(s.req_time - net.driver.delay.at_nominal(s.load), 1);
+    curve.cell(s.load, 1);
+    curve.cell(s.area, 1);
+  }
+  std::printf("%s\n", curve.render().c_str());
+
+  // Variant I: sweep the area budget.
+  std::printf("variant I - best achievable driver required time per area budget:\n\n");
+  TextTable sweep({"area budget", "driver req time (ps)", "area used"});
+  for (const double budget : {0.0, 20.0, 50.0, 100.0, 200.0, 1e9}) {
+    MerlinConfig c = cfg;
+    c.bubble.objective.mode = ObjectiveMode::kMaxReqTime;
+    c.bubble.objective.area_limit = budget;
+    const MerlinResult r = merlin_optimize(net, lib, tsp_order(net), c);
+    sweep.begin_row();
+    sweep.cell(budget >= 1e9 ? std::string("unlimited") : fmt(budget, 0));
+    sweep.cell(r.best.driver_req_time, 1);
+    sweep.cell(r.best.chosen.area, 1);
+  }
+  std::printf("%s\n", sweep.render().c_str());
+
+  // Variant II: the net only needs to meet a relaxed target.
+  const double target = mr.best.driver_req_time - 150.0;
+  MerlinConfig c2 = cfg;
+  c2.bubble.objective.mode = ObjectiveMode::kMinArea;
+  c2.bubble.objective.req_target = target;
+  const MerlinResult frugal = merlin_optimize(net, lib, tsp_order(net), c2);
+  std::printf("variant II - min area meeting req time >= %.1f ps:\n", target);
+  std::printf("  area %.1f (vs %.1f for the fastest solution), req time %.1f ps\n",
+              frugal.best.chosen.area, mr.best.chosen.area,
+              frugal.best.driver_req_time);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#pragma once
+// Buffer cell model.
+//
+// A buffer is a non-inverting driving cell characterized by its input
+// capacitance, a 4-parameter delay equation, and its layout area.  The paper
+// uses an industrial 0.35um standard-cell library containing 34 buffers of
+// different strengths; `buflib/library.h` synthesizes an equivalent library.
+
+#include <string>
+
+#include "timing/delay.h"
+
+namespace merlin {
+
+/// One buffer cell of the library.
+struct Buffer {
+  std::string name;
+  double input_cap = 0.0;   ///< fF seen by whoever drives this buffer
+  DelayParams delay;        ///< pin-to-pin delay equation
+  DelayParams out_slew;     ///< output-slew equation (same functional form)
+  double area = 0.0;        ///< layout area, in 1000*lambda^2 units
+
+  /// Delay (ps) through this buffer into `load_fF`, at nominal input slew.
+  [[nodiscard]] double delay_ps(double load_fF) const {
+    return delay.at_nominal(load_fF);
+  }
+};
+
+}  // namespace merlin

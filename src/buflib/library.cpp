@@ -1,0 +1,87 @@
+#include "buflib/library.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace merlin {
+
+double BufferLibrary::min_input_cap() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const Buffer& b : cells_) m = std::min(m, b.input_cap);
+  return cells_.empty() ? 0.0 : m;
+}
+
+double BufferLibrary::min_area() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const Buffer& b : cells_) m = std::min(m, b.area);
+  return cells_.empty() ? 0.0 : m;
+}
+
+std::size_t BufferLibrary::best_for_load(double load_fF) const {
+  std::size_t best = cells_.size();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const double d = cells_[i].delay_ps(load_fF);
+    if (d < best_d || (d == best_d && best < cells_.size() &&
+                       cells_[i].area < cells_[best].area)) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+Buffer make_buffer(double size, const LibrarySpec& spec, std::size_t idx) {
+  Buffer b;
+  b.name = "BUF_X" + std::to_string(idx + 1);
+  b.input_cap = spec.unit_cap * size;
+  // Split the effective drive resistance R = unit_res/size between the pure
+  // load term (p1) and the slew-dependent joint term (p3) so that the full
+  // 4-parameter shape is exercised; at the nominal slew they recombine into
+  // exactly R.  Resistances are converted to ps/fF (numerically kohm).
+  // Intrinsic delay grows slowly with size (large buffers are internally
+  // staged), so the weakest cell genuinely wins at tiny loads — without this
+  // the strongest buffer would dominate everywhere and sizing would be moot.
+  const double r_kohm = spec.unit_res / size * 1e-3;
+  const double intrinsic = spec.intrinsic_ps * (0.6 + 0.4 * std::sqrt(size));
+  b.delay.p0 = intrinsic * 0.75;
+  b.delay.p1 = r_kohm * 0.85;
+  b.delay.p2 = (intrinsic * 0.25) / kNominalSlewPs;
+  b.delay.p3 = (r_kohm * 0.15) / kNominalSlewPs;
+  // Output slew: proportional to R*C with a floor; same functional form.
+  b.out_slew.p0 = 20.0;
+  b.out_slew.p1 = 2.0 * r_kohm * 0.85;
+  b.out_slew.p2 = 0.1;
+  b.out_slew.p3 = 2.0 * r_kohm * 0.15 / kNominalSlewPs;
+  b.area = spec.unit_area * size;
+  return b;
+}
+
+}  // namespace
+
+BufferLibrary make_standard_library(const LibrarySpec& spec) {
+  std::vector<Buffer> cells;
+  cells.reserve(spec.count);
+  if (spec.count == 1) {
+    cells.push_back(make_buffer(spec.min_size, spec, 0));
+  } else {
+    const double ratio = std::pow(spec.max_size / spec.min_size,
+                                  1.0 / static_cast<double>(spec.count - 1));
+    double size = spec.min_size;
+    for (std::size_t i = 0; i < spec.count; ++i, size *= ratio)
+      cells.push_back(make_buffer(size, spec, i));
+  }
+  return BufferLibrary(std::move(cells));
+}
+
+BufferLibrary make_tiny_library(std::size_t count) {
+  LibrarySpec spec;
+  spec.count = count;
+  spec.max_size = count <= 1 ? spec.min_size : 4.0 * static_cast<double>(count);
+  return make_standard_library(spec);
+}
+
+}  // namespace merlin

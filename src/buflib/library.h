@@ -1,0 +1,63 @@
+#pragma once
+// Buffer library container and the synthetic 0.35um-style library generator.
+//
+// The paper's experiments use "an industrial standard cell library (0.35u
+// CMOS process) that contains 34 buffers".  That library is not public, so
+// we synthesize a geometrically sized family with representative constants
+// of that era: drive resistance shrinking as 1/size, input capacitance and
+// area growing linearly with size.  DESIGN.md documents this substitution.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "buflib/buffer.h"
+
+namespace merlin {
+
+/// An ordered collection of buffers (weakest first).
+class BufferLibrary {
+ public:
+  BufferLibrary() = default;
+  explicit BufferLibrary(std::vector<Buffer> cells) : cells_(std::move(cells)) {}
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] const Buffer& operator[](std::size_t i) const { return cells_[i]; }
+  [[nodiscard]] std::span<const Buffer> cells() const { return cells_; }
+
+  [[nodiscard]] auto begin() const { return cells_.begin(); }
+  [[nodiscard]] auto end() const { return cells_.end(); }
+
+  /// Smallest input capacitance over the library (fF); 0 if empty.
+  [[nodiscard]] double min_input_cap() const;
+  /// Smallest cell area over the library; 0 if empty.
+  [[nodiscard]] double min_area() const;
+
+  /// Index of the library buffer with the best delay into `load_fF`
+  /// (ties broken toward smaller area).  Returns size() if empty.
+  [[nodiscard]] std::size_t best_for_load(double load_fF) const;
+
+ private:
+  std::vector<Buffer> cells_;
+};
+
+/// Parameters of the synthetic library generator.
+struct LibrarySpec {
+  std::size_t count = 34;      ///< number of buffers (paper: 34)
+  double min_size = 1.0;       ///< relative strength of the weakest buffer
+  double max_size = 40.0;      ///< relative strength of the strongest buffer
+  double unit_res = 3000.0;    ///< ohms of drive resistance at size 1
+  double unit_cap = 4.0;       ///< fF of input capacitance at size 1
+  double unit_area = 1.4;      ///< 1000*lambda^2 at size 1
+  double intrinsic_ps = 35.0;  ///< intrinsic delay, roughly size independent
+};
+
+/// Builds the synthetic 0.35um-style library (geometric size steps).
+BufferLibrary make_standard_library(const LibrarySpec& spec = {});
+
+/// Convenience: a small library (few sizes) for tests and examples where the
+/// full 34-cell library would make exhaustive oracles too slow.
+BufferLibrary make_tiny_library(std::size_t count = 3);
+
+}  // namespace merlin

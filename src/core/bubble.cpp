@@ -1,0 +1,555 @@
+#include "core/bubble.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "core/grouping.h"
+
+namespace merlin {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gamma table storage.
+//
+// For every sub-group (l, e, r) and candidate location p two curve families
+// exist conceptually:
+//   anchor A(l,e,r,p): structures rooted exactly at p (buffer options at p
+//                      already applied);
+//   child  X(l,e,r,p): the group as seen *from* p when used inside a parent
+//                      layer — the pruned union over anchors pc of A(...,pc)
+//                      extended by a wire pc -> p.
+// Parent layers only ever consume X; the final extraction only needs A of
+// the full group (l == n).  So the long-lived table stores X for l < n and
+// A for l == n, keeping memory at one curve set per (l,e,r,p).
+// ---------------------------------------------------------------------------
+class GammaTable {
+ public:
+  GammaTable(std::size_t n, std::size_t k) : n_(n), k_(k), cells_(n * 4 * n * k) {}
+
+  SolutionCurve& at(std::size_t l, Chi e, std::size_t r, std::size_t p) {
+    return cells_[index(l, e, r, p)];
+  }
+  [[nodiscard]] const SolutionCurve& at(std::size_t l, Chi e, std::size_t r,
+                                        std::size_t p) const {
+    return cells_[index(l, e, r, p)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t l, Chi e, std::size_t r,
+                                  std::size_t p) const {
+    assert(l >= 1 && l <= n_ && r < n_ && p < k_);
+    return (((l - 1) * 4 + static_cast<std::size_t>(e)) * n_ + r) * k_ + p;
+  }
+
+ public:
+  [[nodiscard]] std::size_t total_solutions() const {
+    std::size_t total = 0;
+    for (const SolutionCurve& c : cells_) total += c.size();
+    return total;
+  }
+
+ private:
+  std::size_t n_, k_;
+  std::vector<SolutionCurve> cells_;
+};
+
+// One element of a layer's terminal sequence: either a direct sink or one of
+// the layer's inner sub-groups (one in the classic Ca_Tree, up to two in the
+// relaxed structure).
+struct Terminal {
+  bool is_child = false;
+  std::uint8_t child_slot = 0;  ///< which inner group, when is_child
+  std::uint32_t sink = 0;   ///< original sink index when !is_child
+  std::size_t pos = 0;      ///< order position (kNoPos for the child/displaced)
+};
+
+inline constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+// Dense (i, j, p) storage for the within-layer *PTREE DP (w is tiny: <= alpha).
+class LayerTable {
+ public:
+  LayerTable(std::size_t w, std::size_t k) : w_(w), k_(k), cells_(w * (w + 1) / 2 * k) {}
+
+  SolutionCurve& at(std::size_t i, std::size_t j, std::size_t p) {
+    return cells_[(i * w_ - i * (i - 1) / 2 + (j - i)) * k_ + p];
+  }
+
+ private:
+  std::size_t w_, k_;
+  std::vector<SolutionCurve> cells_;
+};
+
+inline constexpr double kDefaultWidth[] = {1.0};
+
+struct Workspace {
+  const Net& net;
+  const BufferLibrary& lib;
+  const BubbleConfig& cfg;
+  const Order& order;
+  std::vector<Point> pts;
+  std::size_t k = 0;
+  std::size_t source_p = 0;
+  std::size_t n = 0;
+  GammaTable gamma;
+  std::size_t layer_calls = 0;
+  /// neigh[p]: candidate indices wire-extension is allowed from (see
+  /// BubbleConfig::extension_neighbors), nearest first.
+  std::vector<std::vector<std::uint32_t>> neigh;
+  std::vector<Point> neigh_pts_scratch;
+
+  [[nodiscard]] std::span<const double> widths() const {
+    return cfg.wire_widths.empty() ? std::span<const double>(kDefaultWidth)
+                                   : std::span<const double>(cfg.wire_widths);
+  }
+
+  Workspace(const Net& net_, const BufferLibrary& lib_, const BubbleConfig& cfg_,
+            const Order& order_, std::vector<Point> pts_)
+      : net(net_), lib(lib_), cfg(cfg_), order(order_), pts(std::move(pts_)),
+        k(pts.size()), n(net_.fanout()), gamma(net_.fanout(), pts.size()) {
+    neigh.resize(k);
+    std::vector<std::uint32_t> all(k);
+    for (std::uint32_t p = 0; p < k; ++p) all[p] = p;
+    for (std::uint32_t p = 0; p < k; ++p) {
+      std::vector<std::uint32_t> order_by_dist = all;
+      std::sort(order_by_dist.begin(), order_by_dist.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return manhattan(pts[a], pts[p]) < manhattan(pts[b], pts[p]);
+                });
+      const std::size_t keep =
+          cfg.extension_neighbors == 0
+              ? k
+              : std::min<std::size_t>(k, cfg.extension_neighbors + 1);
+      for (std::size_t t = 0; t < keep; ++t)
+        if (order_by_dist[t] != p) neigh[p].push_back(order_by_dist[t]);
+    }
+  }
+};
+
+// The *PTREE layer DP (paper section 3.2.3): finds non-inferior rectilinear
+// routings rooted at every candidate location over the ordered terminals,
+// where one terminal may be an already-built sub-group represented by its
+// child curves X (one curve per root location).  Returns the full-range
+// curve per candidate location.
+std::vector<SolutionCurve> layer_ptree(
+    Workspace& ws, const std::vector<Terminal>& seq,
+    std::span<const std::vector<SolutionCurve>> children /* [slot][k] */) {
+  const std::size_t w = seq.size();
+  const std::size_t k = ws.k;
+  const PruneConfig& prune = ws.cfg.inner_prune;
+  LayerTable table(w, k);
+  ++ws.layer_calls;
+
+  // Base cases.
+  for (std::size_t t = 0; t < w; ++t) {
+    if (seq[t].is_child) {
+      const auto& child_at = children[seq[t].child_slot];
+      for (std::size_t p = 0; p < k; ++p) table.at(t, t, p) = child_at[p];
+    } else {
+      const Sink& s = ws.net.sinks[seq[t].sink];
+      for (std::size_t p = 0; p < k; ++p) {
+        SolutionCurve& cell = table.at(t, t, p);
+        const double len = static_cast<double>(manhattan(ws.pts[p], s.pos));
+        for (const double width : ws.widths()) {
+          const WireModel wm = scaled_width(ws.net.wire, width);
+          Solution sol;
+          sol.req_time = s.req_time - wm.elmore_delay(len, s.load);
+          sol.load = s.load + wm.wire_cap(len);
+          sol.wirelen = len;
+          sol.node = make_sink_node(ws.pts[p],
+                                    static_cast<std::int32_t>(seq[t].sink), width);
+          cell.push(std::move(sol));
+          if (len == 0.0) break;
+        }
+        cell.prune(prune);
+      }
+    }
+  }
+
+  // Ranges by increasing length: merges at each point, then one
+  // wire-extension relaxation (sufficient under Elmore; see ptree.cpp).
+  std::vector<MergeJob> jobs;
+  std::vector<const SolutionCurve*> srcs(k);
+  for (std::size_t len = 2; len <= w; ++len) {
+    for (std::size_t i = 0; i + len <= w; ++i) {
+      const std::size_t j = i + len - 1;
+      for (std::size_t p = 0; p < k; ++p) {
+        SolutionCurve& cell = table.at(i, j, p);
+        jobs.clear();
+        for (std::size_t u = i; u < j; ++u)
+          jobs.push_back(MergeJob{&table.at(i, u, p), &table.at(u + 1, j, p)});
+        push_merged_options(jobs, ws.pts[p], prune, cell);
+        cell.prune(prune);
+      }
+      // The extension relaxation reads the pre-extension (merge-only) cells,
+      // so results are staged and committed after the sweep.
+      std::vector<SolutionCurve> extended(k);
+      for (std::size_t p = 0; p < k; ++p) {
+        const auto& nb = ws.neigh[p];
+        srcs.resize(nb.size());
+        ws.neigh_pts_scratch.resize(nb.size());
+        for (std::size_t t = 0; t < nb.size(); ++t) {
+          srcs[t] = &table.at(i, j, nb[t]);
+          ws.neigh_pts_scratch[t] = ws.pts[nb[t]];
+        }
+        push_extended_options(srcs, ws.neigh_pts_scratch, ws.pts[p],
+                              ws.net.wire, prune, extended[p], ws.widths());
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        SolutionCurve& cell = table.at(i, j, p);
+        for (const Solution& s : extended[p]) cell.push(s);
+        cell.prune(prune);
+      }
+    }
+  }
+
+  std::vector<SolutionCurve> out(k);
+  for (std::size_t p = 0; p < k; ++p) out[p] = std::move(table.at(0, w - 1, p));
+  return out;
+}
+
+// Converts anchor curves (one per candidate) into child curves X: at each
+// destination p, the pruned union over anchors pc of "A at pc + wire pc->p".
+std::vector<SolutionCurve> anchors_to_child(Workspace& ws,
+                                            const std::vector<SolutionCurve>& anchor) {
+  std::vector<SolutionCurve> x(ws.k);
+  std::vector<const SolutionCurve*> srcs(ws.k);
+  for (std::size_t pc = 0; pc < ws.k; ++pc) srcs[pc] = &anchor[pc];
+  for (std::size_t p = 0; p < ws.k; ++p) {
+    // Child curves are long-lived inputs to later layers; give them the
+    // (richer) group budget rather than the transient inner one.
+    push_extended_options(srcs, ws.pts, ws.pts[p], ws.net.wire,
+                          ws.cfg.group_prune, x[p], ws.widths());
+  }
+  return x;
+}
+
+// Applies root options at every candidate: buffered variants always, the
+// unbuffered originals when the configuration (or the top level) allows.
+void apply_root_options(Workspace& ws, const std::vector<SolutionCurve>& routed,
+                        bool keep_unbuffered, std::vector<SolutionCurve>& into) {
+  for (std::size_t p = 0; p < ws.k; ++p) {
+    if (routed[p].empty()) continue;
+    if (keep_unbuffered)
+      for (const Solution& s : routed[p]) into[p].push(s);
+    push_buffered_options(routed[p], ws.pts[p], ws.lib, into[p],
+                          ws.cfg.buffer_stride);
+    // Amortized pruning keeps accumulation cells from ballooning while many
+    // (l, e, r) child choices pour into the same (L, E, R) group.
+    if (into[p].size() > 4 * std::max<std::size_t>(ws.cfg.group_prune.max_solutions, 8))
+      into[p].prune(ws.cfg.group_prune);
+  }
+}
+
+// Builds the layer terminal sequence for parent `Omega` using the inner
+// groups `omegas` (sorted left-to-right, spans pairwise disjoint), or
+// returns false when any pairing is incompatible (Figure 12 / line 15).
+bool build_sequence(const Workspace& ws, const GroupSpan& Omega,
+                    std::span<const GroupSpan> omegas,
+                    std::vector<Terminal>& seq) {
+  for (const GroupSpan& omega : omegas)
+    for (std::size_t pos : omega.member_positions())
+      if (!Omega.contains_position(pos)) return false;  // g - G != empty
+
+  seq.clear();
+  std::vector<bool> emitted(omegas.size(), false);
+  auto emit_child_block = [&](std::size_t slot) {
+    // Bubbled-out hole sinks are already displaced by one position, so they
+    // carry kNoPos: the within-layer swap enumeration must not move them
+    // again (every sink may move at most once inside N(Pi)).
+    const GroupSpan& omega = omegas[slot];
+    if (const auto lh = omega.left_hole(); lh && Omega.contains_position(*lh))
+      seq.push_back(Terminal{false, 0, ws.order[*lh], kNoPos});
+    seq.push_back(Terminal{true, static_cast<std::uint8_t>(slot), 0, kNoPos});
+    if (const auto rh = omega.right_hole(); rh && Omega.contains_position(*rh))
+      seq.push_back(Terminal{false, 0, ws.order[*rh], kNoPos});
+    emitted[slot] = true;
+  };
+  for (std::size_t pos : Omega.member_positions()) {
+    // Positions inside some child's span are either that child's bubbled
+    // holes (emitted with the child block) or members consumed by it.
+    std::size_t inside = omegas.size();
+    for (std::size_t i = 0; i < omegas.size(); ++i)
+      if (pos >= omegas[i].left() && pos <= omegas[i].right) inside = i;
+    if (inside < omegas.size()) {
+      if (!emitted[inside]) emit_child_block(inside);
+    } else {
+      seq.push_back(Terminal{false, 0, ws.order[pos], pos});
+    }
+  }
+  // A child's span always contains at least one Omega member, so every
+  // child has been emitted by now.
+  for (bool e : emitted)
+    if (!e) return false;
+  return true;
+}
+
+// The paper's *PTREE perturbs the order *within* a layer as well (the e',e''
+// grouping codes of its S_b recursion): adjacent direct sinks may swap.  We
+// realize that by enumerating, for one base sequence, every set of
+// non-overlapping swaps of sequence-adjacent sink terminals whose order
+// positions differ by exactly one (so each swap is a legal neighborhood move
+// and displaced/bubbled sinks never move twice).  |variants| <= F(alpha),
+// a small constant.
+void enumerate_layer_sequences(const std::vector<Terminal>& base,
+                               std::size_t from,
+                               std::vector<Terminal>& cur,
+                               std::vector<std::vector<Terminal>>& out) {
+  if (from + 1 >= base.size()) {
+    out.push_back(cur);
+    return;
+  }
+  const Terminal& a = base[from];
+  const Terminal& b = base[from + 1];
+  const bool swappable =
+      !a.is_child && !b.is_child && a.pos != kNoPos && b.pos != kNoPos &&
+      (a.pos + 1 == b.pos || b.pos + 1 == a.pos);
+  // No swap at `from`.
+  enumerate_layer_sequences(base, from + 1, cur, out);
+  if (swappable) {
+    std::swap(cur[from], cur[from + 1]);
+    enumerate_layer_sequences(base, from + 2, cur, out);
+    std::swap(cur[from], cur[from + 1]);
+  }
+}
+
+}  // namespace
+
+BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
+                              const Order& order, const BubbleConfig& cfg_in,
+                              GammaCache* cache) {
+  // Default the cap keep-point scalarization to a mid-library drive strength
+  // (see PruneConfig::ref_res) so tight caps never squeeze out the solutions
+  // an upstream driver would actually pick.
+  BubbleConfig cfg = cfg_in;
+  if (!lib.empty()) {
+    const double mid = lib[lib.size() / 2].delay.drive_res();
+    if (cfg.inner_prune.ref_res == 0.0) cfg.inner_prune.ref_res = mid;
+    if (cfg.group_prune.ref_res == 0.0) cfg.group_prune.ref_res = mid;
+  }
+  const std::size_t n = net.fanout();
+  if (n == 0) throw std::invalid_argument("bubble_construct: net has no sinks");
+  if (order.size() != n || !Order(order).valid())
+    throw std::invalid_argument("bubble_construct: bad order");
+  if (lib.empty()) throw std::invalid_argument("bubble_construct: empty library");
+  if (cfg.alpha < 2) throw std::invalid_argument("bubble_construct: alpha must be >= 2");
+
+  const std::vector<Point> terms = net.terminals();
+  std::vector<Point> pts = candidate_locations(terms, cfg.candidates);
+  Workspace ws(net, lib, cfg, order, std::move(pts));
+  ws.source_p = ws.k;
+  for (std::size_t p = 0; p < ws.k; ++p)
+    if (ws.pts[p] == net.source) ws.source_p = p;
+  if (ws.source_p == ws.k)
+    throw std::logic_error("candidate set must contain the source");
+
+  const auto chis = [&](std::size_t len) {
+    std::vector<Chi> cs{Chi::kChi0};
+    if (cfg.enable_bubbling && len >= 1) {
+      cs.push_back(Chi::kChi1);
+      cs.push_back(Chi::kChi2);
+      if (len >= 2) cs.push_back(Chi::kChi3);
+    }
+    return cs;
+  };
+
+  // INITIALIZATION (Figure 9 lines 1-4): length-1 groups.  Single-sink
+  // structures may always carry a buffer (they are leaves, not internal
+  // nodes, so allow_unbuffered_groups does not apply).
+  for (Chi e : chis(1)) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const GroupSpan span{1, e, r};
+      if (!span.valid(n)) continue;
+      const std::size_t pos = span.member_positions().front();
+      const Sink& s = net.sinks[order[pos]];
+      std::vector<SolutionCurve> anchor(ws.k);
+      for (std::size_t p = 0; p < ws.k; ++p) {
+        const double len = static_cast<double>(manhattan(ws.pts[p], s.pos));
+        SolutionCurve base;
+        for (const double width : ws.widths()) {
+          const WireModel wm = scaled_width(net.wire, width);
+          Solution sol;
+          sol.req_time = s.req_time - wm.elmore_delay(len, s.load);
+          sol.load = s.load + wm.wire_cap(len);
+          sol.wirelen = len;
+          sol.node = make_sink_node(ws.pts[p],
+                                    static_cast<std::int32_t>(order[pos]), width);
+          base.push(std::move(sol));
+          if (len == 0.0) break;
+        }
+        for (const Solution& sol : base) anchor[p].push(sol);
+        push_buffered_options(base, ws.pts[p], lib, anchor[p], cfg.buffer_stride);
+        anchor[p].prune(cfg.group_prune);
+      }
+      if (n == 1) {
+        for (std::size_t p = 0; p < ws.k; ++p)
+          ws.gamma.at(1, e, r, p) = std::move(anchor[p]);
+      } else {
+        auto x = anchors_to_child(ws, anchor);
+        for (std::size_t p = 0; p < ws.k; ++p)
+          ws.gamma.at(1, e, r, p) = std::move(x[p]);
+      }
+    }
+  }
+
+  // CONSTRUCTION (Figure 9 lines 5-20): groups by increasing sink count.
+  std::vector<Terminal> seq;
+  for (std::size_t L = 2; L <= n; ++L) {
+    for (Chi E : chis(L)) {
+      for (std::size_t R = 0; R < n; ++R) {
+        const GroupSpan Omega{L, E, R};
+        if (!Omega.valid(n)) continue;
+        // The whole-net group must cover every sink from a chi_0 span.
+        if (L == n && (E != Chi::kChi0 || R != n - 1)) continue;
+
+        // Section III.4 sub-problem reuse: a group's stored curves are a
+        // function of (structure, ordered member sinks) only, so runs over
+        // overlapping neighborhoods can copy instead of recompute.
+        std::string cache_key;
+        if (cache != nullptr && L < n) {
+          cache_key.push_back(static_cast<char>(E));
+          for (const std::size_t mpos : Omega.member_positions()) {
+            const std::uint32_t sid = order[mpos];
+            cache_key.append(reinterpret_cast<const char*>(&sid), sizeof(sid));
+          }
+          if (const auto* cached = cache->find(cache_key)) {
+            for (std::size_t p = 0; p < ws.k; ++p)
+              ws.gamma.at(L, E, R, p) = (*cached)[p];
+            continue;
+          }
+        }
+
+        std::vector<SolutionCurve> acc(ws.k);  // anchor accumulation A(L,E,R,.)
+        const std::size_t l_min = (L - 1 >= cfg.alpha) ? L - cfg.alpha + 1 : 1;
+        for (std::size_t l = l_min; l <= L - 1; ++l) {
+          for (Chi e : chis(l)) {
+            const GroupSpan probe{l, e, 0};
+            const std::size_t sl = probe.span_len();
+            if (sl > Omega.span_len()) continue;
+            for (std::size_t r = Omega.left() + sl - 1; r <= Omega.right; ++r) {
+              const GroupSpan omega{l, e, r};
+              if (!omega.valid(n)) continue;
+              const GroupSpan omegas[1] = {omega};
+              if (!build_sequence(ws, Omega, omegas, seq)) continue;
+              // Child curves X(l,e,r,.) live directly in gamma.
+              std::vector<std::vector<SolutionCurve>> children(1);
+              children[0].resize(ws.k);
+              bool any = false;
+              for (std::size_t p = 0; p < ws.k; ++p) {
+                children[0][p] = ws.gamma.at(l, e, r, p);
+                any = any || !children[0][p].empty();
+              }
+              if (!any) continue;
+              std::vector<std::vector<Terminal>> variants;
+              if (cfg.enable_bubbling) {
+                std::vector<Terminal> cur = seq;
+                enumerate_layer_sequences(seq, 0, cur, variants);
+              } else {
+                variants.push_back(seq);
+              }
+              for (const auto& var : variants) {
+                auto routed = layer_ptree(ws, var, children);
+                apply_root_options(ws, routed,
+                                   cfg.allow_unbuffered_groups || L == n, acc);
+              }
+            }
+          }
+        }
+        // Relaxed Ca_Trees (section 3.2.1): a second inner group per layer.
+        if (cfg.max_internal_children >= 2 && L >= 2) {
+          std::vector<std::vector<SolutionCurve>> children(2);
+          for (std::size_t l1 = 1; l1 + 1 <= L - 1; ++l1) {
+            for (Chi e1 : chis(l1)) {
+              const std::size_t sl1 = GroupSpan{l1, e1, 0}.span_len();
+              if (sl1 > Omega.span_len()) continue;
+              for (std::size_t r1 = Omega.left() + sl1 - 1; r1 < Omega.right; ++r1) {
+                const GroupSpan o1{l1, e1, r1};
+                if (!o1.valid(n)) continue;
+                const std::size_t l2_min =
+                    (l1 + cfg.alpha >= L + 2) ? 1 : L + 2 - cfg.alpha - l1;
+                for (std::size_t l2 = l2_min; l1 + l2 <= L - 1; ++l2) {
+                  for (Chi e2 : chis(l2)) {
+                    const std::size_t sl2 = GroupSpan{l2, e2, 0}.span_len();
+                    if (r1 + sl2 > Omega.right) continue;
+                    for (std::size_t r2 = r1 + sl2; r2 <= Omega.right; ++r2) {
+                      const GroupSpan o2{l2, e2, r2};
+                      if (!o2.valid(n) || o2.left() <= r1) continue;
+                      const GroupSpan omegas[2] = {o1, o2};
+                      if (!build_sequence(ws, Omega, omegas, seq)) continue;
+                      bool any1 = false, any2 = false;
+                      children[0].assign(ws.k, SolutionCurve{});
+                      children[1].assign(ws.k, SolutionCurve{});
+                      for (std::size_t p = 0; p < ws.k; ++p) {
+                        children[0][p] = ws.gamma.at(l1, e1, r1, p);
+                        children[1][p] = ws.gamma.at(l2, e2, r2, p);
+                        any1 = any1 || !children[0][p].empty();
+                        any2 = any2 || !children[1][p].empty();
+                      }
+                      if (!any1 || !any2) continue;
+                      auto routed = layer_ptree(ws, seq, children);
+                      apply_root_options(
+                          ws, routed, cfg.allow_unbuffered_groups || L == n, acc);
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+
+        for (std::size_t p = 0; p < ws.k; ++p) acc[p].prune(cfg.group_prune);
+        if (L == n) {
+          for (std::size_t p = 0; p < ws.k; ++p)
+            ws.gamma.at(L, E, R, p) = std::move(acc[p]);
+        } else {
+          auto x = anchors_to_child(ws, acc);
+          if (cache != nullptr) cache->insert(std::move(cache_key), x);
+          for (std::size_t p = 0; p < ws.k; ++p)
+            ws.gamma.at(L, E, R, p) = std::move(x[p]);
+        }
+      }
+    }
+  }
+
+  // EXTRACTION (Figure 9 lines 21-23).
+  BubbleResult res;
+  res.layer_calls = ws.layer_calls;
+  const SolutionCurve& final_curve = ws.gamma.at(n, Chi::kChi0, n - 1, ws.source_p);
+  if (final_curve.empty())
+    throw std::logic_error("bubble_construct: empty final curve");
+  res.root_curve = final_curve;
+  res.solutions_stored = ws.gamma.total_solutions();
+
+  auto driver_q = [&](const Solution& s) {
+    return s.req_time - net.driver.delay.at_nominal(s.load);
+  };
+  const Solution* best = nullptr;
+  if (cfg.objective.mode == ObjectiveMode::kMaxReqTime) {
+    for (const Solution& s : final_curve) {
+      if (s.area > cfg.objective.area_limit + 1e-9) continue;
+      if (best == nullptr || driver_q(s) > driver_q(*best)) best = &s;
+    }
+  } else {
+    for (const Solution& s : final_curve) {
+      if (driver_q(s) < cfg.objective.req_target - 1e-9) continue;
+      if (best == nullptr || s.area < best->area ||
+          (s.area == best->area && driver_q(s) > driver_q(*best)))
+        best = &s;
+    }
+  }
+  if (best == nullptr) {
+    // Constraint infeasible within the explored space: fall back to the
+    // closest solution (largest required time) rather than failing.
+    for (const Solution& s : final_curve)
+      if (best == nullptr || driver_q(s) > driver_q(*best)) best = &s;
+  }
+  res.chosen = *best;
+  res.driver_req_time = driver_q(*best);
+  res.tree = build_routing_tree(net, best->node);
+  res.out_order = provenance_sink_order(best->node, n);
+  return res;
+}
+
+}  // namespace merlin

@@ -1,0 +1,163 @@
+#pragma once
+// BUBBLE_CONSTRUCT (paper Figure 9): the inner optimization engine.
+//
+// For a given sink order Pi, BUBBLE_CONSTRUCT builds — bottom-up, smallest
+// sub-groups first — the table of three-dimensional solution curves
+//
+//   Gamma(l, e, r, p) = non-inferior buffered routing structures rooted at
+//                       candidate location p covering the sink sub-group of
+//                       length l, grouping structure chi_e, right-most order
+//                       position r,
+//
+// where each structure is one *P_Tree layer: a rectilinear routing tree over
+// the group's direct members plus (at most) one already-built inner group,
+// optionally driven by a library buffer at p.  Groups nest along a chain as
+// a Ca_Tree (Definition 2; alpha bounds each layer's fanout), and the chi
+// bubbles let the realized sink order deviate from Pi by non-overlapping
+// adjacent swaps — by Lemmas 5/6 exactly the neighborhood N(Pi), an
+// exponential space searched in polynomial time (Theorem 1).
+//
+// The solution space is the Cartesian product of the *P_Tree and Ca_Tree
+// spaces over N(Pi) (Theorem 3); all non-inferior (required time, load,
+// buffer area) solutions within it survive pruning (Theorem 4, Lemma 9).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buflib/library.h"
+#include "curve/curve.h"
+#include "geom/hanan.h"
+#include "net/net.h"
+#include "order/order.h"
+#include "tree/routing_tree.h"
+
+namespace merlin {
+
+/// Which variant of the problem to solve (paper section III.1).
+enum class ObjectiveMode {
+  kMaxReqTime,  ///< variant I: maximize driver required time s.t. area limit
+  kMinArea,     ///< variant II: minimize buffer area s.t. required-time target
+};
+
+/// Objective for the final extraction step.
+struct Objective {
+  ObjectiveMode mode = ObjectiveMode::kMaxReqTime;
+  double area_limit = std::numeric_limits<double>::infinity();  ///< variant I
+  double req_target = -std::numeric_limits<double>::infinity();  ///< variant II
+};
+
+/// Tuning knobs for BUBBLE_CONSTRUCT.
+struct BubbleConfig {
+  /// Maximum fanout of every internal node (the Ca_Tree alpha).  The paper
+  /// uses 15 (Table 1) and 10 (Table 2); quality saturates well below that
+  /// for our library (see bench_alpha), matching the paper's remark that the
+  /// effective bound depends on the library, not the problem size.
+  std::size_t alpha = 4;
+
+  /// Candidate buffer/Steiner locations P.
+  CandidateOptions candidates{};
+
+  /// Pruning inside layer-DP states (transient).
+  PruneConfig inner_prune{0.0, 0.0, 6};
+  /// Pruning of stored Gamma group curves.
+  PruneConfig group_prune{0.0, 0.0, 8};
+
+  /// When true (default), a group's root may stay unbuffered: the group then
+  /// electrically merges into its parent layer.  When false, every internal
+  /// node is a buffer and the output is a strict Ca_Tree hierarchy.
+  bool allow_unbuffered_groups = true;
+
+  /// Try only every stride-th library buffer (plus the strongest) when
+  /// inserting buffers.  1 = the paper-faithful "all buffers are tried".
+  std::size_t buffer_stride = 1;
+
+  /// Wire width multipliers to consider per wire ([LCLH96]'s simultaneous
+  /// wire sizing, listed by the paper's lineage as a natural extension).
+  /// Empty = default 1x width only.
+  std::vector<double> wire_widths{};
+
+  /// Within-layer wire extensions are considered only from each candidate's
+  /// `extension_neighbors` nearest candidates (0 = from all).  Child groups
+  /// always extend from every anchor, so this only limits how far a layer's
+  /// internal Steiner substructure can relocate in a single hop.
+  std::size_t extension_neighbors = 0;
+
+  /// When false, only chi_0 structures are generated: the engine degrades to
+  /// a fixed-order hierarchical constructor (no neighborhood search).  Used
+  /// by tests/benches to isolate the value of bubbling.
+  bool enable_bubbling = true;
+
+  /// Relaxed Ca_Trees (paper section 3.2.1, closing remark): allow up to
+  /// this many internal-node children per internal node.  1 is the paper's
+  /// default Ca_Tree; 2 enables the relaxed structure whose "optimal
+  /// construction algorithm grows significantly" in cost (enumerating child
+  /// pairs multiplies the layer-call count).  Values > 2 are clamped to 2.
+  std::size_t max_internal_children = 1;
+
+  Objective objective{};
+};
+
+/// Cross-iteration sub-problem cache (paper section III.4): the
+/// neighborhoods of two consecutive MERLIN iterations overlap heavily, so
+/// "keeping the solution curves of the very last iteration" and copying
+/// identical sub-problems trades memory for a large speed-up.  A sub-group's
+/// curves are fully determined by its grouping structure and the exact
+/// ordered list of member sinks, which is the cache key; entries hold the
+/// stored child-form curves for every candidate location.
+///
+/// A cache is only valid for one (net, library, config, candidate-set)
+/// combination — merlin_optimize owns one per run.
+class GammaCache {
+ public:
+  /// Returns the cached curves for `key`, or nullptr.
+  [[nodiscard]] const std::vector<SolutionCurve>* find(const std::string& key) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  void insert(std::string key, std::vector<SolutionCurve> curves) {
+    map_.insert_or_assign(std::move(key), std::move(curves));
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<SolutionCurve>> map_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Outcome of one BUBBLE_CONSTRUCT run.
+struct BubbleResult {
+  RoutingTree tree;          ///< extracted best structure
+  Solution chosen;           ///< the curve point the tree was built from
+  SolutionCurve root_curve;  ///< final non-inferior curve at the source
+  Order out_order;           ///< realized sink order (in N(input order))
+  double driver_req_time = 0.0;  ///< ps at the driver input for `chosen`
+
+  // Work statistics (complexity benches report these).
+  std::size_t layer_calls = 0;      ///< (Omega, omega) pairs processed
+  std::size_t solutions_stored = 0; ///< curve points surviving in Gamma
+};
+
+/// Runs BUBBLE_CONSTRUCT for `net` with initial order `order`.  `cache`, if
+/// given, is consulted for sub-problems shared with earlier runs on the
+/// same net/config and updated with this run's groups (section III.4).
+/// Preconditions: net has >= 1 sink, order is a permutation, alpha >= 2.
+BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
+                              const Order& order, const BubbleConfig& cfg = {},
+                              GammaCache* cache = nullptr);
+
+}  // namespace merlin

@@ -1,0 +1,22 @@
+#include "core/grouping.h"
+
+namespace merlin {
+
+std::vector<std::size_t> GroupSpan::member_positions() const {
+  std::vector<std::size_t> out;
+  out.reserve(len);
+  const std::size_t lo = left();
+  for (std::size_t pos = lo; pos <= right; ++pos)
+    if (contains_position(pos)) out.push_back(pos);
+  return out;
+}
+
+bool GroupSpan::contains_position(std::size_t pos) const {
+  const std::size_t lo = left();
+  if (pos < lo || pos > right) return false;
+  if (const auto h = right_hole(); h && *h == pos) return false;
+  if (const auto h = left_hole(); h && *h == pos) return false;
+  return true;
+}
+
+}  // namespace merlin

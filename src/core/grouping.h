@@ -1,0 +1,83 @@
+#pragma once
+// The abstract grouping structures chi_0..chi_3 of the local
+// order-perturbation ("bubbling") technique — paper section 3.2.2,
+// Figures 5, 6, 10 and 13.
+//
+// A sub-group of L sinks occupies a contiguous span of the sink order whose
+// length L' is stretched by one position per bubble (STRETCH, Figure 10):
+//
+//   chi_0 : no bubble,   L' = L
+//   chi_1 : right bubble, L' = L + 1, hole one inside the right border
+//   chi_2 : left bubble,  L' = L + 1, hole one inside the left border
+//   chi_3 : both bubbles, L' = L + 2
+//
+// The sink sitting in a hole does not belong to the group; when the group is
+// used inside a larger one the hole's sink "bubbles out" to the other side
+// of the corresponding border (Figure 5), which is how a bottom-up DP covers
+// the entire neighborhood N(Pi) of the initial order.
+//
+// Positions here are 0-based; a span is identified by its sink count `len`,
+// structure `e`, and the 0-based position `right` of its right-most element.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace merlin {
+
+/// Grouping structure codes (the paper's variable e in {0,1,2,3}).
+enum class Chi : std::uint8_t { kChi0 = 0, kChi1 = 1, kChi2 = 2, kChi3 = 3 };
+
+inline constexpr Chi kAllChi[] = {Chi::kChi0, Chi::kChi1, Chi::kChi2, Chi::kChi3};
+
+/// Figure 10: how many extra span positions the bubbles occupy.
+constexpr std::size_t stretch(Chi e) {
+  switch (e) {
+    case Chi::kChi0: return 0;
+    case Chi::kChi1: return 1;
+    case Chi::kChi2: return 1;
+    case Chi::kChi3: return 2;
+  }
+  return 0;
+}
+
+constexpr bool has_right_bubble(Chi e) { return e == Chi::kChi1 || e == Chi::kChi3; }
+constexpr bool has_left_bubble(Chi e) { return e == Chi::kChi2 || e == Chi::kChi3; }
+
+/// A sub-group: `len` sinks with structure `e`, right-most span position
+/// `right` in an order of `n` sinks.
+struct GroupSpan {
+  std::size_t len = 0;
+  Chi e = Chi::kChi0;
+  std::size_t right = 0;
+
+  [[nodiscard]] std::size_t span_len() const { return len + stretch(e); }
+  /// Left-most span position; valid() must hold.
+  [[nodiscard]] std::size_t left() const { return right + 1 - span_len(); }
+
+  /// Hole positions (the bubbles).  Defined only when valid().
+  [[nodiscard]] std::optional<std::size_t> right_hole() const {
+    return has_right_bubble(e) ? std::optional<std::size_t>(right - 1) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<std::size_t> left_hole() const {
+    return has_left_bubble(e) ? std::optional<std::size_t>(left() + 1) : std::nullopt;
+  }
+
+  /// A span is representable iff it fits inside [0, n) and its holes are
+  /// distinct (chi_3 with len == 1 would need two holes in one position —
+  /// the only degenerate combination, rejected here).
+  [[nodiscard]] bool valid(std::size_t n) const {
+    if (len == 0 || span_len() > right + 1 || right >= n) return false;
+    if (e == Chi::kChi3 && left() + 1 == right - 1) return false;
+    return true;
+  }
+
+  /// The order positions whose sinks belong to this group (SINK_SET,
+  /// Figure 13): the span minus the holes, ascending.  Size == len.
+  [[nodiscard]] std::vector<std::size_t> member_positions() const;
+
+  /// True iff `pos` is a member position of this group.
+  [[nodiscard]] bool contains_position(std::size_t pos) const;
+};
+
+}  // namespace merlin

@@ -1,0 +1,70 @@
+#include "core/merlin.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace merlin {
+
+namespace {
+
+// Objective value of a result; larger is better for both modes (area is
+// negated for the min-area variant).
+double score(const BubbleResult& r, const Objective& obj) {
+  if (obj.mode == ObjectiveMode::kMaxReqTime) return r.driver_req_time;
+  return -r.chosen.area;
+}
+
+}  // namespace
+
+MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
+                             const Order& initial, const MerlinConfig& cfg) {
+  if (initial.size() != net.fanout() || !Order(initial).valid())
+    throw std::invalid_argument("merlin_optimize: bad initial order");
+
+  MerlinResult res;
+  Order pi = initial;
+  // Orders already used as BUBBLE_CONSTRUCT inputs.  Theorem 7 guarantees
+  // strict improvement, but engineering caps on curve sizes could in
+  // principle make the walk revisit an order; the set turns that into a
+  // clean convergence instead of a loop.
+  std::set<std::vector<std::uint32_t>> seen;
+
+  GammaCache cache;
+  GammaCache* cache_ptr = cfg.reuse_subproblems ? &cache : nullptr;
+
+  bool have_best = false;
+  while (res.iterations < cfg.max_iterations) {
+    if (!seen.insert(pi.sequence()).second) {
+      res.converged = true;
+      break;
+    }
+    BubbleResult r = bubble_construct(net, lib, pi, cfg.bubble, cache_ptr);
+    ++res.iterations;
+    res.iteration_req_times.push_back(r.driver_req_time);
+
+    const Order next = r.out_order;
+    const bool improved =
+        !have_best || score(r, cfg.bubble.objective) >
+                          score(res.best, cfg.bubble.objective) + 1e-9;
+    if (improved) {
+      res.best = std::move(r);
+      have_best = true;
+    }
+    if (next == pi) {  // line 8 of Figure 14: order fixpoint
+      res.converged = true;
+      break;
+    }
+    if (!improved) {  // capped curves only: no progress, stop searching
+      res.converged = true;
+      break;
+    }
+    pi = next;
+  }
+  if (!have_best)
+    throw std::logic_error("merlin_optimize: no iterations performed");
+  res.cache_hits = cache.hits();
+  res.cache_misses = cache.misses();
+  return res;
+}
+
+}  // namespace merlin

@@ -1,0 +1,49 @@
+#pragma once
+// MERLIN (paper Figure 14): the outer local-neighborhood-search engine.
+//
+// Each call to BUBBLE_CONSTRUCT optimally searches the neighborhood N(Pi)
+// of the current sink order; the realized order of its best structure
+// becomes the next iteration's Pi.  The loop stops at an order fixpoint
+// (no better neighbor exists — a local optimum of the neighborhood
+// structure, Definition 1), and by Theorem 7 the cost strictly improves
+// until then.  Table 1's "Loops" column is `iterations` here.
+
+#include <vector>
+
+#include "core/bubble.h"
+#include "order/order.h"
+
+namespace merlin {
+
+/// Tuning knobs for the outer loop.
+struct MerlinConfig {
+  BubbleConfig bubble{};
+  /// Safety bound on iterations (the paper bounds it by 3 in its Table 2
+  /// full-flow runs; single-net runs converge in 1-12 loops).
+  std::size_t max_iterations = 16;
+  /// Section III.4 speed-up: keep the previous iteration's solution curves
+  /// and copy sub-problems shared between the overlapping neighborhoods
+  /// (costs roughly 2x memory, saves most of the work after iteration 1).
+  bool reuse_subproblems = true;
+};
+
+/// Outcome of a MERLIN run.
+struct MerlinResult {
+  BubbleResult best;       ///< best structure found over all iterations
+  std::size_t iterations = 0;  ///< BUBBLE_CONSTRUCT calls performed
+  bool converged = false;      ///< true iff an order fixpoint was reached
+  /// Driver required time after each iteration (monotonically non-decreasing
+  /// by Theorem 7; asserted by the property tests).
+  std::vector<double> iteration_req_times;
+
+  /// Sub-problem cache statistics (zero when reuse is disabled).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+/// Runs the MERLIN loop starting from `initial` (callers typically pass
+/// tsp_order(net); the paper notes the initial order barely matters).
+MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
+                             const Order& initial, const MerlinConfig& cfg = {});
+
+}  // namespace merlin

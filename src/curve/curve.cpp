@@ -1,0 +1,314 @@
+#include "curve/curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace merlin {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Shared pruning core.  `T` must expose req_time/load/area/wirelen members;
+// used both for stored Solutions and for not-yet-allocated candidates.
+template <typename T>
+void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
+  if (v.empty()) return;
+
+  // Optional quantization: snap load/area into bins, keep the best required
+  // time per bin (ties toward less wire).  This bounds the paper's q.
+  auto bin = [](double x, double q) {
+    return q > 0.0 ? std::floor(x / q) : x;
+  };
+  if (cfg.load_quantum > 0.0 || cfg.area_quantum > 0.0) {
+    std::sort(v.begin(), v.end(), [&](const T& a, const T& b) {
+      const double la = bin(a.load, cfg.load_quantum);
+      const double lb = bin(b.load, cfg.load_quantum);
+      if (la != lb) return la < lb;
+      const double aa = bin(a.area, cfg.area_quantum);
+      const double ab = bin(b.area, cfg.area_quantum);
+      if (aa != ab) return aa < ab;
+      if (a.req_time != b.req_time) return a.req_time > b.req_time;
+      return a.wirelen < b.wirelen;
+    });
+    std::vector<T> keep;
+    keep.reserve(v.size());
+    for (auto& s : v) {
+      const bool same_bin =
+          !keep.empty() &&
+          bin(keep.back().load, cfg.load_quantum) == bin(s.load, cfg.load_quantum) &&
+          bin(keep.back().area, cfg.area_quantum) == bin(s.area, cfg.area_quantum);
+      if (!same_bin) keep.push_back(std::move(s));
+    }
+    v = std::move(keep);
+  }
+
+  // Exact 3-D Pareto sweep (Def. 6).  After sorting by load, any dominator
+  // of v[i] appears before it, so one backward scan over the kept set works.
+  std::sort(v.begin(), v.end(), [](const T& a, const T& b) {
+    if (a.load != b.load) return a.load < b.load;
+    if (a.area != b.area) return a.area < b.area;
+    if (a.req_time != b.req_time) return a.req_time > b.req_time;
+    return a.wirelen < b.wirelen;
+  });
+  std::vector<T> keep;
+  keep.reserve(v.size());
+  for (auto& s : v) {
+    bool dominated = false;
+    for (const T& k : keep) {
+      if (k.load <= s.load + kEps && k.area <= s.area + kEps &&
+          k.req_time >= s.req_time - kEps) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) keep.push_back(std::move(s));
+  }
+  v = std::move(keep);
+
+  // Engineering cap.  All survivors are non-inferior, so the cap is purely
+  // about which part of the frontier to keep.  We always keep the three
+  // extreme points (max required time, min load, min area) and fill the rest
+  // with an even spread along the load axis — load is what decides whether a
+  // solution stays useful after more upstream wire, so spreading over it
+  // preserves downstream feasibility far better than spreading over area
+  // (which is frequently constant across a young curve).
+  if (cfg.max_solutions > 0 && v.size() > cfg.max_solutions) {
+    std::sort(v.begin(), v.end(), [](const T& a, const T& b) {
+      if (a.load != b.load) return a.load < b.load;
+      return a.area < b.area;
+    });
+    const std::size_t n = v.size();
+    const std::size_t m = cfg.max_solutions;
+    std::size_t best_rt = 0, min_area = 0, best_scalar = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (v[i].req_time > v[best_rt].req_time) best_rt = i;
+      if (v[i].area < v[min_area].area) min_area = i;
+      if (cfg.ref_res > 0.0 &&
+          v[i].req_time - cfg.ref_res * v[i].load >
+              v[best_scalar].req_time - cfg.ref_res * v[best_scalar].load)
+        best_scalar = i;
+    }
+    std::vector<std::size_t> must{0, best_rt, min_area};
+    if (cfg.ref_res > 0.0) must.push_back(best_scalar);
+    std::sort(must.begin(), must.end());
+    must.erase(std::unique(must.begin(), must.end()), must.end());
+
+    std::vector<std::size_t> pick = must;
+    for (std::size_t j = 0; j < m && pick.size() < m + must.size(); ++j)
+      pick.push_back(m == 1 ? best_rt : j * (n - 1) / (m - 1));
+    std::sort(pick.begin(), pick.end());
+    pick.erase(std::unique(pick.begin(), pick.end()), pick.end());
+    // Trim middle samples (never the must-keeps) down to the cap.
+    for (std::size_t j = 1; pick.size() > std::max(m, must.size());) {
+      if (j + 1 >= pick.size()) break;
+      if (!std::binary_search(must.begin(), must.end(), pick[j]))
+        pick.erase(pick.begin() + static_cast<std::ptrdiff_t>(j));
+      else
+        ++j;
+    }
+    std::vector<T> capped;
+    capped.reserve(pick.size());
+    for (std::size_t idx : pick) capped.push_back(std::move(v[idx]));
+    v = std::move(capped);
+  }
+}
+
+// Candidate tuple used by merge_curves: provenance by parent indices, node
+// allocation deferred until after pruning.
+struct MergeCand {
+  double req_time, load, area, wirelen;
+  std::uint32_t il, ir;
+};
+
+}  // namespace
+
+void SolutionCurve::prune(const PruneConfig& cfg) { pareto_prune(sols_, cfg); }
+
+const Solution* SolutionCurve::best_req_time() const {
+  const Solution* best = nullptr;
+  for (const Solution& s : sols_)
+    if (best == nullptr || s.req_time > best->req_time ||
+        (s.req_time == best->req_time && s.area < best->area))
+      best = &s;
+  return best;
+}
+
+const Solution* SolutionCurve::best_req_time_under_area(double max_area) const {
+  const Solution* best = nullptr;
+  for (const Solution& s : sols_) {
+    if (s.area > max_area + kEps) continue;
+    if (best == nullptr || s.req_time > best->req_time ||
+        (s.req_time == best->req_time && s.area < best->area))
+      best = &s;
+  }
+  return best;
+}
+
+const Solution* SolutionCurve::min_area_meeting_req(double min_req) const {
+  const Solution* best = nullptr;
+  for (const Solution& s : sols_) {
+    if (s.req_time < min_req - kEps) continue;
+    if (best == nullptr || s.area < best->area ||
+        (s.area == best->area && s.req_time > best->req_time))
+      best = &s;
+  }
+  return best;
+}
+
+SolutionCurve merge_curves(const SolutionCurve& left, const SolutionCurve& right,
+                           Point at, const PruneConfig& cfg) {
+  std::vector<MergeCand> cands;
+  cands.reserve(left.size() * right.size());
+  for (std::uint32_t i = 0; i < left.size(); ++i) {
+    for (std::uint32_t j = 0; j < right.size(); ++j) {
+      const Solution& a = left[i];
+      const Solution& b = right[j];
+      cands.push_back(MergeCand{std::min(a.req_time, b.req_time),
+                                a.load + b.load, a.area + b.area,
+                                a.wirelen + b.wirelen, i, j});
+    }
+  }
+  pareto_prune(cands, cfg);
+
+  SolutionCurve out;
+  for (const MergeCand& c : cands) {
+    Solution s;
+    s.req_time = c.req_time;
+    s.load = c.load;
+    s.area = c.area;
+    s.wirelen = c.wirelen;
+    s.node = make_merge_node(at, left[c.il].node, right[c.ir].node);
+    out.push(std::move(s));
+  }
+  return out;
+}
+
+SolutionCurve extend_curve(const SolutionCurve& src, Point from, Point to,
+                           const WireModel& wire, const PruneConfig& cfg,
+                           double wire_width) {
+  const double len = static_cast<double>(manhattan(from, to));
+  const WireModel w = scaled_width(wire, wire_width);
+  SolutionCurve out;
+  for (const Solution& s : src) {
+    Solution e = s;
+    if (len > 0.0) {
+      e.req_time = s.req_time - w.elmore_delay(len, s.load);
+      e.load = s.load + w.wire_cap(len);
+      e.wirelen = s.wirelen + len;
+      e.node = make_wire_node(to, s.node, wire_width);
+    }
+    out.push(std::move(e));
+  }
+  out.prune(cfg);
+  return out;
+}
+
+void push_buffered_options(const SolutionCurve& src, Point at,
+                           const BufferLibrary& lib, SolutionCurve& dst,
+                           std::size_t stride) {
+  if (stride == 0) stride = 1;
+  // Generate (solution, buffer) candidates, prune among themselves, then
+  // allocate provenance only for survivors.
+  struct BufCand {
+    double req_time, load, area, wirelen;
+    std::uint32_t is, ib;
+  };
+  std::vector<std::uint32_t> tried;
+  for (std::uint32_t b = 0; b < lib.size(); b += stride) tried.push_back(b);
+  if (!lib.empty() && (tried.empty() || tried.back() + 1 != lib.size()))
+    tried.push_back(static_cast<std::uint32_t>(lib.size()) - 1);  // strongest
+
+  std::vector<BufCand> cands;
+  cands.reserve(src.size() * tried.size());
+  for (std::uint32_t i = 0; i < src.size(); ++i) {
+    const Solution& s = src[i];
+    for (std::uint32_t b : tried) {
+      const Buffer& buf = lib[b];
+      cands.push_back(BufCand{s.req_time - buf.delay_ps(s.load), buf.input_cap,
+                              s.area + buf.area, s.wirelen, i, b});
+    }
+  }
+  pareto_prune(cands, PruneConfig{});
+  for (const BufCand& c : cands) {
+    Solution s;
+    s.req_time = c.req_time;
+    s.load = c.load;
+    s.area = c.area;
+    s.wirelen = c.wirelen;
+    s.node = make_buffer_node(at, static_cast<std::int32_t>(c.ib), src[c.is].node);
+    dst.push(std::move(s));
+  }
+}
+
+void push_merged_options(std::span<const MergeJob> jobs, Point at,
+                         const PruneConfig& cfg, SolutionCurve& dst) {
+  struct Cand {
+    double req_time, load, area, wirelen;
+    const Solution* l;
+    const Solution* r;
+  };
+  std::vector<Cand> cands;
+  for (const MergeJob& job : jobs) {
+    for (const Solution& a : *job.left) {
+      for (const Solution& b : *job.right) {
+        cands.push_back(Cand{std::min(a.req_time, b.req_time), a.load + b.load,
+                             a.area + b.area, a.wirelen + b.wirelen, &a, &b});
+      }
+    }
+  }
+  pareto_prune(cands, cfg);
+  for (const Cand& c : cands) {
+    Solution s;
+    s.req_time = c.req_time;
+    s.load = c.load;
+    s.area = c.area;
+    s.wirelen = c.wirelen;
+    s.node = make_merge_node(at, c.l->node, c.r->node);
+    dst.push(std::move(s));
+  }
+}
+
+void push_extended_options(std::span<const SolutionCurve* const> srcs,
+                           std::span<const Point> src_pts, Point to,
+                           const WireModel& wire, const PruneConfig& cfg,
+                           SolutionCurve& dst, std::span<const double> widths) {
+  static constexpr double kDefaultWidth[] = {1.0};
+  if (widths.empty()) widths = kDefaultWidth;
+  struct Cand {
+    double req_time, load, area, wirelen, width;
+    const Solution* src;
+    bool zero_len;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    if (srcs[i] == nullptr) continue;
+    const double len = static_cast<double>(manhattan(src_pts[i], to));
+    if (len == 0.0) {
+      for (const Solution& s : *srcs[i])
+        cands.push_back(Cand{s.req_time, s.load, s.area, s.wirelen, 1.0, &s, true});
+      continue;
+    }
+    for (const double width : widths) {
+      const WireModel w = scaled_width(wire, width);
+      for (const Solution& s : *srcs[i]) {
+        cands.push_back(Cand{s.req_time - w.elmore_delay(len, s.load),
+                             s.load + w.wire_cap(len), s.area,
+                             s.wirelen + len, width, &s, false});
+      }
+    }
+  }
+  pareto_prune(cands, cfg);
+  for (const Cand& c : cands) {
+    Solution s;
+    s.req_time = c.req_time;
+    s.load = c.load;
+    s.area = c.area;
+    s.wirelen = c.wirelen;
+    s.node = c.zero_len ? c.src->node : make_wire_node(to, c.src->node, c.width);
+    dst.push(std::move(s));
+  }
+}
+
+}  // namespace merlin

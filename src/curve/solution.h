@@ -1,0 +1,90 @@
+#pragma once
+// Solutions and their provenance.
+//
+// Every dynamic program in this library (PTREE, LTTREE, van Ginneken,
+// *PTREE / BUBBLE_CONSTRUCT) summarizes a partially built buffered routing
+// structure by the triple the paper propagates in its three-dimensional
+// solution curves (Figure 8):
+//
+//   required time  — at the structure's root, before any upstream wire
+//   load           — capacitance seen by whoever drives the root
+//   area           — total buffer area inside the structure
+//
+// Under the Elmore delay model this summary is *exact*: the delay added by
+// any upstream wire or driver depends on the subtree only through its root
+// load, which is what makes the principle of dynamic programming [Be57]
+// valid here (section I of the paper).
+//
+// Each solution additionally carries a provenance node so the winning
+// structure can be rebuilt by "following the pointers stored during the
+// generation of the solution curves" (Figure 9, line 22).
+
+#include <cstdint>
+#include <memory>
+
+#include "geom/point.h"
+
+namespace merlin {
+
+/// How a solution's structure was produced (extraction replays these).
+enum class StepKind : std::uint8_t {
+  kSink,    ///< root `at` connects by a direct wire to sink `idx`
+  kWire,    ///< root `at` connects by a wire to child structure `a` (at a->at)
+  kMerge,   ///< two structures `a`,`b` rooted at the same point `at`
+  kBuffer,  ///< buffer `idx` at `at` drives structure `a` (rooted at `at`)
+};
+
+struct SolNode;
+using SolNodePtr = std::shared_ptr<const SolNode>;
+
+/// Immutable provenance node.  Nodes form a DAG: pruning drops references
+/// and shared sub-structures (the paper's Lemma 7 sharing) stay alive only
+/// while some surviving solution still points at them.
+struct SolNode {
+  StepKind kind;
+  std::int32_t idx;  ///< sink index (kSink) or library buffer index (kBuffer)
+  Point at;          ///< root location of this structure
+  double wire_width; ///< width multiplier of the wire this step lays down
+                     ///< (kSink / kWire only; 1.0 = default width)
+  SolNodePtr a;      ///< first child structure (unused for kSink)
+  SolNodePtr b;      ///< second child structure (kMerge only)
+};
+
+inline SolNodePtr make_sink_node(Point at, std::int32_t sink_idx,
+                                 double wire_width = 1.0) {
+  return std::make_shared<SolNode>(
+      SolNode{StepKind::kSink, sink_idx, at, wire_width, nullptr, nullptr});
+}
+inline SolNodePtr make_wire_node(Point at, SolNodePtr child,
+                                 double wire_width = 1.0) {
+  return std::make_shared<SolNode>(
+      SolNode{StepKind::kWire, -1, at, wire_width, std::move(child), nullptr});
+}
+inline SolNodePtr make_merge_node(Point at, SolNodePtr l, SolNodePtr r) {
+  return std::make_shared<SolNode>(
+      SolNode{StepKind::kMerge, -1, at, 1.0, std::move(l), std::move(r)});
+}
+inline SolNodePtr make_buffer_node(Point at, std::int32_t buf_idx, SolNodePtr child) {
+  return std::make_shared<SolNode>(
+      SolNode{StepKind::kBuffer, buf_idx, at, 1.0, std::move(child), nullptr});
+}
+
+/// One point of a three-dimensional solution curve.
+struct Solution {
+  double req_time = 0.0;  ///< ps at the root (larger is better)
+  double load = 0.0;      ///< fF at the root (smaller is better)
+  double area = 0.0;      ///< total buffer area (smaller is better)
+  double wirelen = 0.0;   ///< total wirelength in um (tie-breaker only)
+  SolNodePtr node;        ///< provenance for extraction
+
+  /// Dominance test per Definition 6 of the paper: `*this` is inferior to
+  /// (dominated by) `o` iff o is no worse in all three curve dimensions.
+  /// Wirelength is not part of the dominance relation (it is not one of the
+  /// paper's curve dimensions); it only breaks exact ties during pruning.
+  [[nodiscard]] bool dominated_by(const Solution& o, double eps = 1e-9) const {
+    return o.load <= load + eps && o.area <= area + eps &&
+           o.req_time >= req_time - eps;
+  }
+};
+
+}  // namespace merlin

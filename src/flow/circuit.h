@@ -1,0 +1,91 @@
+#pragma once
+// Synthetic mapped-circuit substrate + static timing analysis.
+//
+// Table 2 of the paper evaluates the three flows inside a full design flow:
+// mapped benchmark circuits, placement, per-net buffered routing generation,
+// detailed routing, then post-layout timing.  SIS, the industrial library
+// and the benchmark netlists are not available, so this module synthesizes
+// the equivalent (DESIGN.md documents the substitution):
+//
+//   * a random mapped DAG of library cells with a random legal placement,
+//   * a backward required-time pass that gives every net's sinks the pin
+//     required times a mapped netlist would provide,
+//   * per-net construction by any of the three flows,
+//   * a forward arrival-time STA over the realized buffered routing trees,
+//     yielding the circuit-level delay/area that Table 2 reports.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "buflib/library.h"
+#include "flow/flows.h"
+#include "net/net.h"
+
+namespace merlin {
+
+/// One mapped gate.  Cell timing/area are borrowed from a library buffer
+/// (representative of similarly sized combinational cells).
+struct Gate {
+  std::string name;
+  std::size_t cell = 0;  ///< index into the library
+  Point pos;
+  std::vector<std::uint32_t> fanins;  ///< driving gate ids (empty = primary input)
+  bool is_primary_output = false;
+};
+
+/// A synthetic mapped circuit: gates in topological order (fanins always
+/// precede their consumers).
+struct Circuit {
+  std::string name;
+  std::vector<Gate> gates;
+  WireModel wire;
+  std::int32_t die_side = 0;
+
+  /// Total cell area (excluding routing buffers).
+  [[nodiscard]] double gate_area(const BufferLibrary& lib) const;
+};
+
+/// Parameters of the synthetic circuit generator.
+struct CircuitSpec {
+  std::string name = "ckt";
+  std::size_t n_gates = 100;
+  std::size_t n_primary_inputs = 8;
+  double avg_fanout = 3.0;
+  std::size_t max_fanout = 9;
+  std::uint64_t seed = 1;
+  std::int32_t die_side = 0;  ///< 0 = auto from gate count
+};
+
+/// Generates a deterministic random mapped circuit.
+Circuit make_random_circuit(const CircuitSpec& spec, const BufferLibrary& lib);
+
+/// Circuit-level result of running one flow on every net.
+struct CircuitFlowResult {
+  double area = 0.0;        ///< gate area + inserted buffer area
+  double delay_ps = 0.0;    ///< critical path arrival at the worst output
+  double runtime_ms = 0.0;  ///< total buffered-routing construction time
+  std::size_t nets_routed = 0;
+  std::size_t buffers_inserted = 0;
+};
+
+/// A per-net constructor: given a net (driver, sinks with positions, loads
+/// and required times), produce a buffered routing tree for it.
+using NetFlow = std::function<FlowResult(const Net&, const BufferLibrary&)>;
+
+/// Runs `flow` on every multi-sink net of the circuit and evaluates the
+/// whole circuit: backward required times from a common clock target, per-net
+/// construction, forward STA over realized trees.
+///
+/// `req_compression` scales the spread of the estimated pin required times
+/// handed to the per-net optimizer (1 = use the raw backward-STA estimates,
+/// 0 = treat every sink as equally critical).  Pre-layout estimates are
+/// stale by construction — an optimizer that aggressively sacrifices
+/// "non-critical" sinks can be burned when the realized delays shift the
+/// critical path — so production flows compress them; see bench_table2.
+CircuitFlowResult run_circuit_flow(const Circuit& ckt, const BufferLibrary& lib,
+                                   const NetFlow& flow,
+                                   double req_compression = 1.0);
+
+}  // namespace merlin

@@ -1,0 +1,62 @@
+#pragma once
+// The three experimental setups of the paper's evaluation (section IV):
+//
+//   Flow I   : LTTREE fanout optimization (required-time order) followed by
+//              PTREE routing of every fanout group (TSP order), buffers
+//              placed at subtree centroids — the conventional
+//              logic-then-layout sequence.
+//   Flow II  : PTREE routing of the whole net (TSP order) followed by van
+//              Ginneken buffer insertion on the fixed tree.
+//   Flow III : MERLIN — unified hierarchical buffered routing generation
+//              with local neighborhood search.
+//
+// All three produce a concrete RoutingTree over the same net and are scored
+// by the same independent evaluator, which is exactly how Tables 1 and 2
+// compare them.
+
+#include <cstddef>
+
+#include "buflib/library.h"
+#include "core/merlin.h"
+#include "net/net.h"
+#include "ptree/ptree.h"
+#include "tree/evaluate.h"
+#include "tree/routing_tree.h"
+#include "vangin/vangin.h"
+
+namespace merlin {
+
+/// Shared tuning for the flows.  The candidate budget is common so the
+/// comparison stays fair; per-engine pruning knobs are separate.
+struct FlowConfig {
+  CandidateOptions candidates{};
+  PruneConfig engine_prune{0.0, 0.0, 8};  ///< PTREE / LTTREE / van Ginneken
+  MerlinConfig merlin{};                  ///< flow III (bubble.candidates is
+                                          ///< overwritten with `candidates`)
+};
+
+/// One flow's outcome on one net.
+struct FlowResult {
+  RoutingTree tree;
+  EvalResult eval;
+  double runtime_ms = 0.0;
+  std::size_t merlin_loops = 0;  ///< flow III only: Table 1 "Loops" column
+};
+
+/// Flow I: LTTREE + per-group PTREE.
+FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
+                     const FlowConfig& cfg = {});
+
+/// Flow II: PTREE + van Ginneken buffer insertion.
+FlowResult run_flow2(const Net& net, const BufferLibrary& lib,
+                     const FlowConfig& cfg = {});
+
+/// Flow III: MERLIN.
+FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
+                     const FlowConfig& cfg = {});
+
+/// A FlowConfig with budgets scaled to the net size so that the Table-1
+/// style experiments finish in laptop time even for the 73-sink net.
+FlowConfig scaled_flow_config(std::size_t n_sinks);
+
+}  // namespace merlin

@@ -1,0 +1,51 @@
+#include "flow/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace merlin {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::begin_row() { rows_.emplace_back(); }
+
+void TextTable::cell(const std::string& s) { rows_.back().push_back(s); }
+void TextTable::cell(double v, int precision) { rows_.back().push_back(fmt(v, precision)); }
+void TextTable::cell(std::size_t v) { rows_.back().push_back(std::to_string(v)); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(width[c]));
+      os << rows_[r][c];
+    }
+    os << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace merlin

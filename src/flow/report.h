@@ -1,0 +1,31 @@
+#pragma once
+// Fixed-width console tables, used by the benchmark harness to print the
+// same rows Tables 1 and 2 of the paper report.
+
+#include <string>
+#include <vector>
+
+namespace merlin {
+
+/// A trivially simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; follow with `cell` calls.
+  void begin_row();
+  void cell(const std::string& s);
+  void cell(double v, int precision = 2);
+  void cell(std::size_t v);
+
+  /// Renders the table with a header rule.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace merlin

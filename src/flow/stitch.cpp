@@ -1,0 +1,55 @@
+#include "flow/stitch.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace merlin {
+
+namespace {
+
+SolNodePtr rewrite(const SolNodePtr& nd,
+                   const std::vector<SinkSubstitution>& subs,
+                   std::unordered_map<const SolNode*, SolNodePtr>& memo) {
+  if (nd == nullptr) return nullptr;
+  if (auto it = memo.find(nd.get()); it != memo.end()) return it->second;
+
+  SolNodePtr out;
+  switch (nd->kind) {
+    case StepKind::kSink: {
+      const auto i = static_cast<std::size_t>(nd->idx);
+      if (i >= subs.size())
+        throw std::invalid_argument("rewrite_provenance: sink index out of range");
+      const SinkSubstitution& sub = subs[i];
+      if (sub.subtree == nullptr) {
+        out = make_sink_node(nd->at, sub.new_idx);
+      } else if (nd->at == sub.subtree_root) {
+        out = sub.subtree;
+      } else {
+        out = make_wire_node(nd->at, sub.subtree);
+      }
+      break;
+    }
+    case StepKind::kWire:
+      out = make_wire_node(nd->at, rewrite(nd->a, subs, memo));
+      break;
+    case StepKind::kMerge:
+      out = make_merge_node(nd->at, rewrite(nd->a, subs, memo),
+                            rewrite(nd->b, subs, memo));
+      break;
+    case StepKind::kBuffer:
+      out = make_buffer_node(nd->at, nd->idx, rewrite(nd->a, subs, memo));
+      break;
+  }
+  memo.emplace(nd.get(), out);
+  return out;
+}
+
+}  // namespace
+
+SolNodePtr rewrite_provenance(const SolNodePtr& root,
+                              const std::vector<SinkSubstitution>& subs) {
+  std::unordered_map<const SolNode*, SolNodePtr> memo;
+  return rewrite(root, subs, memo);
+}
+
+}  // namespace merlin

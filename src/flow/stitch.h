@@ -1,0 +1,33 @@
+#pragma once
+// Provenance rewriting: grafting separately routed sub-structures together.
+//
+// Flow I routes each fanout group of the LT-Tree as its own small net whose
+// "sinks" are partly real sinks and partly the buffers of child groups.  To
+// evaluate the assembled structure against the *original* net, the local
+// provenance must be rewritten: local sink indices remapped to original
+// ones, and pseudo-sinks replaced by the child group's (buffered) subtree.
+
+#include <vector>
+
+#include "curve/solution.h"
+
+namespace merlin {
+
+/// What a local sink index should become after rewriting.
+struct SinkSubstitution {
+  /// New sink index (used when `subtree` is null).
+  std::int32_t new_idx = -1;
+  /// When non-null, the local sink is replaced by this structure (rooted at
+  /// `subtree_root`); a wire node is interposed if the consuming kSink node
+  /// sat at a different point.
+  SolNodePtr subtree;
+  Point subtree_root{};
+};
+
+/// Rewrites a provenance DAG: every kSink node with local index i becomes
+/// either a kSink with subs[i].new_idx or the grafted subs[i].subtree.
+/// Shared sub-DAGs are rewritten once (memoized).
+SolNodePtr rewrite_provenance(const SolNodePtr& root,
+                              const std::vector<SinkSubstitution>& subs);
+
+}  // namespace merlin

@@ -1,0 +1,55 @@
+#pragma once
+// Axis-aligned bounding boxes over routing-grid points.
+
+#include <limits>
+#include <span>
+
+#include "geom/point.h"
+
+namespace merlin {
+
+/// Axis-aligned bounding box.  Empty until the first `expand`.
+struct BBox {
+  std::int32_t xmin = std::numeric_limits<std::int32_t>::max();
+  std::int32_t ymin = std::numeric_limits<std::int32_t>::max();
+  std::int32_t xmax = std::numeric_limits<std::int32_t>::min();
+  std::int32_t ymax = std::numeric_limits<std::int32_t>::min();
+
+  [[nodiscard]] constexpr bool empty() const { return xmin > xmax || ymin > ymax; }
+
+  constexpr void expand(Point p) {
+    xmin = std::min(xmin, p.x);
+    ymin = std::min(ymin, p.y);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return !empty() && p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+
+  /// Width along x; zero for an empty box.
+  [[nodiscard]] constexpr std::int64_t width() const {
+    return empty() ? 0 : std::int64_t{xmax} - xmin;
+  }
+  /// Height along y; zero for an empty box.
+  [[nodiscard]] constexpr std::int64_t height() const {
+    return empty() ? 0 : std::int64_t{ymax} - ymin;
+  }
+  /// Half-perimeter, the classic net-length lower bound.
+  [[nodiscard]] constexpr std::int64_t half_perimeter() const { return width() + height(); }
+
+  [[nodiscard]] constexpr Point center() const {
+    return Point{static_cast<std::int32_t>((std::int64_t{xmin} + xmax) / 2),
+                 static_cast<std::int32_t>((std::int64_t{ymin} + ymax) / 2)};
+  }
+};
+
+/// Bounding box of a point set.
+inline BBox bounding_box(std::span<const Point> pts) {
+  BBox b;
+  for (Point p : pts) b.expand(p);
+  return b;
+}
+
+}  // namespace merlin

@@ -1,0 +1,137 @@
+#include "geom/hanan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "geom/bbox.h"
+
+namespace merlin {
+
+std::vector<Point> hanan_grid(std::span<const Point> terminals) {
+  std::vector<std::int32_t> xs, ys;
+  xs.reserve(terminals.size());
+  ys.reserve(terminals.size());
+  for (Point p : terminals) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Point> grid;
+  grid.reserve(xs.size() * ys.size());
+  for (std::int32_t x : xs)
+    for (std::int32_t y : ys) grid.push_back(Point{x, y});
+  return grid;
+}
+
+namespace {
+
+// Deterministic farthest-point selection: starting from `seeds`, repeatedly
+// add the pool point with the largest Manhattan distance to the already
+// selected set.  This spreads candidates evenly over the net's extent
+// without any randomness, which keeps every experiment reproducible.
+std::vector<Point> farthest_point_subset(std::vector<Point> seeds,
+                                         std::span<const Point> pool,
+                                         std::size_t want_total) {
+  std::vector<std::int64_t> dist(pool.size(),
+                                 std::numeric_limits<std::int64_t>::max());
+  auto relax = [&](Point sel) {
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      dist[i] = std::min(dist[i], manhattan(pool[i], sel));
+  };
+  for (Point s : seeds) relax(s);
+
+  while (seeds.size() < want_total) {
+    std::size_t best = pool.size();
+    std::int64_t best_d = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (dist[i] > best_d) {
+        best_d = dist[i];
+        best = i;
+      }
+    }
+    if (best == pool.size() || best_d == 0) break;  // pool exhausted
+    seeds.push_back(pool[best]);
+    relax(pool[best]);
+  }
+  return seeds;
+}
+
+// Recursive spatial bisection centroids: the center of mass of the whole
+// terminal set, then of each half when split along the longer box side, and
+// so on until the budget is reached.  Mirrors the paper's "center of masses
+// of some subsets of sinks" candidate policy.
+void centroid_recurse(std::vector<Point> pts, std::size_t budget,
+                      std::vector<Point>& out) {
+  if (pts.empty() || budget == 0) return;
+  std::int64_t sx = 0, sy = 0;
+  for (Point p : pts) {
+    sx += p.x;
+    sy += p.y;
+  }
+  const auto n = static_cast<std::int64_t>(pts.size());
+  out.push_back(Point{static_cast<std::int32_t>(sx / n),
+                      static_cast<std::int32_t>(sy / n)});
+  if (pts.size() < 2 || budget == 1) return;
+
+  const BBox box = bounding_box(pts);
+  const bool split_x = box.width() >= box.height();
+  std::sort(pts.begin(), pts.end(), [&](Point a, Point b) {
+    return split_x ? a.x < b.x : a.y < b.y;
+  });
+  const std::size_t half = pts.size() / 2;
+  std::vector<Point> lo(pts.begin(), pts.begin() + half);
+  std::vector<Point> hi(pts.begin() + half, pts.end());
+  const std::size_t sub = (budget - 1) / 2;
+  centroid_recurse(std::move(lo), sub, out);
+  centroid_recurse(std::move(hi), budget - 1 - sub, out);
+}
+
+std::vector<Point> dedup(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+}  // namespace
+
+std::vector<Point> candidate_locations(std::span<const Point> terminals,
+                                       const CandidateOptions& opts) {
+  std::vector<Point> base(terminals.begin(), terminals.end());
+  base = dedup(std::move(base));
+
+  std::size_t budget = static_cast<std::size_t>(
+      opts.budget_factor * static_cast<double>(terminals.size()));
+  budget = std::max(budget, base.size());
+  if (opts.max_candidates > 0) budget = std::min(budget, std::max(opts.max_candidates, base.size()));
+
+  switch (opts.policy) {
+    case CandidatePolicy::kFullHanan: {
+      std::vector<Point> grid = hanan_grid(terminals);
+      if (opts.max_candidates > 0 && grid.size() > opts.max_candidates) {
+        // Degrade gracefully: spread a budgeted subset over the grid.
+        return dedup(farthest_point_subset(std::move(base), grid,
+                                           std::max(opts.max_candidates, base.size())));
+      }
+      return grid;  // already sorted/deduped, contains the terminals
+    }
+    case CandidatePolicy::kReducedHanan: {
+      const std::vector<Point> grid = hanan_grid(terminals);
+      return dedup(farthest_point_subset(std::move(base), grid, budget));
+    }
+    case CandidatePolicy::kCentroids: {
+      std::vector<Point> cents;
+      if (budget > base.size())
+        centroid_recurse(base, budget - base.size(), cents);
+      base.insert(base.end(), cents.begin(), cents.end());
+      return dedup(std::move(base));
+    }
+  }
+  return base;
+}
+
+}  // namespace merlin

@@ -1,0 +1,52 @@
+#pragma once
+// Hanan grid construction [Ha66] and candidate-location generation policies.
+//
+// MERLIN needs a set P of candidate locations for buffers / Steiner points
+// (section III.1 of the paper).  The paper observes that the exact choice of
+// P barely matters as long as |P| grows linearly with the number of sinks;
+// it uses the complete Hanan grid for Table 1 and "reduced Hanan points" for
+// Table 2.  All of those policies are implemented here.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace merlin {
+
+/// The complete Hanan grid of a terminal set: every intersection of a
+/// horizontal and a vertical line through some terminal.  For n distinct
+/// terminal coordinates this is O(n^2) points.  The result is sorted and
+/// de-duplicated and always contains the terminals themselves.
+std::vector<Point> hanan_grid(std::span<const Point> terminals);
+
+/// Candidate-location selection policy (paper section III.1).
+enum class CandidatePolicy {
+  kFullHanan,      ///< all Hanan points (paper's Table 1 setup)
+  kReducedHanan,   ///< a size-budgeted subset of Hanan points (Table 2 setup)
+  kCentroids,      ///< terminals + centers of mass of sink clusters
+};
+
+/// Options for `candidate_locations`.
+struct CandidateOptions {
+  CandidatePolicy policy = CandidatePolicy::kReducedHanan;
+  /// Budget for the reduced policies, as a multiple of the terminal count.
+  /// The paper argues k linear in n ("e.g. k is a linear function of n")
+  /// loses essentially nothing.
+  double budget_factor = 2.0;
+  /// Hard cap on the number of candidates (0 = no cap).
+  std::size_t max_candidates = 0;
+};
+
+/// Produces the candidate-location set P for a net whose terminals (source
+/// followed by sinks) are given.  The source and all sinks are always
+/// included, so the returned vector is never smaller than the terminal set.
+///
+/// kReducedHanan keeps the terminals plus a deterministic, spatially spread
+/// subset of the Hanan grid (farthest-point style selection) up to the
+/// budget.  kCentroids keeps terminals plus recursive cluster centroids.
+std::vector<Point> candidate_locations(std::span<const Point> terminals,
+                                       const CandidateOptions& opts);
+
+}  // namespace merlin

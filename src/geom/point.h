@@ -1,0 +1,37 @@
+#pragma once
+// Basic rectilinear geometry used throughout MERLIN.
+//
+// Coordinates are integral and expressed in micrometers (one grid unit ==
+// 1 um of a 0.35um-era process).  All routing in this library is rectilinear,
+// so the only metric that matters is the Manhattan (L1) distance.
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+
+namespace merlin {
+
+/// A point on the integer routing grid (coordinates in micrometers).
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Manhattan (L1) distance between two grid points, in micrometers.
+/// Every wire in a rectilinear embedding of a net has exactly this length
+/// between its endpoints, regardless of which monotone staircase is chosen.
+constexpr std::int64_t manhattan(Point a, Point b) {
+  const std::int64_t dx = std::int64_t{a.x} - b.x;
+  const std::int64_t dy = std::int64_t{a.y} - b.y;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+}  // namespace merlin

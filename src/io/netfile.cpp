@@ -1,0 +1,84 @@
+#include "io/netfile.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace merlin {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("netfile: line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Net read_net(std::istream& in) {
+  Net net;
+  bool have_source = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank / comment-only line
+
+    if (tok == "net") {
+      if (!(ls >> net.name)) fail(lineno, "net: missing name");
+    } else if (tok == "wire") {
+      if (!(ls >> net.wire.res_per_um >> net.wire.cap_per_um))
+        fail(lineno, "wire: expected <res_per_um> <cap_per_um>");
+    } else if (tok == "driver") {
+      if (!(ls >> net.driver.name >> net.driver.delay.p0 >> net.driver.delay.p1 >>
+            net.driver.delay.p2 >> net.driver.delay.p3))
+        fail(lineno, "driver: expected <name> <p0> <p1> <p2> <p3>");
+    } else if (tok == "source") {
+      if (!(ls >> net.source.x >> net.source.y))
+        fail(lineno, "source: expected <x> <y>");
+      have_source = true;
+    } else if (tok == "sink") {
+      Sink s;
+      if (!(ls >> s.pos.x >> s.pos.y >> s.load >> s.req_time))
+        fail(lineno, "sink: expected <x> <y> <load_fF> <req_time_ps>");
+      if (s.load < 0.0) fail(lineno, "sink: negative load");
+      net.sinks.push_back(s);
+    } else {
+      fail(lineno, "unknown directive '" + tok + "'");
+    }
+  }
+  if (!have_source) throw std::runtime_error("netfile: missing 'source' line");
+  if (net.sinks.empty()) throw std::runtime_error("netfile: no sinks");
+  return net;
+}
+
+Net read_net_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("netfile: cannot open " + path);
+  return read_net(in);
+}
+
+void write_net(std::ostream& out, const Net& net) {
+  out.precision(17);  // loss-free double round-trip
+  out << "# merlin net file\n";
+  out << "net " << (net.name.empty() ? "unnamed" : net.name) << '\n';
+  out << "wire " << net.wire.res_per_um << ' ' << net.wire.cap_per_um << '\n';
+  out << "driver " << (net.driver.name.empty() ? "DRV" : net.driver.name) << ' '
+      << net.driver.delay.p0 << ' ' << net.driver.delay.p1 << ' '
+      << net.driver.delay.p2 << ' ' << net.driver.delay.p3 << '\n';
+  out << "source " << net.source.x << ' ' << net.source.y << '\n';
+  for (const Sink& s : net.sinks)
+    out << "sink " << s.pos.x << ' ' << s.pos.y << ' ' << s.load << ' '
+        << s.req_time << '\n';
+}
+
+void write_net_file(const std::string& path, const Net& net) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("netfile: cannot write " + path);
+  write_net(out, net);
+}
+
+}  // namespace merlin

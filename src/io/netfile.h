@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text net interchange format.
+//
+// A deliberately small, line-oriented format so nets can be checked into
+// test suites, diffed, and fed to the command-line tools:
+//
+//   # comment
+//   net <name>
+//   wire <res_per_um> <cap_per_um>
+//   driver <name> <p0> <p1> <p2> <p3>
+//   source <x> <y>
+//   sink <x> <y> <load_fF> <req_time_ps>     (one line per sink)
+//
+// Unknown directives are an error (the format is versioned by its grammar).
+
+#include <iosfwd>
+#include <string>
+
+#include "net/net.h"
+
+namespace merlin {
+
+/// Parses a net from a stream.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Net read_net(std::istream& in);
+
+/// Parses a net from a file path.
+Net read_net_file(const std::string& path);
+
+/// Writes a net in the same format (round-trips through read_net).
+void write_net(std::ostream& out, const Net& net);
+
+/// Writes a net to a file path.
+void write_net_file(const std::string& path, const Net& net);
+
+}  // namespace merlin

@@ -1,0 +1,89 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "geom/bbox.h"
+
+namespace merlin {
+
+namespace {
+
+struct Mapper {
+  double scale;
+  double ox, oy, h;
+
+  // SVG's y axis points down; flip so the layout reads naturally.
+  [[nodiscard]] double x(double wx) const { return (wx - ox) * scale + 20.0; }
+  [[nodiscard]] double y(double wy) const { return (h - (wy - oy)) * scale + 20.0; }
+};
+
+}  // namespace
+
+void write_svg(std::ostream& out, const Net& net, const RoutingTree& tree,
+               const BufferLibrary& lib, const SvgOptions& opts) {
+  BBox box = net.bbox();
+  for (const TreeNode& n : tree.nodes()) box.expand(n.at);
+  const double w = std::max<double>(1.0, static_cast<double>(box.width()));
+  const double h = std::max<double>(1.0, static_cast<double>(box.height()));
+  const double scale = (opts.canvas_px - 40.0) / std::max(w, h);
+  const Mapper m{scale, static_cast<double>(box.xmin), static_cast<double>(box.ymin), h};
+
+  const double cw = w * scale + 40.0, ch = h * scale + 40.0;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << cw << "' height='"
+      << ch << "' viewBox='0 0 " << cw << ' ' << ch << "'>\n";
+  out << "<rect width='100%' height='100%' fill='white'/>\n";
+
+  // Wires: L-shaped, horizontal first from the parent.
+  out << "<g stroke='#4477aa' stroke-width='1.5' fill='none'>\n";
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    const Point a = tree.node(tree.node(i).parent).at;
+    const Point b = tree.node(i).at;
+    if (a == b) continue;
+    out << "<polyline points='" << m.x(a.x) << ',' << m.y(a.y) << ' '
+        << m.x(b.x) << ',' << m.y(a.y) << ' ' << m.x(b.x) << ',' << m.y(b.y)
+        << "'/>\n";
+  }
+  out << "</g>\n";
+
+  // Nodes.
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const TreeNode& n = tree.node(i);
+    const double x = m.x(n.at.x), y = m.y(n.at.y);
+    switch (n.kind) {
+      case NodeKind::kSource:
+        out << "<circle cx='" << x << "' cy='" << y
+            << "' r='6' fill='#228833'/>\n";
+        break;
+      case NodeKind::kBuffer:
+        out << "<polygon points='" << x - 5 << ',' << y + 5 << ' ' << x - 5
+            << ',' << y - 5 << ' ' << x + 6 << ',' << y
+            << "' fill='#ee6677'><title>"
+            << lib[static_cast<std::size_t>(n.idx)].name << "</title></polygon>\n";
+        break;
+      case NodeKind::kSink:
+        out << "<rect x='" << x - 4 << "' y='" << y - 4
+            << "' width='8' height='8' fill='#ccbb44'/>\n";
+        if (opts.label_sinks)
+          out << "<text x='" << x + 6 << "' y='" << y - 6
+              << "' font-size='11' fill='#333'>s" << n.idx << "</text>\n";
+        break;
+      case NodeKind::kSteiner:
+        out << "<circle cx='" << x << "' cy='" << y
+            << "' r='2.5' fill='#4477aa'/>\n";
+        break;
+    }
+  }
+  out << "</svg>\n";
+}
+
+void write_svg_file(const std::string& path, const Net& net,
+                    const RoutingTree& tree, const BufferLibrary& lib,
+                    const SvgOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("svg: cannot write " + path);
+  write_svg(out, net, tree, lib, opts);
+}
+
+}  // namespace merlin

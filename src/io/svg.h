@@ -1,0 +1,33 @@
+#pragma once
+// SVG export of buffered routing trees.
+//
+// Renders the net terminals and the rectilinear tree (wires as L-shaped
+// paths, buffers as triangles, sinks as squares, the source as a circle) to
+// a self-contained SVG document — the quickest way to eyeball a structure
+// or drop one into a paper/README.
+
+#include <iosfwd>
+#include <string>
+
+#include "buflib/library.h"
+#include "net/net.h"
+#include "tree/routing_tree.h"
+
+namespace merlin {
+
+/// Rendering options.
+struct SvgOptions {
+  double canvas_px = 720.0;  ///< longest canvas edge in pixels
+  bool label_sinks = true;   ///< print s<i> next to each sink
+};
+
+/// Writes the tree as an SVG document.
+void write_svg(std::ostream& out, const Net& net, const RoutingTree& tree,
+               const BufferLibrary& lib, const SvgOptions& opts = {});
+
+/// Writes the SVG to a file path.
+void write_svg_file(const std::string& path, const Net& net,
+                    const RoutingTree& tree, const BufferLibrary& lib,
+                    const SvgOptions& opts = {});
+
+}  // namespace merlin

@@ -1,0 +1,64 @@
+#include "net/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/rng.h"
+
+namespace merlin {
+
+std::int32_t balanced_box_side(const NetSpec& spec, const BufferLibrary& lib,
+                               const WireModel& wire) {
+  const std::size_t drv =
+      std::min(spec.driver_strength, lib.empty() ? 0 : lib.size() - 1);
+  const double avg_load = 0.5 * (spec.min_load + spec.max_load);
+  const double total_load = avg_load * static_cast<double>(spec.n_sinks);
+  const double gate_delay =
+      lib.empty() ? 300.0 : lib[drv].delay.at_nominal(total_load);
+
+  // Solve 0.5*r*c*L^2 + r*L*avg_load = gate_delay for L (ps; RC in ohm*fF
+  // needs the 1e-3 conversion).  Quadratic in L with positive root.
+  const double a = 0.5 * wire.res_per_um * wire.cap_per_um * kOhmFemtoFaradToPs;
+  const double b = wire.res_per_um * avg_load * kOhmFemtoFaradToPs;
+  const double c = -gate_delay;
+  const double L = (-b + std::sqrt(b * b - 4.0 * a * c)) / (2.0 * a);
+  return std::max<std::int32_t>(50, static_cast<std::int32_t>(L));
+}
+
+Net make_random_net(const NetSpec& spec, const BufferLibrary& lib) {
+  Net net;
+  net.name = spec.name;
+  net.wire = WireModel{};
+
+  const std::int32_t side = spec.box_size > 0
+                                ? spec.box_size
+                                : balanced_box_side(spec, lib, net.wire);
+
+  Rng rng(spec.seed);
+  // Driver: modeled after a mid/strong library buffer; its output pin is
+  // placed on the box boundary (nets usually enter their sink region from
+  // one side).
+  const std::size_t drv =
+      std::min(spec.driver_strength, lib.empty() ? 0 : lib.size() - 1);
+  if (!lib.empty()) {
+    net.driver.name = lib[drv].name;
+    net.driver.delay = lib[drv].delay;
+    net.driver.out_slew = lib[drv].out_slew;
+  } else {
+    net.driver.delay = DelayParams{100.0, 1.0, 0.0, 0.0};
+  }
+  net.source = Point{0, static_cast<std::int32_t>(rng.uniform_int(0, side))};
+
+  net.sinks.reserve(spec.n_sinks);
+  for (std::size_t i = 0; i < spec.n_sinks; ++i) {
+    Sink s;
+    s.pos = Point{static_cast<std::int32_t>(rng.uniform_int(0, side)),
+                  static_cast<std::int32_t>(rng.uniform_int(0, side))};
+    s.load = rng.uniform(spec.min_load, spec.max_load);
+    s.req_time = spec.deadline_ps - rng.uniform(0.0, spec.req_spread_ps);
+    net.sinks.push_back(s);
+  }
+  return net;
+}
+
+}  // namespace merlin

@@ -1,0 +1,52 @@
+#pragma once
+// Synthetic net workload generator.
+//
+// The paper extracts nets from mapped benchmark circuits, then places the
+// sinks "randomly and a priori in a bounding box which is sized such that
+// the delay of interconnect is approximately equal to the delay of gate"
+// (section IV).  This generator reproduces that construction synthetically:
+// sink positions are uniform in a box auto-sized to balance wire and gate
+// delay, sink loads are drawn from the library's input-capacitance range,
+// and required times are spread over a window around a common deadline.
+
+#include <cstdint>
+#include <string>
+
+#include "buflib/library.h"
+#include "net/net.h"
+
+namespace merlin {
+
+/// Parameters of the synthetic net generator.
+struct NetSpec {
+  std::string name = "net";
+  std::size_t n_sinks = 8;
+  std::uint64_t seed = 1;
+
+  /// Side of the placement bounding box in um; 0 = auto-size so that the
+  /// interconnect delay across the box roughly equals the driver gate delay.
+  std::int32_t box_size = 0;
+
+  /// Sink load range (fF): typical mapped-gate input pins.
+  double min_load = 3.0;
+  double max_load = 24.0;
+
+  /// Sinks' required times are `deadline - U[0, req_spread)`.
+  double deadline_ps = 2000.0;
+  double req_spread_ps = 400.0;
+
+  /// Driver strength as an index into the library (clamped); the driver is
+  /// modeled with the delay equation of that buffer cell.
+  std::size_t driver_strength = 12;
+};
+
+/// Generates one deterministic synthetic net.
+Net make_random_net(const NetSpec& spec, const BufferLibrary& lib);
+
+/// Auto-sizes a bounding box side (um) so that the Elmore delay of a wire
+/// spanning the box, loaded with the average total sink load, matches the
+/// driver's gate delay into that same load (the paper's sizing rule).
+std::int32_t balanced_box_side(const NetSpec& spec, const BufferLibrary& lib,
+                               const WireModel& wire);
+
+}  // namespace merlin

@@ -1,0 +1,77 @@
+#pragma once
+// Net model: a driver (source) plus a set of sinks with known positions,
+// capacitive loads and required times — exactly the problem input of
+// section III.1 of the paper.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/point.h"
+#include "timing/delay.h"
+#include "timing/wire.h"
+
+namespace merlin {
+
+/// One sink node s_i = (x, y, load, required time).
+struct Sink {
+  Point pos;
+  double load = 0.0;      ///< input capacitance of the driven pin (fF)
+  double req_time = 0.0;  ///< required arrival time at the pin (ps)
+};
+
+/// The driving cell of the net.  Modeled exactly like a buffer (4-parameter
+/// delay equation); its output pin sits at `Net::source`.
+struct Driver {
+  std::string name = "DRV";
+  DelayParams delay;     ///< delay of the driver into the net's root load
+  DelayParams out_slew;  ///< output-slew equation (slew-aware evaluation only)
+};
+
+/// A net: one driver and n sinks.  The sink vector's indices are the sink
+/// identities used by orders, trees and solution back-pointers.
+struct Net {
+  std::string name;
+  Point source;
+  Driver driver;
+  std::vector<Sink> sinks;
+  WireModel wire;  ///< routing-layer RC parameters for this net
+
+  [[nodiscard]] std::size_t fanout() const { return sinks.size(); }
+
+  /// Positions of source followed by all sinks (the net's terminal set).
+  [[nodiscard]] std::vector<Point> terminals() const {
+    std::vector<Point> t;
+    t.reserve(sinks.size() + 1);
+    t.push_back(source);
+    for (const Sink& s : sinks) t.push_back(s.pos);
+    return t;
+  }
+
+  /// Bounding box over all terminals.
+  [[nodiscard]] BBox bbox() const {
+    auto t = terminals();
+    return bounding_box(t);
+  }
+
+  /// Largest sink required time; the reference against which net "delay" is
+  /// reported:  delay := max_req_time - (required time achieved at driver
+  /// input).  When all sinks share the same required time this reduces to
+  /// the critical source-to-sink path delay.
+  [[nodiscard]] double max_req_time() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < sinks.size(); ++i)
+      m = (i == 0) ? sinks[i].req_time : std::max(m, sinks[i].req_time);
+    return m;
+  }
+
+  /// Sum of sink loads (fF): the load the driver would see with zero wire.
+  [[nodiscard]] double total_sink_load() const {
+    double s = 0.0;
+    for (const Sink& k : sinks) s += k.load;
+    return s;
+  }
+};
+
+}  // namespace merlin

@@ -1,0 +1,43 @@
+#pragma once
+// Small deterministic PRNG (SplitMix64) used by all workload generators.
+//
+// std::mt19937 + std::uniform_* are not guaranteed bit-identical across
+// standard library implementations; experiments must be reproducible from a
+// seed alone, so we carry our own trivially portable generator.
+
+#include <cstdint>
+
+namespace merlin {
+
+/// SplitMix64: tiny, fast, well distributed, fully portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace merlin

@@ -1,0 +1,87 @@
+#include "order/order.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace merlin {
+
+Order Order::identity(std::size_t n) {
+  std::vector<std::uint32_t> seq(n);
+  for (std::size_t i = 0; i < n; ++i) seq[i] = static_cast<std::uint32_t>(i);
+  return Order(std::move(seq));
+}
+
+std::vector<std::uint32_t> Order::positions() const {
+  std::vector<std::uint32_t> pos(seq_.size());
+  for (std::uint32_t p = 0; p < seq_.size(); ++p) pos[seq_[p]] = p;
+  return pos;
+}
+
+bool Order::valid() const {
+  std::vector<bool> seen(seq_.size(), false);
+  for (std::uint32_t s : seq_) {
+    if (s >= seq_.size() || seen[s]) return false;
+    seen[s] = true;
+  }
+  return true;
+}
+
+Order Order::with_swap(std::size_t pos) const {
+  std::vector<std::uint32_t> seq = seq_;
+  std::swap(seq.at(pos), seq.at(pos + 1));
+  return Order(std::move(seq));
+}
+
+bool in_neighborhood(const Order& base, const Order& other) {
+  if (base.size() != other.size()) return false;
+  const auto pb = base.positions();
+  const auto po = other.positions();
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    const auto d = static_cast<std::int64_t>(pb[i]) - static_cast<std::int64_t>(po[i]);
+    if (d > 1 || d < -1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void enumerate_from(const Order& base, std::size_t pos, Order cur,
+                    std::vector<Order>& out) {
+  if (pos + 1 >= base.size()) {
+    out.push_back(std::move(cur));
+    return;
+  }
+  // Option 1: no swap at `pos`.
+  enumerate_from(base, pos + 1, cur, out);
+  // Option 2: swap (pos, pos+1); the next available swap is pos+2
+  // (non-overlapping, Lemma 4).
+  enumerate_from(base, pos + 2, cur.with_swap(pos), out);
+}
+
+}  // namespace
+
+std::vector<Order> enumerate_neighborhood(const Order& base) {
+  std::vector<Order> out;
+  if (base.size() == 0) return out;
+  if (base.size() == 1) return {base};
+  enumerate_from(base, 0, base, out);
+  return out;
+}
+
+std::uint64_t neighborhood_size(std::size_t n) {
+  // Number of independent sets of adjacent-swap positions = Fibonacci(n+1)
+  // in the standard F(1)=F(2)=1 indexing.  (The paper's Theorem 1 writes the
+  // closed form with exponent n+2, i.e. the same quantity under the shifted
+  // convention F(1)=0, F(2)=1; exhaustive enumeration in the tests pins the
+  // value down.)
+  if (n == 0) return 0;
+  std::uint64_t a = 1, b = 1;  // F(1), F(2)
+  for (std::size_t i = 2; i <= n; ++i) {
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  return b;  // F(n+1)
+}
+
+}  // namespace merlin

@@ -1,0 +1,59 @@
+#pragma once
+// Sink orders Π (Definition 3), adjacent swaps (Definition 5), the
+// neighborhood N(Π) (Definition 4) and its Fibonacci cardinality
+// (Theorem 1), plus exhaustive neighborhood enumeration used as a test
+// oracle for Lemmas 4-6.
+
+#include <cstdint>
+#include <vector>
+
+namespace merlin {
+
+/// An order is stored as the *sequence* of sink indices: seq[j] is the sink
+/// occupying position j (0-based).  This is Π^{-1} in the paper's notation;
+/// positions(Π) recovers Π itself (sink -> position).
+class Order {
+ public:
+  Order() = default;
+  explicit Order(std::vector<std::uint32_t> seq) : seq_(std::move(seq)) {}
+
+  /// The identity order (s_0, s_1, ..., s_{n-1}).
+  static Order identity(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return seq_.size(); }
+  [[nodiscard]] std::uint32_t operator[](std::size_t pos) const { return seq_[pos]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& sequence() const { return seq_; }
+
+  [[nodiscard]] auto begin() const { return seq_.begin(); }
+  [[nodiscard]] auto end() const { return seq_.end(); }
+
+  friend bool operator==(const Order&, const Order&) = default;
+
+  /// Π as a function: positions()[sink] = position of that sink.
+  [[nodiscard]] std::vector<std::uint32_t> positions() const;
+
+  /// True iff the sequence is a permutation of 0..n-1.
+  [[nodiscard]] bool valid() const;
+
+  /// Swap of element at positions (pos, pos+1) — Definition 5 expressed on
+  /// the sequence representation.
+  [[nodiscard]] Order with_swap(std::size_t pos) const;
+
+ private:
+  std::vector<std::uint32_t> seq_;
+};
+
+/// Definition 4: `other` is in the neighborhood of `base` iff every sink's
+/// position differs by at most one between the two orders.
+bool in_neighborhood(const Order& base, const Order& other);
+
+/// Exhaustively enumerates N(Π) by applying every set of non-overlapping
+/// adjacent swaps (Lemma 4 guarantees this covers exactly N(Π)).  Exponential
+/// output size — test/oracle use only.
+std::vector<Order> enumerate_neighborhood(const Order& base);
+
+/// Theorem 1: |N(Π)| = Fibonacci(n+2) with F(1)=F(2)=1.  Overflows uint64 at
+/// n ~ 90; callers stay far below.
+std::uint64_t neighborhood_size(std::size_t n);
+
+}  // namespace merlin

@@ -1,0 +1,74 @@
+#include "order/tsp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace merlin {
+
+Order tsp_order(const Net& net) {
+  const std::size_t n = net.fanout();
+  std::vector<std::uint32_t> seq;
+  seq.reserve(n);
+
+  // Nearest-neighbor construction from the source.
+  std::vector<bool> used(n, false);
+  Point cur = net.source;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::int64_t best_d = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const std::int64_t d = manhattan(cur, net.sinks[i].pos);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    used[best] = true;
+    seq.push_back(static_cast<std::uint32_t>(best));
+    cur = net.sinks[best].pos;
+  }
+
+  // 2-opt improvement on the open tour source -> seq[0] -> ... -> seq[n-1].
+  auto pos_of = [&](std::size_t idx) -> Point {
+    return idx == 0 ? net.source : net.sinks[seq[idx - 1]].pos;
+  };
+  bool improved = true;
+  while (improved && n >= 3) {
+    improved = false;
+    // Tour nodes are indexed 0..n (0 = source); edge i connects node i to
+    // node i+1.  Reversing seq[i..j-1] replaces edges (i-1,i) and (j-1,j).
+    for (std::size_t i = 1; i + 1 <= n && !improved; ++i) {
+      for (std::size_t j = i + 1; j <= n; ++j) {
+        const std::int64_t before =
+            manhattan(pos_of(i - 1), pos_of(i)) +
+            (j < n ? manhattan(pos_of(j), pos_of(j + 1)) : 0);
+        const std::int64_t after =
+            manhattan(pos_of(i - 1), pos_of(j)) +
+            (j < n ? manhattan(pos_of(i), pos_of(j + 1)) : 0);
+        if (after < before) {
+          std::reverse(seq.begin() + static_cast<std::ptrdiff_t>(i - 1),
+                       seq.begin() + static_cast<std::ptrdiff_t>(j));
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+  return Order(std::move(seq));
+}
+
+Order required_time_order(const Net& net) {
+  std::vector<std::uint32_t> seq(net.fanout());
+  std::iota(seq.begin(), seq.end(), 0u);
+  // Descending required time: the most relaxed sinks come first, so the
+  // LT-Tree DP (whose prefix goes deepest into the buffer chain) buries them
+  // far from the driver while critical sinks stay close to it.
+  std::stable_sort(seq.begin(), seq.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return net.sinks[a].req_time > net.sinks[b].req_time;
+  });
+  return Order(std::move(seq));
+}
+
+}  // namespace merlin

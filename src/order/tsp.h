@@ -1,0 +1,29 @@
+#pragma once
+// TSP-heuristic initial sink orders.
+//
+// Both [LCLH96] and the paper seed their DP engines with a sink order given
+// by a traveling-salesman tour over the sink locations starting at the net
+// source: geometrically close sinks end up adjacent in the order, which is
+// what a permutation-constrained routing tree wants.  We build the tour with
+// nearest-neighbor construction followed by 2-opt improvement (deterministic
+// and easily good enough for the n <= 100 nets involved), and also provide
+// a required-time order used by the LTTREE flow.
+
+#include <span>
+
+#include "net/net.h"
+#include "order/order.h"
+
+namespace merlin {
+
+/// Nearest-neighbor + 2-opt tour over the sinks, starting from the source.
+/// Returns the order in which the tour visits the sinks.
+Order tsp_order(const Net& net);
+
+/// Sinks sorted by descending required time (least critical / most relaxed
+/// first), the order [To90]'s LT-Tree DP expects: its order prefix goes
+/// deepest into the buffer chain, so relaxed sinks absorb the chain delay
+/// while critical sinks stay adjacent to the driver.
+Order required_time_order(const Net& net);
+
+}  // namespace merlin

@@ -1,0 +1,49 @@
+#pragma once
+// PTREE: permutation-constrained rectilinear routing-tree DP [LCLH96].
+//
+// Given a fixed sink order, PTREE finds non-inferior embeddings of the net
+// into a set of candidate points (classically the Hanan grid) by dynamic
+// programming over contiguous order ranges:
+//
+//   S(p, i, j) = routing structures rooted at candidate p connecting sinks
+//                order[i..j], built by either merging two sub-ranges at p or
+//                extending a structure rooted at another candidate by a wire.
+//
+// This is the second phase of the paper's Flow I and the routing phase of
+// Flow II; it contains no buffers (curve area stays 0; the non-inferior set
+// is effectively the classic load/required-time frontier).
+
+#include <cstddef>
+
+#include "curve/curve.h"
+#include "geom/hanan.h"
+#include "net/net.h"
+#include "order/order.h"
+#include "tree/routing_tree.h"
+
+namespace merlin {
+
+/// Tuning knobs for the PTREE DP.
+struct PTreeConfig {
+  CandidateOptions candidates{};       ///< how to build the candidate set P
+  PruneConfig prune{0.0, 0.0, 16};     ///< per-state curve pruning (bounded)
+  /// Wire width multipliers to consider per wire ([LCLH96]'s simultaneous
+  /// wire sizing).  Empty = default 1x width only.
+  std::vector<double> wire_widths{};
+};
+
+/// Outcome of a PTREE run.
+struct PTreeResult {
+  RoutingTree tree;         ///< best-required-time embedding
+  SolutionCurve root_curve; ///< full non-inferior curve at the source
+  Solution chosen;          ///< the solution `tree` was built from
+};
+
+/// Runs the PTREE DP for `net` with the given sink order.  The chosen
+/// solution maximizes the required time at the driver *input* (i.e. after
+/// subtracting the driver's own delay into the root load).
+/// Precondition: order is a permutation of the net's sinks; net has >= 1 sink.
+PTreeResult ptree_route(const Net& net, const Order& order,
+                        const PTreeConfig& cfg = {});
+
+}  // namespace merlin

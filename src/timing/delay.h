@@ -1,0 +1,52 @@
+#pragma once
+// Gate/buffer delay: the 4-parameter delay equation of [LSP98].
+//
+// The paper computes gate delays with a 4-parameter equation and wire delays
+// with the Elmore formula.  We model a driving cell's pin-to-pin delay as
+//
+//     d(C, S) = p0 + p1*C + p2*S + p3*S*C
+//
+// where C is the capacitive load (fF) and S the input slew (ps).  The
+// companion output-slew equation has the same shape.  The dynamic programs
+// run at a fixed nominal slew (slews are not part of the DP state in the
+// paper either); at a fixed S the model collapses to the familiar
+// intrinsic-delay + drive-resistance form
+//
+//     d(C) = (p0 + p2*S0) + (p1 + p3*S0) * C  =  d_int + R_dr * C.
+
+#include <cmath>
+
+namespace merlin {
+
+/// Nominal input slew (ps) at which the DP engines evaluate cell delays.
+inline constexpr double kNominalSlewPs = 80.0;
+
+/// Coefficients of the 4-parameter delay (or output-slew) equation.
+struct DelayParams {
+  double p0 = 0.0;  ///< intrinsic term (ps)
+  double p1 = 0.0;  ///< load term (ps per fF == kohm in natural units)
+  double p2 = 0.0;  ///< input-slew term (dimensionless)
+  double p3 = 0.0;  ///< joint slew*load term (1 per fF)
+
+  /// Full 4-parameter evaluation.
+  [[nodiscard]] constexpr double eval(double load_fF, double slew_ps) const {
+    return p0 + p1 * load_fF + slew_ps * (p2 + p3 * load_fF);
+  }
+
+  /// Evaluation at the nominal slew used by the optimization engines.
+  [[nodiscard]] constexpr double at_nominal(double load_fF) const {
+    return eval(load_fF, kNominalSlewPs);
+  }
+
+  /// Effective intrinsic delay at nominal slew (ps).
+  [[nodiscard]] constexpr double intrinsic() const {
+    return p0 + p2 * kNominalSlewPs;
+  }
+
+  /// Effective drive resistance at nominal slew (ps/fF; numerically kohm).
+  [[nodiscard]] constexpr double drive_res() const {
+    return p1 + p3 * kNominalSlewPs;
+  }
+};
+
+}  // namespace merlin

@@ -1,0 +1,189 @@
+#include "tree/evaluate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace merlin {
+
+namespace {
+
+// Exported electrical view of a subtree at its root node's input: the load a
+// parent wire sees and the required time at that point.
+struct NodeView {
+  double load = 0.0;
+  double req = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+EvalResult evaluate_tree(const Net& net, const RoutingTree& tree,
+                         const BufferLibrary& lib) {
+  if (tree.empty()) throw std::invalid_argument("evaluate_tree: empty tree");
+  const auto& nodes = tree.nodes();
+  std::vector<NodeView> view(nodes.size());
+
+  // Parents always precede children in the node array, so a reverse sweep is
+  // a post-order (children-first) evaluation.
+  for (std::size_t ri = nodes.size(); ri-- > 0;) {
+    const TreeNode& n = nodes[ri];
+    NodeView agg;  // aggregate of all child branches at this node's output
+    agg.load = 0.0;
+    for (std::uint32_t c : n.children) {
+      const double len = static_cast<double>(manhattan(n.at, nodes[c].at));
+      const WireModel w = scaled_width(net.wire, nodes[c].wire_width);
+      agg.load += w.wire_cap(len) + view[c].load;
+      agg.req = std::min(agg.req, view[c].req - w.elmore_delay(len, view[c].load));
+    }
+    switch (n.kind) {
+      case NodeKind::kSink: {
+        const Sink& s = net.sinks[static_cast<std::size_t>(n.idx)];
+        view[ri] = NodeView{s.load, s.req_time};
+        break;
+      }
+      case NodeKind::kBuffer: {
+        const Buffer& b = lib[static_cast<std::size_t>(n.idx)];
+        view[ri] = NodeView{b.input_cap, agg.req - b.delay_ps(agg.load)};
+        break;
+      }
+      case NodeKind::kSteiner:
+      case NodeKind::kSource:
+        view[ri] = agg;
+        break;
+    }
+  }
+
+  EvalResult r;
+  r.root_load = view[0].load;
+  r.root_req_time = view[0].req;
+  r.driver_delay = net.driver.delay.at_nominal(r.root_load);
+  r.driver_req_time = r.root_req_time - r.driver_delay;
+  r.buffer_area = tree.buffer_area(lib);
+  r.wirelength = tree.total_wirelength();
+  r.buffer_count = tree.buffer_count();
+  return r;
+}
+
+std::vector<double> sink_path_delays(const Net& net, const RoutingTree& tree,
+                                     const BufferLibrary& lib) {
+  if (tree.empty()) throw std::invalid_argument("sink_path_delays: empty tree");
+  const auto& nodes = tree.nodes();
+
+  // Bottom-up loads (identical to the slew-aware pass).
+  std::vector<double> load(nodes.size(), 0.0), fanout_load(nodes.size(), 0.0);
+  for (std::size_t ri = nodes.size(); ri-- > 0;) {
+    const TreeNode& n = nodes[ri];
+    double agg = 0.0;
+    for (std::uint32_t c : n.children) {
+      const double len = static_cast<double>(manhattan(n.at, nodes[c].at));
+      agg += scaled_width(net.wire, nodes[c].wire_width).wire_cap(len) + load[c];
+    }
+    fanout_load[ri] = agg;
+    switch (n.kind) {
+      case NodeKind::kSink:
+        load[ri] = net.sinks[static_cast<std::size_t>(n.idx)].load;
+        break;
+      case NodeKind::kBuffer:
+        load[ri] = lib[static_cast<std::size_t>(n.idx)].input_cap;
+        break;
+      default:
+        load[ri] = agg;
+        break;
+    }
+  }
+
+  // Top-down arrivals at nominal slew; launch at the driver input (t = 0).
+  std::vector<double> arrive(nodes.size(), 0.0);
+  arrive[0] = net.driver.delay.at_nominal(fanout_load[0]);
+  std::vector<double> delays(net.fanout(), 0.0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& n = nodes[i];
+    double out = arrive[i];
+    if (n.kind == NodeKind::kBuffer)
+      out += lib[static_cast<std::size_t>(n.idx)].delay_ps(fanout_load[i]);
+    if (n.kind == NodeKind::kSink) {
+      delays[static_cast<std::size_t>(n.idx)] = arrive[i];
+      continue;
+    }
+    for (std::uint32_t c : n.children) {
+      const double len = static_cast<double>(manhattan(n.at, nodes[c].at));
+      arrive[c] =
+          out + scaled_width(net.wire, nodes[c].wire_width).elmore_delay(len, load[c]);
+    }
+  }
+  return delays;
+}
+
+SlewAwareResult evaluate_tree_slew_aware(const Net& net, const RoutingTree& tree,
+                                         const BufferLibrary& lib,
+                                         double input_slew_ps) {
+  if (tree.empty()) throw std::invalid_argument("empty tree");
+  const auto& nodes = tree.nodes();
+
+  // Pass 1 (bottom-up): loads only — they do not depend on slew.
+  std::vector<double> load(nodes.size(), 0.0);  // load exported upward
+  std::vector<double> fanout_load(nodes.size(), 0.0);  // load at output side
+  for (std::size_t ri = nodes.size(); ri-- > 0;) {
+    const TreeNode& n = nodes[ri];
+    double agg = 0.0;
+    for (std::uint32_t c : n.children) {
+      const double len = static_cast<double>(manhattan(n.at, nodes[c].at));
+      agg += scaled_width(net.wire, nodes[c].wire_width).wire_cap(len) + load[c];
+    }
+    fanout_load[ri] = agg;
+    switch (n.kind) {
+      case NodeKind::kSink:
+        load[ri] = net.sinks[static_cast<std::size_t>(n.idx)].load;
+        break;
+      case NodeKind::kBuffer:
+        load[ri] = lib[static_cast<std::size_t>(n.idx)].input_cap;
+        break;
+      default:
+        load[ri] = agg;
+        break;
+    }
+  }
+
+  // Pass 2 (top-down): arrivals and slews with the full 4-parameter model.
+  // Wire slew degradation uses the PERI-style RMS rule:
+  //   slew_out = sqrt(slew_in^2 + (ln 9 * elmore)^2).
+  constexpr double kLn9 = 2.1972245773362196;
+  std::vector<double> arrive(nodes.size(), 0.0), slew(nodes.size(), 0.0);
+  arrive[0] = net.driver.delay.eval(fanout_load[0], input_slew_ps);
+  slew[0] = net.driver.out_slew.p0 > 0.0
+                ? net.driver.out_slew.eval(fanout_load[0], input_slew_ps)
+                : input_slew_ps;
+
+  SlewAwareResult r;
+  r.worst_slack = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& n = nodes[i];
+    // Buffers re-drive the signal at their output.
+    double out_arrive = arrive[i];
+    double out_slew = slew[i];
+    if (n.kind == NodeKind::kBuffer) {
+      const Buffer& b = lib[static_cast<std::size_t>(n.idx)];
+      out_arrive += b.delay.eval(fanout_load[i], slew[i]);
+      out_slew = b.out_slew.eval(fanout_load[i], slew[i]);
+    }
+    if (n.kind == NodeKind::kSink) {
+      const Sink& s = net.sinks[static_cast<std::size_t>(n.idx)];
+      r.worst_slack = std::min(r.worst_slack, s.req_time - arrive[i]);
+      r.worst_arrival = std::max(r.worst_arrival, arrive[i]);
+      r.max_sink_slew = std::max(r.max_sink_slew, slew[i]);
+      continue;
+    }
+    for (std::uint32_t c : n.children) {
+      const double len = static_cast<double>(manhattan(n.at, nodes[c].at));
+      const double d =
+          scaled_width(net.wire, nodes[c].wire_width).elmore_delay(len, load[c]);
+      arrive[c] = out_arrive + d;
+      slew[c] = std::sqrt(out_slew * out_slew + (kLn9 * d) * (kLn9 * d));
+    }
+  }
+  return r;
+}
+
+}  // namespace merlin

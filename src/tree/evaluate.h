@@ -1,0 +1,64 @@
+#pragma once
+// Independent timing/area evaluation of a concrete buffered routing tree.
+//
+// This evaluator recomputes, from the explicit tree alone, everything the DP
+// engines predicted through their solution curves: root load, root required
+// time (Elmore wires + 4-parameter buffer delays at nominal slew), buffer
+// area and wirelength.  Agreement between the two is asserted by property
+// tests — the evaluator is the library's ground truth.
+//
+// A second, slew-propagating evaluation (`evaluate_tree_slew_aware`) goes
+// beyond the paper's nominal-slew timing: it runs a top-down arrival/slew
+// pass using the full 4-parameter equations, which is how the reproduction
+// checks that nominal-slew optimization does not fall apart under a more
+// detailed delay model.
+
+#include "buflib/library.h"
+#include "net/net.h"
+#include "tree/routing_tree.h"
+
+namespace merlin {
+
+/// Results of the nominal-slew required-time evaluation.
+struct EvalResult {
+  double root_load = 0.0;      ///< fF seen by the driver
+  double root_req_time = 0.0;  ///< ps required time at the driver output pin
+  double driver_delay = 0.0;   ///< ps through the driver into root_load
+  double driver_req_time = 0.0;  ///< root_req_time - driver_delay
+  double buffer_area = 0.0;
+  double wirelength = 0.0;
+  std::size_t buffer_count = 0;
+
+  /// The "delay" the experiment tables report: the net's critical delay
+  /// including required-time offsets, max_req_time - driver_req_time.
+  /// When all sinks share one required time this is exactly the worst
+  /// driver-to-sink path delay.
+  [[nodiscard]] double table_delay(const Net& net) const {
+    return net.max_req_time() - driver_req_time;
+  }
+};
+
+/// Bottom-up Elmore + nominal-slew cell-delay evaluation.
+EvalResult evaluate_tree(const Net& net, const RoutingTree& tree,
+                         const BufferLibrary& lib);
+
+/// Per-sink path delays (ps) from the driver *input* to every sink pin
+/// (driver delay + wire/buffer delays at nominal slew).  Indexed by sink.
+/// Used by the circuit-level static timing analysis of the Table-2 flow.
+std::vector<double> sink_path_delays(const Net& net, const RoutingTree& tree,
+                                     const BufferLibrary& lib);
+
+/// Results of the slew-aware arrival-time evaluation.
+struct SlewAwareResult {
+  double worst_slack = 0.0;    ///< min over sinks of (req_time - arrival)
+  double worst_arrival = 0.0;  ///< max sink arrival time (ps), launch at t=0
+  double max_sink_slew = 0.0;  ///< ps, largest transition seen at any sink
+};
+
+/// Top-down arrival/slew propagation with the full 4-parameter equations.
+/// The driver launches at t = 0 with `input_slew_ps` at its input.
+SlewAwareResult evaluate_tree_slew_aware(const Net& net, const RoutingTree& tree,
+                                         const BufferLibrary& lib,
+                                         double input_slew_ps = kNominalSlewPs);
+
+}  // namespace merlin

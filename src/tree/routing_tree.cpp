@@ -1,0 +1,173 @@
+#include "tree/routing_tree.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace merlin {
+
+std::uint32_t RoutingTree::add_node(NodeKind kind, Point at, std::int32_t idx,
+                                    std::uint32_t parent, double wire_width) {
+  if (!nodes_.empty() && parent >= nodes_.size())
+    throw std::invalid_argument("RoutingTree::add_node: bad parent");
+  TreeNode n;
+  n.kind = kind;
+  n.at = at;
+  n.idx = idx;
+  n.wire_width = wire_width;
+  n.parent = nodes_.empty() ? 0 : parent;
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  if (id != 0) nodes_[parent].children.push_back(id);
+  return id;
+}
+
+double RoutingTree::total_wirelength() const {
+  double len = 0.0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i)
+    len += static_cast<double>(manhattan(nodes_[i].at, nodes_[nodes_[i].parent].at));
+  return len;
+}
+
+double RoutingTree::buffer_area(const BufferLibrary& lib) const {
+  double area = 0.0;
+  for (const TreeNode& n : nodes_)
+    if (n.kind == NodeKind::kBuffer) area += lib[static_cast<std::size_t>(n.idx)].area;
+  return area;
+}
+
+std::size_t RoutingTree::buffer_count() const {
+  std::size_t c = 0;
+  for (const TreeNode& n : nodes_)
+    if (n.kind == NodeKind::kBuffer) ++c;
+  return c;
+}
+
+Order RoutingTree::sink_order() const {
+  std::vector<std::uint32_t> seq;
+  std::vector<std::uint32_t> stack;
+  if (!nodes_.empty()) stack.push_back(0);
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[id];
+    if (n.kind == NodeKind::kSink) seq.push_back(static_cast<std::uint32_t>(n.idx));
+    // Push children reversed so the leftmost child is visited first.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return Order(std::move(seq));
+}
+
+std::string RoutingTree::to_string(const Net& net, const BufferLibrary& lib) const {
+  std::ostringstream os;
+  struct Frame {
+    std::uint32_t id;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[f.id];
+    for (std::size_t i = 0; i < f.depth; ++i) os << "  ";
+    switch (n.kind) {
+      case NodeKind::kSource:
+        os << "source " << net.driver.name << " @" << n.at;
+        break;
+      case NodeKind::kSteiner:
+        os << "steiner @" << n.at;
+        break;
+      case NodeKind::kBuffer:
+        os << "buffer " << lib[static_cast<std::size_t>(n.idx)].name << " @" << n.at;
+        break;
+      case NodeKind::kSink:
+        os << "sink s" << n.idx << " @" << n.at
+           << " load=" << net.sinks[static_cast<std::size_t>(n.idx)].load << "fF";
+        break;
+    }
+    if (f.id != 0)
+      os << "  (wire " << manhattan(n.at, nodes_[n.parent].at) << "um)";
+    os << '\n';
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      stack.push_back(Frame{*it, f.depth + 1});
+  }
+  return os.str();
+}
+
+namespace {
+
+void attach(const Net& net, const SolNode* nd, RoutingTree& tree,
+            std::uint32_t parent) {
+  if (nd == nullptr) throw std::invalid_argument("null provenance node");
+  switch (nd->kind) {
+    case StepKind::kSink: {
+      const auto i = static_cast<std::size_t>(nd->idx);
+      if (i >= net.sinks.size())
+        throw std::invalid_argument("provenance references bad sink index");
+      tree.add_node(NodeKind::kSink, net.sinks[i].pos, nd->idx, parent,
+                    nd->wire_width);
+      return;
+    }
+    case StepKind::kWire: {
+      // Wire from nd->at (== parent's position) down to the child's root.
+      const std::uint32_t steiner = tree.add_node(
+          NodeKind::kSteiner, nd->a->at, -1, parent, nd->wire_width);
+      attach(net, nd->a.get(), tree, steiner);
+      return;
+    }
+    case StepKind::kMerge: {
+      attach(net, nd->a.get(), tree, parent);
+      attach(net, nd->b.get(), tree, parent);
+      return;
+    }
+    case StepKind::kBuffer: {
+      const std::uint32_t buf =
+          tree.add_node(NodeKind::kBuffer, nd->at, nd->idx, parent);
+      attach(net, nd->a.get(), tree, buf);
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown provenance step kind");
+}
+
+}  // namespace
+
+RoutingTree build_routing_tree(const Net& net, const SolNodePtr& root) {
+  if (root == nullptr) throw std::invalid_argument("null provenance root");
+  if (root->at != net.source)
+    throw std::invalid_argument("provenance root is not at the net source");
+  RoutingTree tree;
+  tree.add_node(NodeKind::kSource, net.source, -1, 0);
+  attach(net, root.get(), tree, 0);
+  return tree;
+}
+
+namespace {
+
+void collect_order(const SolNode* nd, std::vector<std::uint32_t>& seq) {
+  if (nd == nullptr) return;
+  switch (nd->kind) {
+    case StepKind::kSink:
+      seq.push_back(static_cast<std::uint32_t>(nd->idx));
+      return;
+    case StepKind::kWire:
+    case StepKind::kBuffer:
+      collect_order(nd->a.get(), seq);
+      return;
+    case StepKind::kMerge:
+      collect_order(nd->a.get(), seq);
+      collect_order(nd->b.get(), seq);
+      return;
+  }
+}
+
+}  // namespace
+
+Order provenance_sink_order(const SolNodePtr& root, std::size_t n_sinks) {
+  std::vector<std::uint32_t> seq;
+  seq.reserve(n_sinks);
+  collect_order(root.get(), seq);
+  return Order(std::move(seq));
+}
+
+}  // namespace merlin

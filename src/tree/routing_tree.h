@@ -1,0 +1,87 @@
+#pragma once
+// Concrete buffered rectilinear routing trees.
+//
+// The DP engines work on abstract solution curves; once a winning solution
+// is chosen its provenance DAG is replayed into this explicit tree form.
+// The tree is what gets evaluated (tree/evaluate.h), validated against the
+// Ca_Tree structural properties (tree/validate.h), printed, and handed to
+// downstream consumers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buflib/library.h"
+#include "curve/solution.h"
+#include "geom/point.h"
+#include "net/net.h"
+#include "order/order.h"
+
+namespace merlin {
+
+/// Node role inside a buffered routing tree.
+enum class NodeKind : std::uint8_t {
+  kSource,   ///< the net driver's output pin (always node 0, the root)
+  kSteiner,  ///< a routing branch point (no cell)
+  kBuffer,   ///< an inserted buffer from the library
+  kSink,     ///< a net sink pin
+};
+
+/// One node of the tree.  The edge to the parent is an implicit rectilinear
+/// wire of length manhattan(parent.at, at).
+struct TreeNode {
+  NodeKind kind = NodeKind::kSteiner;
+  Point at;
+  std::int32_t idx = -1;  ///< sink index (kSink) or buffer index (kBuffer)
+  std::uint32_t parent = 0;
+  double wire_width = 1.0;  ///< width multiplier of the wire to the parent
+  std::vector<std::uint32_t> children;  ///< in routing order (left first)
+};
+
+/// A rooted buffered rectilinear routing tree.  Node 0 is the source.
+class RoutingTree {
+ public:
+  RoutingTree() = default;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] const TreeNode& node(std::size_t i) const { return nodes_[i]; }
+  [[nodiscard]] const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Appends a node and links it under `parent` (ignored for the root).
+  /// `wire_width` scales the wire from `parent` to the new node.
+  std::uint32_t add_node(NodeKind kind, Point at, std::int32_t idx,
+                         std::uint32_t parent, double wire_width = 1.0);
+
+  /// Total rectilinear wirelength (um).
+  [[nodiscard]] double total_wirelength() const;
+
+  /// Total area of inserted buffers, looked up in `lib`.
+  [[nodiscard]] double buffer_area(const BufferLibrary& lib) const;
+
+  /// Number of inserted buffers.
+  [[nodiscard]] std::size_t buffer_count() const;
+
+  /// Sink visit order of a depth-first traversal that respects the stored
+  /// child order.  BUBBLE_CONSTRUCT's merges attach lower-position ranges
+  /// first, so this traversal yields the (possibly perturbed) sink order of
+  /// the structure — the Π' MERLIN feeds to the next iteration.
+  [[nodiscard]] Order sink_order() const;
+
+  /// Multi-line human-readable dump (examples use this).
+  [[nodiscard]] std::string to_string(const Net& net, const BufferLibrary& lib) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+/// Replays a solution's provenance DAG into a concrete tree for `net`.
+/// `root` must be rooted at the net's source location.  Throws
+/// std::invalid_argument on malformed provenance.
+RoutingTree build_routing_tree(const Net& net, const SolNodePtr& root);
+
+/// Sink order read directly off a provenance DAG (same convention as
+/// RoutingTree::sink_order, without building the tree).
+Order provenance_sink_order(const SolNodePtr& root, std::size_t n_sinks);
+
+}  // namespace merlin

@@ -1,0 +1,84 @@
+#include "tree/validate.h"
+
+#include <algorithm>
+
+namespace merlin {
+
+namespace {
+
+// Recursively collects the abstract children (buffers and sinks reached
+// without crossing another buffer) of the subtree rooted at `id`, skipping
+// the root itself.
+void abstract_children(const RoutingTree& tree, std::uint32_t id,
+                       std::vector<std::uint32_t>& out) {
+  for (std::uint32_t c : tree.node(id).children) {
+    const TreeNode& n = tree.node(c);
+    if (n.kind == NodeKind::kBuffer || n.kind == NodeKind::kSink)
+      out.push_back(c);
+    else
+      abstract_children(tree, c, out);
+  }
+}
+
+std::size_t chain_depth_from(const RoutingTree& tree, std::uint32_t id) {
+  std::vector<std::uint32_t> kids;
+  abstract_children(tree, id, kids);
+  std::size_t best = 0;
+  for (std::uint32_t c : kids)
+    if (tree.node(c).kind == NodeKind::kBuffer)
+      best = std::max(best, 1 + chain_depth_from(tree, c));
+  return best;
+}
+
+}  // namespace
+
+TreeStructure analyze_structure(const Net& net, const RoutingTree& tree) {
+  TreeStructure s;
+  if (tree.empty()) {
+    s.issue = "empty tree";
+    return s;
+  }
+
+  // Sink coverage.
+  std::vector<int> seen(net.fanout(), 0);
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.kind == NodeKind::kSink) {
+      if (n.idx < 0 || static_cast<std::size_t>(n.idx) >= net.fanout()) {
+        s.issue = "sink index out of range";
+        return s;
+      }
+      ++seen[static_cast<std::size_t>(n.idx)];
+    }
+    if (n.kind == NodeKind::kBuffer) ++s.buffer_count;
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 1) {
+      s.issue = "sink s" + std::to_string(i) + " appears " +
+                std::to_string(seen[i]) + " times";
+      return s;
+    }
+  }
+  s.well_formed = true;
+
+  // Abstract fanouts: walk every internal node (source + buffers).
+  for (std::uint32_t id = 0; id < tree.size(); ++id) {
+    const TreeNode& n = tree.node(id);
+    if (n.kind != NodeKind::kSource && n.kind != NodeKind::kBuffer) continue;
+    std::vector<std::uint32_t> kids;
+    abstract_children(tree, id, kids);
+    std::size_t bufs = 0;
+    for (std::uint32_t c : kids)
+      if (tree.node(c).kind == NodeKind::kBuffer) ++bufs;
+    s.max_fanout = std::max(s.max_fanout, kids.size());
+    s.max_buffer_children = std::max(s.max_buffer_children, bufs);
+  }
+  s.chain_depth = chain_depth_from(tree, 0);
+  return s;
+}
+
+bool is_ca_tree(const Net& net, const RoutingTree& tree, std::size_t alpha) {
+  const TreeStructure s = analyze_structure(net, tree);
+  return s.well_formed && s.max_fanout <= alpha && s.max_buffer_children <= 1;
+}
+
+}  // namespace merlin

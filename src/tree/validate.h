@@ -1,0 +1,41 @@
+#pragma once
+// Structural validation of buffered routing trees against the paper's
+// Ca_Tree definition (Definition 2).
+//
+// The *abstract* tree of a buffered routing structure is obtained by
+// contracting Steiner/wire nodes: its vertices are the source, the buffers,
+// and the sinks; a vertex's abstract children are the buffers/sinks reached
+// without passing through another buffer.  Definition 2's properties live on
+// that abstract tree:
+//   1. every internal (buffer) node has at most one internal child,
+//   2. branching edges preserve the sink order (checked via sink_order()),
+//   3. branching factor is at most alpha.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tree/routing_tree.h"
+
+namespace merlin {
+
+/// Structural summary of a tree's abstract (buffer/sink) hierarchy.
+struct TreeStructure {
+  bool well_formed = false;        ///< every sink appears exactly once
+  std::size_t max_fanout = 0;      ///< max abstract children of any internal node
+  std::size_t max_buffer_children = 0;  ///< max *buffer* children of any internal node
+  std::size_t chain_depth = 0;     ///< longest buffer chain root -> leaf
+  std::size_t buffer_count = 0;
+  std::string issue;               ///< first problem found, empty if none
+};
+
+/// Computes the abstract structure summary.
+TreeStructure analyze_structure(const Net& net, const RoutingTree& tree);
+
+/// True iff the tree satisfies the Ca_Tree properties for branching bound
+/// `alpha`: well-formed, max_fanout <= alpha and max_buffer_children <= 1.
+/// (Holds for BUBBLE_CONSTRUCT output when unbuffered group roots are
+/// disabled; with them enabled only well-formedness is guaranteed.)
+bool is_ca_tree(const Net& net, const RoutingTree& tree, std::size_t alpha);
+
+}  // namespace merlin

@@ -1,0 +1,115 @@
+// Unit tests: geometry primitives, Hanan grids, candidate policies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/bbox.h"
+#include "geom/hanan.h"
+#include "geom/point.h"
+
+namespace merlin {
+namespace {
+
+TEST(Point, ManhattanBasics) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {1, -1}), 9);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), manhattan({0, 0}, {3, 4}));
+}
+
+TEST(Point, ManhattanTriangleInequality) {
+  const Point a{0, 0}, b{5, 7}, c{2, 9};
+  EXPECT_LE(manhattan(a, b), manhattan(a, c) + manhattan(c, b));
+}
+
+TEST(BBox, ExpandAndQueries) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.half_perimeter(), 0);
+  b.expand({2, 3});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.width(), 0);
+  b.expand({-1, 10});
+  EXPECT_EQ(b.width(), 3);
+  EXPECT_EQ(b.height(), 7);
+  EXPECT_EQ(b.half_perimeter(), 10);
+  EXPECT_TRUE(b.contains({0, 5}));
+  EXPECT_FALSE(b.contains({5, 5}));
+}
+
+TEST(Hanan, GridOfTwoPoints) {
+  const std::vector<Point> t{{0, 0}, {2, 3}};
+  const auto g = hanan_grid(t);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_TRUE(std::find(g.begin(), g.end(), Point{0, 3}) != g.end());
+  EXPECT_TRUE(std::find(g.begin(), g.end(), Point{2, 0}) != g.end());
+}
+
+TEST(Hanan, GridContainsTerminals) {
+  const std::vector<Point> t{{0, 0}, {5, 1}, {3, 9}, {5, 9}};
+  const auto g = hanan_grid(t);
+  for (Point p : t)
+    EXPECT_TRUE(std::find(g.begin(), g.end(), p) != g.end()) << p;
+  // Distinct xs = {0,3,5}, ys = {0,1,9} -> 9 grid points.
+  EXPECT_EQ(g.size(), 9u);
+}
+
+TEST(Hanan, DuplicateTerminalsCollapse) {
+  const std::vector<Point> t{{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(hanan_grid(t).size(), 1u);
+}
+
+class CandidatePolicyTest : public ::testing::TestWithParam<CandidatePolicy> {};
+
+TEST_P(CandidatePolicyTest, AlwaysContainsTerminals) {
+  const std::vector<Point> t{{0, 0}, {40, 10}, {13, 27}, {5, 33}, {29, 2}};
+  CandidateOptions opts;
+  opts.policy = GetParam();
+  opts.budget_factor = 2.0;
+  const auto cands = candidate_locations(t, opts);
+  for (Point p : t)
+    EXPECT_TRUE(std::find(cands.begin(), cands.end(), p) != cands.end())
+        << "missing terminal " << p;
+}
+
+TEST_P(CandidatePolicyTest, RespectsHardCap) {
+  std::vector<Point> t;
+  for (int i = 0; i < 12; ++i) t.push_back(Point{i * 7, (i * 13) % 40});
+  CandidateOptions opts;
+  opts.policy = GetParam();
+  opts.budget_factor = 10.0;
+  opts.max_candidates = 20;
+  const auto cands = candidate_locations(t, opts);
+  EXPECT_LE(cands.size(), std::max<std::size_t>(20, t.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CandidatePolicyTest,
+                         ::testing::Values(CandidatePolicy::kFullHanan,
+                                           CandidatePolicy::kReducedHanan,
+                                           CandidatePolicy::kCentroids));
+
+TEST(Candidates, ReducedBudgetScalesWithTerminals) {
+  std::vector<Point> t;
+  for (int i = 0; i < 10; ++i) t.push_back(Point{i * 11, (i * 29) % 50});
+  CandidateOptions opts;
+  opts.policy = CandidatePolicy::kReducedHanan;
+  opts.budget_factor = 3.0;
+  const auto cands = candidate_locations(t, opts);
+  EXPECT_GE(cands.size(), t.size());
+  EXPECT_LE(cands.size(), 3 * t.size() + 1);
+}
+
+TEST(Candidates, SortedAndUnique) {
+  const std::vector<Point> t{{0, 0}, {9, 9}, {4, 7}, {7, 4}};
+  CandidateOptions opts;
+  opts.policy = CandidatePolicy::kReducedHanan;
+  const auto cands = candidate_locations(t, opts);
+  auto sorted = cands;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(sorted.size(), cands.size());
+}
+
+}  // namespace
+}  // namespace merlin

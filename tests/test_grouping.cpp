@@ -1,0 +1,103 @@
+// Unit tests: chi grouping structures (Figures 6, 10, 13) — spans, holes,
+// member sets, and validity rules.
+
+#include <gtest/gtest.h>
+
+#include "core/grouping.h"
+
+namespace merlin {
+namespace {
+
+TEST(Stretch, Figure10) {
+  EXPECT_EQ(stretch(Chi::kChi0), 0u);
+  EXPECT_EQ(stretch(Chi::kChi1), 1u);
+  EXPECT_EQ(stretch(Chi::kChi2), 1u);
+  EXPECT_EQ(stretch(Chi::kChi3), 2u);
+}
+
+TEST(GroupSpan, Chi0IsContiguous) {
+  const GroupSpan g{3, Chi::kChi0, 5};
+  ASSERT_TRUE(g.valid(10));
+  EXPECT_EQ(g.left(), 3u);
+  EXPECT_FALSE(g.right_hole().has_value());
+  EXPECT_FALSE(g.left_hole().has_value());
+  EXPECT_EQ(g.member_positions(), (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(GroupSpan, Chi1SkipsOneInsideRightBorder) {
+  // SINK_SET case 1 (Figure 13): { s_{R-L'+1} ... s_{R-2}, s_R }.
+  const GroupSpan g{3, Chi::kChi1, 6};
+  ASSERT_TRUE(g.valid(10));
+  EXPECT_EQ(g.left(), 3u);
+  ASSERT_TRUE(g.right_hole().has_value());
+  EXPECT_EQ(*g.right_hole(), 5u);
+  EXPECT_EQ(g.member_positions(), (std::vector<std::size_t>{3, 4, 6}));
+}
+
+TEST(GroupSpan, Chi2SkipsOneInsideLeftBorder) {
+  // SINK_SET case 2: { s_{R-L'+1}, s_{R-L'+3}, ..., s_R }.
+  const GroupSpan g{3, Chi::kChi2, 6};
+  ASSERT_TRUE(g.valid(10));
+  EXPECT_EQ(g.left(), 3u);
+  ASSERT_TRUE(g.left_hole().has_value());
+  EXPECT_EQ(*g.left_hole(), 4u);
+  EXPECT_EQ(g.member_positions(), (std::vector<std::size_t>{3, 5, 6}));
+}
+
+TEST(GroupSpan, Chi3SkipsBoth) {
+  // SINK_SET case 3: both holes.
+  const GroupSpan g{2, Chi::kChi3, 5};
+  ASSERT_TRUE(g.valid(10));
+  EXPECT_EQ(g.left(), 2u);
+  EXPECT_EQ(*g.left_hole(), 3u);
+  EXPECT_EQ(*g.right_hole(), 4u);
+  EXPECT_EQ(g.member_positions(), (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(GroupSpan, SingleSinkDegenerateCases) {
+  // len 1, chi_1: span {r-1, r}, hole at r-1, member {r}.
+  const GroupSpan g1{1, Chi::kChi1, 4};
+  ASSERT_TRUE(g1.valid(10));
+  EXPECT_EQ(g1.member_positions(), (std::vector<std::size_t>{4}));
+  // len 1, chi_2: span {r-1, r}, hole at r, member {r-1}.
+  const GroupSpan g2{1, Chi::kChi2, 4};
+  ASSERT_TRUE(g2.valid(10));
+  EXPECT_EQ(g2.member_positions(), (std::vector<std::size_t>{3}));
+  // len 1, chi_3 would need two holes in one slot: invalid.
+  EXPECT_FALSE((GroupSpan{1, Chi::kChi3, 4}.valid(10)));
+}
+
+TEST(GroupSpan, ValidityBounds) {
+  EXPECT_FALSE((GroupSpan{0, Chi::kChi0, 0}.valid(5)));   // empty group
+  EXPECT_FALSE((GroupSpan{3, Chi::kChi0, 1}.valid(5)));   // span leaks left
+  EXPECT_FALSE((GroupSpan{2, Chi::kChi1, 1}.valid(5)));   // stretched leak
+  EXPECT_FALSE((GroupSpan{2, Chi::kChi0, 7}.valid(5)));   // right outside n
+  EXPECT_TRUE((GroupSpan{5, Chi::kChi0, 4}.valid(5)));    // whole order
+  EXPECT_FALSE((GroupSpan{5, Chi::kChi1, 4}.valid(5)));   // stretch > n
+}
+
+TEST(GroupSpan, MemberCountAlwaysLen) {
+  for (std::size_t len = 1; len <= 6; ++len)
+    for (Chi e : kAllChi)
+      for (std::size_t r = 0; r < 12; ++r) {
+        const GroupSpan g{len, e, r};
+        if (!g.valid(12)) continue;
+        EXPECT_EQ(g.member_positions().size(), len)
+            << "len=" << len << " e=" << static_cast<int>(e) << " r=" << r;
+      }
+}
+
+TEST(GroupSpan, ContainsPositionConsistent) {
+  for (Chi e : kAllChi) {
+    const GroupSpan g{3, e, 7};
+    if (!g.valid(12)) continue;
+    const auto mem = g.member_positions();
+    for (std::size_t pos = 0; pos < 12; ++pos) {
+      const bool in_mem = std::find(mem.begin(), mem.end(), pos) != mem.end();
+      EXPECT_EQ(g.contains_position(pos), in_mem) << pos;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,118 @@
+// Unit tests: net file format round-trip and SVG export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "buflib/library.h"
+#include "io/netfile.h"
+#include "io/svg.h"
+#include "net/generator.h"
+#include "tree/routing_tree.h"
+
+namespace merlin {
+namespace {
+
+TEST(NetFile, ParsesMinimalNet) {
+  std::istringstream in(
+      "# demo\n"
+      "net demo\n"
+      "wire 0.1 0.2\n"
+      "driver DRV 50 1 0 0\n"
+      "source 0 0\n"
+      "sink 100 200 10.5 1000\n"
+      "sink 300 50 7 900\n");
+  const Net net = read_net(in);
+  EXPECT_EQ(net.name, "demo");
+  EXPECT_DOUBLE_EQ(net.wire.res_per_um, 0.1);
+  EXPECT_EQ(net.source, (Point{0, 0}));
+  ASSERT_EQ(net.fanout(), 2u);
+  EXPECT_EQ(net.sinks[0].pos, (Point{100, 200}));
+  EXPECT_DOUBLE_EQ(net.sinks[0].load, 10.5);
+  EXPECT_DOUBLE_EQ(net.sinks[1].req_time, 900);
+  EXPECT_DOUBLE_EQ(net.driver.delay.p0, 50);
+}
+
+TEST(NetFile, RoundTripsGeneratedNet) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 9;
+  spec.seed = 17;
+  const Net a = make_random_net(spec, lib);
+  std::ostringstream out;
+  write_net(out, a);
+  std::istringstream in(out.str());
+  const Net b = read_net(in);
+  ASSERT_EQ(b.fanout(), a.fanout());
+  EXPECT_EQ(b.source, a.source);
+  for (std::size_t i = 0; i < a.fanout(); ++i) {
+    EXPECT_EQ(b.sinks[i].pos, a.sinks[i].pos);
+    EXPECT_NEAR(b.sinks[i].load, a.sinks[i].load, 1e-4);
+    EXPECT_NEAR(b.sinks[i].req_time, a.sinks[i].req_time, 1e-4);
+  }
+  EXPECT_NEAR(b.driver.delay.at_nominal(20.0), a.driver.delay.at_nominal(20.0), 1e-4);
+}
+
+TEST(NetFile, CommentsAndBlanksIgnored) {
+  std::istringstream in(
+      "\n# full line comment\n"
+      "net n   # trailing comment\n"
+      "source 1 2\n"
+      "sink 3 4 5 6 # another\n");
+  const Net net = read_net(in);
+  EXPECT_EQ(net.fanout(), 1u);
+}
+
+TEST(NetFile, ErrorsCarryLineNumbers) {
+  std::istringstream bad1("source 0 0\nsink 1 2 oops 4\n");
+  try {
+    read_net(bad1);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  std::istringstream bad2("bogus 1 2\n");
+  EXPECT_THROW(read_net(bad2), std::runtime_error);
+  std::istringstream no_source("sink 1 2 3 4\n");
+  EXPECT_THROW(read_net(no_source), std::runtime_error);
+  std::istringstream no_sinks("source 0 0\n");
+  EXPECT_THROW(read_net(no_sinks), std::runtime_error);
+}
+
+TEST(Svg, EmitsValidLookingDocument) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 4;
+  spec.seed = 3;
+  const Net net = make_random_net(spec, lib);
+  RoutingTree t;
+  const auto root = t.add_node(NodeKind::kSource, net.source, -1, 0);
+  const auto buf = t.add_node(NodeKind::kBuffer, net.sinks[0].pos, 2, root);
+  for (std::size_t i = 0; i < net.fanout(); ++i)
+    t.add_node(NodeKind::kSink, net.sinks[i].pos, static_cast<std::int32_t>(i),
+               i % 2 ? root : buf);
+  std::ostringstream out;
+  write_svg(out, net, t, lib);
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polygon"), std::string::npos);   // buffer marker
+  EXPECT_NE(svg.find("rect"), std::string::npos);      // sink marker
+  EXPECT_NE(svg.find(lib[2].name), std::string::npos); // buffer tooltip
+}
+
+TEST(Svg, HandlesDegenerateGeometry) {
+  const BufferLibrary lib = make_standard_library();
+  Net net;
+  net.source = {5, 5};
+  net.sinks.push_back(Sink{{5, 5}, 1.0, 1.0});  // zero-extent net
+  RoutingTree t;
+  t.add_node(NodeKind::kSource, net.source, -1, 0);
+  t.add_node(NodeKind::kSink, {5, 5}, 0, 0);
+  std::ostringstream out;
+  EXPECT_NO_THROW(write_svg(out, net, t, lib));
+  EXPECT_NE(out.str().find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,99 @@
+// Exhaustive oracle for the LT-Tree DP: for tiny instances, recursively
+// enumerate *every* LT-Tree type-I structure (every chain split and every
+// buffer assignment) and verify the DP's chosen driver required time is
+// exactly the optimum.  This checks both the DP recurrence and that pruning
+// (Lemma 9) loses nothing.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "buflib/library.h"
+#include "lttree/lttree.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+
+namespace merlin {
+namespace {
+
+// Best achievable (load, req) pairs for a buffered subtree over the first j
+// sinks of `order`, enumerated recursively: the subtree root is buffer b and
+// drives sinks j2..j-1 directly plus the best subtree over 0..j2-1.
+// Returns the maximum driver required time over all complete structures.
+double brute_force_best(const Net& net, const Order& order,
+                        const BufferLibrary& lib, double wl_per_pin) {
+  const std::size_t n = net.fanout();
+
+  // All (load, req) options for a subtree covering order[0..j-1].
+  // Enumerate recursively without pruning; j <= 5 keeps this tractable.
+  struct Opt {
+    double load, req;
+  };
+  std::vector<std::vector<Opt>> opts(n + 1);
+  opts[0] = {};  // no subtree
+  for (std::size_t j = 1; j <= n; ++j) {
+    for (std::size_t j2 = 0; j2 < j; ++j2) {
+      double block_load = 0.0, block_req = std::numeric_limits<double>::infinity();
+      for (std::size_t t = j2; t < j; ++t) {
+        block_load += net.sinks[order[t]].load + wl_per_pin;
+        block_req = std::min(block_req, net.sinks[order[t]].req_time);
+      }
+      auto with_child = [&](double cl, double cr) {
+        const double load = block_load + cl;
+        const double req = std::min(block_req, cr);
+        for (const Buffer& b : lib)
+          opts[j].push_back(Opt{b.input_cap, req - b.delay_ps(load)});
+      };
+      if (j2 == 0) {
+        with_child(0.0, std::numeric_limits<double>::infinity());
+      } else {
+        for (const Opt& c : opts[j2]) with_child(c.load + wl_per_pin, c.req);
+      }
+    }
+  }
+
+  // Driver level: driver drives sinks j2..n-1 plus optionally opts[j2].
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t j2 = 0; j2 <= n; ++j2) {
+    double block_load = 0.0, block_req = std::numeric_limits<double>::infinity();
+    for (std::size_t t = j2; t < n; ++t) {
+      block_load += net.sinks[order[t]].load + wl_per_pin;
+      block_req = std::min(block_req, net.sinks[order[t]].req_time);
+    }
+    auto consider = [&](double cl, double cr) {
+      const double load = block_load + cl;
+      const double req = std::min(block_req, cr);
+      best = std::max(best, req - net.driver.delay.at_nominal(load));
+    };
+    if (j2 == 0)
+      consider(0.0, std::numeric_limits<double>::infinity());
+    else
+      for (const Opt& c : opts[j2]) consider(c.load + wl_per_pin, c.req);
+  }
+  return best;
+}
+
+class LTTreeOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LTTreeOracle, DpMatchesExhaustiveEnumeration) {
+  const BufferLibrary lib = make_tiny_library(3);
+  NetSpec spec;
+  spec.n_sinks = 5;
+  spec.seed = 4000 + GetParam();
+  const Net net = make_random_net(spec, lib);
+  const Order order = required_time_order(net);
+
+  for (const double wl : {0.0, 60.0}) {
+    LTTreeConfig cfg;
+    cfg.wire_load_per_pin = wl;
+    cfg.prune.max_solutions = 0;  // exact curves
+    const LTTreeResult dp = lttree_optimize(net, order, lib, cfg);
+    const double oracle = brute_force_best(net, order, lib, wl);
+    EXPECT_NEAR(dp.driver_req_time, oracle, 1e-6) << "wl=" << wl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LTTreeOracle, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,104 @@
+// Lemma 8: BUBBLE_CONSTRUCT's operators are monotone with respect to
+// required time, load, and buffer size — i.e. every curve operation maps
+// dominating inputs to dominating outputs.  This is what makes pruning safe
+// (Lemma 9): a discarded inferior solution cannot lead to a structure that
+// beats what its dominator leads to.
+
+#include <gtest/gtest.h>
+
+#include "buflib/library.h"
+#include "curve/curve.h"
+#include "net/rng.h"
+
+namespace merlin {
+namespace {
+
+Solution sol(double rt, double load, double area) {
+  Solution s;
+  s.req_time = rt;
+  s.load = load;
+  s.area = area;
+  s.node = make_sink_node({0, 0}, 0);
+  return s;
+}
+
+// s1 dominates s2 (Def. 6 from the better side).
+bool dominates(const Solution& a, const Solution& b) { return b.dominated_by(a); }
+
+TEST(Lemma8, WireExtensionPreservesDominance) {
+  const WireModel wire{0.1, 0.2};
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Solution a = sol(rng.uniform(0, 1000), rng.uniform(1, 100), rng.uniform(0, 50));
+    // b is a degraded a.
+    const Solution b = sol(a.req_time - rng.uniform(0, 100),
+                           a.load + rng.uniform(0, 50), a.area + rng.uniform(0, 10));
+    ASSERT_TRUE(dominates(a, b));
+    const double len = rng.uniform(0, 2000);
+    SolutionCurve ca, cb;
+    ca.push(a);
+    cb.push(b);
+    const SolutionCurve ea = extend_curve(ca, {0, 0}, {static_cast<std::int32_t>(len), 0}, wire, {});
+    const SolutionCurve eb = extend_curve(cb, {0, 0}, {static_cast<std::int32_t>(len), 0}, wire, {});
+    ASSERT_EQ(ea.size(), 1u);
+    ASSERT_EQ(eb.size(), 1u);
+    EXPECT_TRUE(dominates(ea[0], eb[0]))
+        << "wire extension broke dominance at len " << len;
+  }
+}
+
+TEST(Lemma8, BufferDrivePreservesDominance) {
+  const BufferLibrary lib = make_standard_library();
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Solution a = sol(rng.uniform(0, 1000), rng.uniform(1, 300), rng.uniform(0, 50));
+    const Solution b = sol(a.req_time - rng.uniform(0, 100),
+                           a.load + rng.uniform(0, 100), a.area + rng.uniform(0, 10));
+    const std::size_t bi = static_cast<std::size_t>(rng.uniform_int(0, 33));
+    const Buffer& buf = lib[bi];
+    // Driving both with the same buffer: load becomes cin (equal), required
+    // time ordering is preserved because delay is monotone in load.
+    const double qa = a.req_time - buf.delay_ps(a.load);
+    const double qb = b.req_time - buf.delay_ps(b.load);
+    EXPECT_GE(qa, qb);
+    EXPECT_LE(a.area + buf.area, b.area + buf.area);
+  }
+}
+
+TEST(Lemma8, MergePreservesDominance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Solution a = sol(rng.uniform(0, 1000), rng.uniform(1, 100), rng.uniform(0, 50));
+    const Solution b = sol(a.req_time - rng.uniform(0, 100),
+                           a.load + rng.uniform(0, 50), a.area + rng.uniform(0, 10));
+    const Solution other =
+        sol(rng.uniform(0, 1000), rng.uniform(1, 100), rng.uniform(0, 50));
+    // merge(a, other) must dominate merge(b, other).
+    const double rt_a = std::min(a.req_time, other.req_time);
+    const double rt_b = std::min(b.req_time, other.req_time);
+    EXPECT_GE(rt_a, rt_b);
+    EXPECT_LE(a.load + other.load, b.load + other.load);
+    EXPECT_LE(a.area + other.area, b.area + other.area);
+  }
+}
+
+TEST(Lemma8, PruningNeverLosesTheDominator) {
+  // Push dominated/dominating pairs plus noise; after pruning, for every
+  // discarded point some survivor dominates it (Lemma 9 restated).
+  Rng rng(4);
+  std::vector<Solution> all;
+  for (int i = 0; i < 80; ++i)
+    all.push_back(sol(rng.uniform(0, 100), rng.uniform(1, 50), rng.uniform(0, 20)));
+  SolutionCurve c;
+  for (const Solution& s : all) c.push(s);
+  c.prune();
+  for (const Solution& s : all) {
+    bool covered = false;
+    for (const Solution& k : c)
+      if (s.dominated_by(k)) covered = true;
+    EXPECT_TRUE(covered);
+  }
+}
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,132 @@
+// Unit tests: net model, deterministic workload generator, and the paper's
+// bounding-box sizing rule (interconnect delay ~ gate delay).
+
+#include <gtest/gtest.h>
+
+#include "buflib/library.h"
+#include "net/generator.h"
+#include "net/net.h"
+#include "net/rng.h"
+
+namespace merlin {
+namespace {
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Generator, DeterministicFromSeed) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 8;
+  spec.seed = 123;
+  const Net a = make_random_net(spec, lib);
+  const Net b = make_random_net(spec, lib);
+  ASSERT_EQ(a.fanout(), b.fanout());
+  for (std::size_t i = 0; i < a.fanout(); ++i) {
+    EXPECT_EQ(a.sinks[i].pos, b.sinks[i].pos);
+    EXPECT_DOUBLE_EQ(a.sinks[i].load, b.sinks[i].load);
+    EXPECT_DOUBLE_EQ(a.sinks[i].req_time, b.sinks[i].req_time);
+  }
+  spec.seed = 124;
+  const Net c = make_random_net(spec, lib);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.fanout(); ++i)
+    any_diff = any_diff || !(a.sinks[i].pos == c.sinks[i].pos);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, RespectsSpecRanges) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 40;
+  spec.seed = 5;
+  spec.min_load = 2.0;
+  spec.max_load = 9.0;
+  spec.deadline_ps = 1500.0;
+  spec.req_spread_ps = 100.0;
+  const Net net = make_random_net(spec, lib);
+  ASSERT_EQ(net.fanout(), 40u);
+  for (const Sink& s : net.sinks) {
+    EXPECT_GE(s.load, 2.0);
+    EXPECT_LE(s.load, 9.0);
+    EXPECT_LE(s.req_time, 1500.0);
+    EXPECT_GE(s.req_time, 1400.0);
+  }
+}
+
+TEST(Generator, BalancedBoxEquatesWireAndGateDelay) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 10;
+  const WireModel wire;
+  const std::int32_t side = balanced_box_side(spec, lib, wire);
+  ASSERT_GT(side, 0);
+  // Re-evaluate the defining equation at the returned side length.
+  const double avg_load = 0.5 * (spec.min_load + spec.max_load);
+  const double wire_delay = wire.elmore_delay(side, avg_load);
+  const std::size_t drv = std::min(spec.driver_strength, lib.size() - 1);
+  const double gate_delay =
+      lib[drv].delay.at_nominal(avg_load * static_cast<double>(spec.n_sinks));
+  EXPECT_NEAR(wire_delay, gate_delay, gate_delay * 0.05);
+}
+
+TEST(Generator, ExplicitBoxSizeIsHonored) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 25;
+  spec.box_size = 300;
+  const Net net = make_random_net(spec, lib);
+  const BBox b = net.bbox();
+  EXPECT_LE(b.width(), 300);
+  EXPECT_LE(b.height(), 300);
+}
+
+TEST(NetModel, TerminalsAndAggregates) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 6;
+  spec.seed = 77;
+  const Net net = make_random_net(spec, lib);
+  const auto terms = net.terminals();
+  ASSERT_EQ(terms.size(), 7u);
+  EXPECT_EQ(terms[0], net.source);
+  double total = 0.0, maxrt = -1e30;
+  for (const Sink& s : net.sinks) {
+    total += s.load;
+    maxrt = std::max(maxrt, s.req_time);
+  }
+  EXPECT_DOUBLE_EQ(net.total_sink_load(), total);
+  EXPECT_DOUBLE_EQ(net.max_req_time(), maxrt);
+}
+
+TEST(NetModel, DriverMirrorsLibraryCell) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 3;
+  spec.driver_strength = 5;
+  const Net net = make_random_net(spec, lib);
+  EXPECT_EQ(net.driver.name, lib[5].name);
+  EXPECT_DOUBLE_EQ(net.driver.delay.at_nominal(10.0), lib[5].delay.at_nominal(10.0));
+}
+
+}  // namespace
+}  // namespace merlin

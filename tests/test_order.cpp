@@ -1,0 +1,153 @@
+// Unit + property tests: orders (Def. 3), swaps (Def. 5), the neighborhood
+// N(Pi) (Def. 4), its Fibonacci cardinality (Theorem 1), and the heuristic
+// initial orders (TSP / required time).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "buflib/library.h"
+#include "net/generator.h"
+#include "order/order.h"
+#include "order/tsp.h"
+
+namespace merlin {
+namespace {
+
+TEST(Order, IdentityAndValidity) {
+  const Order id = Order::identity(5);
+  EXPECT_EQ(id.size(), 5u);
+  EXPECT_TRUE(id.valid());
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(id[i], i);
+  EXPECT_FALSE(Order({0, 0, 1}).valid());
+  EXPECT_FALSE(Order({0, 3}).valid());
+  EXPECT_TRUE(Order({2, 0, 1}).valid());
+}
+
+TEST(Order, PositionsInverse) {
+  const Order o({3, 1, 0, 2});
+  const auto pos = o.positions();
+  for (std::size_t p = 0; p < o.size(); ++p) EXPECT_EQ(pos[o[p]], p);
+}
+
+TEST(Order, SwapDefinition5) {
+  // Example 3 of the paper (0-based): swapping adjacent positions.
+  const Order o({0, 2, 1, 3, 4, 5, 7, 6, 8});
+  const Order s = o.with_swap(3);
+  EXPECT_EQ(s, Order({0, 2, 1, 4, 3, 5, 7, 6, 8}));
+}
+
+TEST(Neighborhood, Definition4Membership) {
+  const Order base = Order::identity(9);
+  // Example 2 of the paper (0-based): two disjoint swaps.
+  EXPECT_TRUE(in_neighborhood(base, Order({0, 2, 1, 3, 4, 5, 7, 6, 8})));
+  // A 3-cycle moves one sink by two positions: not a neighbor.
+  EXPECT_FALSE(in_neighborhood(base, Order({1, 2, 0, 3, 4, 5, 6, 7, 8})));
+  EXPECT_TRUE(in_neighborhood(base, base));  // reflexive
+}
+
+TEST(Neighborhood, Symmetric) {
+  const Order a = Order::identity(6);
+  const Order b({1, 0, 2, 4, 3, 5});
+  EXPECT_TRUE(in_neighborhood(a, b));
+  EXPECT_TRUE(in_neighborhood(b, a));  // Definition 1's symmetry requirement
+}
+
+class NeighborhoodSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+// Theorem 1: enumeration count equals the closed-form Fibonacci value, and
+// every enumerated order is a distinct member of N(Pi).
+TEST_P(NeighborhoodSizeTest, EnumerationMatchesClosedForm) {
+  const std::size_t n = GetParam();
+  const Order base = Order::identity(n);
+  const auto nbrs = enumerate_neighborhood(base);
+  EXPECT_EQ(nbrs.size(), neighborhood_size(n));
+  std::set<std::vector<std::uint32_t>> uniq;
+  for (const Order& o : nbrs) {
+    EXPECT_TRUE(o.valid());
+    EXPECT_TRUE(in_neighborhood(base, o));
+    uniq.insert(o.sequence());
+  }
+  EXPECT_EQ(uniq.size(), nbrs.size());  // all distinct
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NeighborhoodSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(Neighborhood, EnumerationIsExhaustive) {
+  // Brute force over all permutations of 5 elements: exactly the orders
+  // satisfying Definition 4 are enumerated (Lemmas 4-6 ground truth).
+  const Order base = Order::identity(5);
+  std::set<std::vector<std::uint32_t>> enumerated;
+  for (const Order& o : enumerate_neighborhood(base))
+    enumerated.insert(o.sequence());
+
+  std::vector<std::uint32_t> perm{0, 1, 2, 3, 4};
+  std::size_t member_count = 0;
+  do {
+    const Order o(perm);
+    const bool member = in_neighborhood(base, o);
+    if (member) ++member_count;
+    EXPECT_EQ(member, enumerated.count(perm) == 1);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(member_count, enumerated.size());
+}
+
+TEST(Neighborhood, FibonacciGrowth) {
+  // F(n+1) with F(1)=F(2)=1: 1 1 2 3 5 8 13 ...
+  EXPECT_EQ(neighborhood_size(1), 1u);
+  EXPECT_EQ(neighborhood_size(2), 2u);
+  EXPECT_EQ(neighborhood_size(3), 3u);
+  EXPECT_EQ(neighborhood_size(4), 5u);
+  EXPECT_EQ(neighborhood_size(10), 89u);
+  EXPECT_EQ(neighborhood_size(20), 10946u);
+  // Exponential: doubles at least every two sinks from n = 4 on.
+  for (std::size_t n = 4; n < 40; ++n)
+    EXPECT_GE(neighborhood_size(n + 2), 2 * neighborhood_size(n));
+}
+
+TEST(InitialOrders, TspIsValidPermutation) {
+  const BufferLibrary lib = make_tiny_library();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    NetSpec spec;
+    spec.n_sinks = 12;
+    spec.seed = seed;
+    const Net net = make_random_net(spec, lib);
+    const Order t = tsp_order(net);
+    EXPECT_EQ(t.size(), 12u);
+    EXPECT_TRUE(t.valid());
+  }
+}
+
+TEST(InitialOrders, TspBeatsRandomTourLength) {
+  const BufferLibrary lib = make_tiny_library();
+  NetSpec spec;
+  spec.n_sinks = 15;
+  spec.seed = 3;
+  const Net net = make_random_net(spec, lib);
+
+  auto tour_len = [&](const Order& o) {
+    std::int64_t len = 0;
+    Point cur = net.source;
+    for (std::uint32_t s : o) {
+      len += manhattan(cur, net.sinks[s].pos);
+      cur = net.sinks[s].pos;
+    }
+    return len;
+  };
+  EXPECT_LT(tour_len(tsp_order(net)), tour_len(Order::identity(15)));
+}
+
+TEST(InitialOrders, RequiredTimeOrderDescending) {
+  const BufferLibrary lib = make_tiny_library();
+  NetSpec spec;
+  spec.n_sinks = 10;
+  spec.seed = 9;
+  const Net net = make_random_net(spec, lib);
+  const Order o = required_time_order(net);
+  for (std::size_t i = 1; i < o.size(); ++i)
+    EXPECT_GE(net.sinks[o[i - 1]].req_time, net.sinks[o[i]].req_time);
+}
+
+}  // namespace
+}  // namespace merlin

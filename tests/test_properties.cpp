@@ -1,0 +1,135 @@
+// Cross-module property sweeps: randomized nets driven through every engine
+// with the invariants that must hold regardless of configuration.  These are
+// deliberately broad-brush (many seeds, loose per-case cost) — the sharp
+// per-module assertions live in the per-module test files.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "buflib/library.h"
+#include "core/merlin.h"
+#include "flow/flows.h"
+#include "lttree/lttree.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+#include "ptree/ptree.h"
+#include "tree/evaluate.h"
+#include "tree/validate.h"
+#include "vangin/vangin.h"
+
+namespace merlin {
+namespace {
+
+// (sink count, seed) sweep.
+using Case = std::tuple<std::size_t, std::uint64_t>;
+
+class EngineSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    const auto [n, seed] = GetParam();
+    NetSpec spec;
+    spec.n_sinks = n;
+    spec.seed = 7700 + seed;
+    lib_ = make_standard_library();
+    net_ = make_random_net(spec, lib_);
+  }
+  BufferLibrary lib_;
+  Net net_;
+};
+
+TEST_P(EngineSweep, PTreeInvariants) {
+  PTreeConfig cfg;
+  cfg.candidates.budget_factor = 1.5;
+  cfg.candidates.max_candidates = 16;
+  const PTreeResult r = ptree_route(net_, tsp_order(net_), cfg);
+  const EvalResult ev = evaluate_tree(net_, r.tree, lib_);
+  EXPECT_NEAR(ev.root_req_time, r.chosen.req_time, 1e-6);
+  EXPECT_NEAR(ev.root_load, r.chosen.load, 1e-6);
+  EXPECT_TRUE(analyze_structure(net_, r.tree).well_formed);
+  EXPECT_EQ(r.tree.buffer_count(), 0u);
+  // Required time at any sink bounds the root required time from above.
+  EXPECT_LE(ev.root_req_time, net_.max_req_time());
+}
+
+TEST_P(EngineSweep, VanGinnekenInvariants) {
+  RoutingTree star;
+  star.add_node(NodeKind::kSource, net_.source, -1, 0);
+  for (std::size_t i = 0; i < net_.fanout(); ++i)
+    star.add_node(NodeKind::kSink, net_.sinks[i].pos,
+                  static_cast<std::int32_t>(i), 0);
+  const double q_star = evaluate_tree(net_, star, lib_).driver_req_time;
+
+  const VanGinnekenResult r = vangin_insert(net_, star, lib_, {});
+  const EvalResult ev = evaluate_tree(net_, r.tree, lib_);
+  EXPECT_NEAR(ev.root_req_time, r.chosen.req_time, 1e-6);
+  EXPECT_NEAR(ev.buffer_area, r.chosen.area, 1e-6);
+  EXPECT_GE(ev.driver_req_time, q_star - 1e-6);
+  EXPECT_TRUE(analyze_structure(net_, r.tree).well_formed);
+}
+
+TEST_P(EngineSweep, LTTreeInvariants) {
+  LTTreeConfig cfg;
+  cfg.wire_load_per_pin = 80.0;
+  const LTTreeResult r =
+      lttree_optimize(net_, required_time_order(net_), lib_, cfg);
+  // Every sink exactly once across groups.
+  std::vector<int> seen(net_.fanout(), 0);
+  for (const FanoutGroup& g : r.tree.groups)
+    for (std::uint32_t s : g.sinks) ++seen[s];
+  for (int c : seen) EXPECT_EQ(c, 1);
+  // The chain property: at most one child anywhere, driver at the top.
+  EXPECT_EQ(r.tree.groups[0].buffer_idx, -1);
+  EXPECT_GE(r.driver_req_time, -1e7);  // finite
+}
+
+TEST_P(EngineSweep, BubbleInvariants) {
+  BubbleConfig cfg;
+  cfg.alpha = 3;
+  cfg.candidates.budget_factor = 1.2;
+  cfg.candidates.max_candidates = 12;
+  cfg.inner_prune.max_solutions = 3;
+  cfg.group_prune.max_solutions = 4;
+  cfg.buffer_stride = 5;
+  cfg.extension_neighbors = 6;
+  const Order in = tsp_order(net_);
+  const BubbleResult r = bubble_construct(net_, lib_, in, cfg);
+  const EvalResult ev = evaluate_tree(net_, r.tree, lib_);
+  EXPECT_NEAR(ev.root_req_time, r.chosen.req_time, 1e-6);
+  EXPECT_NEAR(ev.root_load, r.chosen.load, 1e-6);
+  EXPECT_NEAR(ev.buffer_area, r.chosen.area, 1e-6);
+  EXPECT_NEAR(ev.wirelength, r.chosen.wirelen, 1e-6);
+  EXPECT_TRUE(in_neighborhood(in, r.out_order));
+  EXPECT_TRUE(analyze_structure(net_, r.tree).well_formed);
+  EXPECT_EQ(r.tree.sink_order(), r.out_order);
+  // The non-inferior invariant on the published curve.
+  for (const Solution& a : r.root_curve)
+    for (const Solution& b : r.root_curve)
+      if (&a != &b) {
+        EXPECT_FALSE(a.dominated_by(b));
+      }
+}
+
+TEST_P(EngineSweep, SlewAwareStaysFinite) {
+  BubbleConfig cfg;
+  cfg.alpha = 3;
+  cfg.candidates.budget_factor = 1.2;
+  cfg.candidates.max_candidates = 12;
+  cfg.inner_prune.max_solutions = 3;
+  cfg.group_prune.max_solutions = 4;
+  cfg.buffer_stride = 5;
+  const BubbleResult r = bubble_construct(net_, lib_, tsp_order(net_), cfg);
+  const SlewAwareResult s = evaluate_tree_slew_aware(net_, r.tree, lib_);
+  EXPECT_GT(s.worst_arrival, 0.0);
+  EXPECT_LT(s.worst_arrival, 1e6);
+  EXPECT_GT(s.max_sink_slew, 0.0);
+  EXPECT_LT(s.max_sink_slew, 1e5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nets, EngineSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 5, 8, 11),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace merlin

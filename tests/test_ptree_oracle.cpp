@@ -1,0 +1,67 @@
+// Closed-form oracle for PTREE on two-sink nets: under the Elmore model an
+// unbuffered optimal embedding of {s -> t1, t2} is either a star at the
+// source or a shared trunk to some candidate p followed by direct wires —
+// detours never help an unbuffered wire.  Enumerating all p gives the exact
+// optimum, which the DP must match.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "buflib/library.h"
+#include "geom/hanan.h"
+#include "net/generator.h"
+#include "ptree/ptree.h"
+#include "tree/evaluate.h"
+
+namespace merlin {
+namespace {
+
+double oracle_two_sink(const Net& net, std::span<const Point> candidates) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const Point p : candidates) {
+    // Trunk source -> p shared by both sinks (p == source degenerates to the
+    // star).  Branch i: wire p -> t_i.
+    const double len_t = static_cast<double>(manhattan(net.source, p));
+    double branch_load = 0.0;
+    double req = std::numeric_limits<double>::infinity();
+    double branch_req[2];
+    for (int i = 0; i < 2; ++i) {
+      const Sink& s = net.sinks[static_cast<std::size_t>(i)];
+      const double len = static_cast<double>(manhattan(p, s.pos));
+      branch_req[i] = s.req_time - net.wire.elmore_delay(len, s.load);
+      branch_load += net.wire.wire_cap(len) + s.load;
+    }
+    req = std::min(branch_req[0], branch_req[1]);
+    req -= net.wire.elmore_delay(len_t, branch_load);
+    const double root_load = branch_load + net.wire.wire_cap(len_t);
+    best = std::max(best, req - net.driver.delay.at_nominal(root_load));
+  }
+  return best;
+}
+
+class PTreeOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PTreeOracle, TwoSinkDpMatchesClosedForm) {
+  const BufferLibrary lib = make_tiny_library(2);
+  NetSpec spec;
+  spec.n_sinks = 2;
+  spec.seed = 9000 + GetParam();
+  const Net net = make_random_net(spec, lib);
+
+  PTreeConfig cfg;
+  cfg.candidates.policy = CandidatePolicy::kFullHanan;
+  cfg.prune.max_solutions = 0;  // exact
+  const PTreeResult r = ptree_route(net, Order::identity(2), cfg);
+  const double dp_q = evaluate_tree(net, r.tree, lib).driver_req_time;
+
+  const auto terms = net.terminals();
+  const auto grid = hanan_grid(terms);
+  const double oracle = oracle_two_sink(net, grid);
+  EXPECT_NEAR(dp_q, oracle, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PTreeOracle, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace merlin

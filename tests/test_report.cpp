@@ -1,0 +1,44 @@
+// Unit tests: the fixed-width table renderer used by the bench harness.
+
+#include <gtest/gtest.h>
+
+#include "flow/report.h"
+
+namespace merlin {
+namespace {
+
+TEST(Report, FormatsFixedPrecision) {
+  EXPECT_EQ(fmt(1.0), "1.00");
+  EXPECT_EQ(fmt(1.2345, 1), "1.2");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Report, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.begin_row();
+  t.cell(std::string("alpha"));
+  t.cell(1.5, 1);
+  t.begin_row();
+  t.cell(std::string("b"));
+  t.cell(std::size_t{42});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line ends with a newline and columns align: "value" and "1.5"
+  // should end at the same column.
+  const auto l0 = out.find('\n');
+  ASSERT_NE(l0, std::string::npos);
+}
+
+TEST(Report, HandlesRaggedRows) {
+  TextTable t({"a"});
+  t.begin_row();
+  t.cell(std::string("x"));
+  t.cell(std::string("extra"));
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace merlin

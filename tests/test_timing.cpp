@@ -1,0 +1,108 @@
+// Unit tests: wire (Elmore) model, 4-parameter delay equation, and the
+// synthetic buffer library.
+
+#include <gtest/gtest.h>
+
+#include "buflib/library.h"
+#include "timing/delay.h"
+#include "timing/wire.h"
+
+namespace merlin {
+namespace {
+
+TEST(Wire, CapAndResScaleLinearly) {
+  const WireModel w{0.1, 0.2};
+  EXPECT_DOUBLE_EQ(w.wire_cap(100), 20.0);
+  EXPECT_DOUBLE_EQ(w.wire_res(100), 10.0);
+  EXPECT_DOUBLE_EQ(w.wire_cap(0), 0.0);
+}
+
+TEST(Wire, ElmoreClosedForm) {
+  const WireModel w{0.1, 0.2};
+  // D = R*(C/2 + Cl) = 10 * (10 + 30) ohm*fF = 400e-3 ps.
+  EXPECT_NEAR(w.elmore_delay(100, 30), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(w.elmore_delay(0, 1000), 0.0);
+}
+
+TEST(Wire, ElmoreMonotoneInLengthAndLoad) {
+  const WireModel w{0.1, 0.2};
+  EXPECT_LT(w.elmore_delay(100, 30), w.elmore_delay(200, 30));
+  EXPECT_LT(w.elmore_delay(100, 30), w.elmore_delay(100, 60));
+}
+
+TEST(Wire, ElmoreSuperlinearInLength) {
+  // Distributed RC: doubling length more than doubles delay (quadratic term).
+  const WireModel w{0.1, 0.2};
+  EXPECT_GT(w.elmore_delay(200, 0), 2.0 * w.elmore_delay(100, 0));
+}
+
+TEST(Delay, FourParameterEvaluation) {
+  const DelayParams d{10.0, 2.0, 0.1, 0.01};
+  // d(C=5, S=20) = 10 + 2*5 + 20*(0.1 + 0.01*5) = 10 + 10 + 3 = 23.
+  EXPECT_DOUBLE_EQ(d.eval(5, 20), 23.0);
+}
+
+TEST(Delay, NominalCollapsesToLinearForm) {
+  const DelayParams d{10.0, 2.0, 0.1, 0.01};
+  const double c = 7.0;
+  EXPECT_NEAR(d.at_nominal(c), d.intrinsic() + d.drive_res() * c, 1e-12);
+}
+
+TEST(Delay, MonotoneInLoad) {
+  const DelayParams d{10.0, 2.0, 0.1, 0.01};
+  EXPECT_LT(d.at_nominal(1), d.at_nominal(2));
+}
+
+TEST(Library, HasRequestedCount) {
+  EXPECT_EQ(make_standard_library().size(), 34u);
+  EXPECT_EQ(make_tiny_library(3).size(), 3u);
+  EXPECT_EQ(make_standard_library(LibrarySpec{.count = 1}).size(), 1u);
+}
+
+TEST(Library, GeometricSizingMonotone) {
+  const BufferLibrary lib = make_standard_library();
+  for (std::size_t i = 1; i < lib.size(); ++i) {
+    EXPECT_GT(lib[i].input_cap, lib[i - 1].input_cap) << i;
+    EXPECT_GT(lib[i].area, lib[i - 1].area) << i;
+    // Stronger buffers win for heavy loads (drive resistance dominates)...
+    EXPECT_LT(lib[i].delay_ps(5000.0), lib[i - 1].delay_ps(5000.0)) << i;
+    // ...but pay a growing intrinsic delay, so they lose at zero load.
+    EXPECT_GT(lib[i].delay_ps(0.0), lib[i - 1].delay_ps(0.0)) << i;
+  }
+}
+
+TEST(Library, DelayPositiveEverywhere) {
+  const BufferLibrary lib = make_standard_library();
+  for (const Buffer& b : lib) {
+    EXPECT_GT(b.delay_ps(0.0), 0.0) << b.name;
+    EXPECT_GT(b.out_slew.at_nominal(10.0), 0.0) << b.name;
+  }
+}
+
+TEST(Library, BestForLoadPrefersWeakForTinyLoads) {
+  const BufferLibrary lib = make_standard_library();
+  const std::size_t weak = lib.best_for_load(1.0);
+  const std::size_t strong = lib.best_for_load(5000.0);
+  ASSERT_LT(weak, lib.size());
+  ASSERT_LT(strong, lib.size());
+  EXPECT_LT(weak, strong);
+  EXPECT_EQ(strong, lib.size() - 1);
+}
+
+TEST(Library, MinQueries) {
+  const BufferLibrary lib = make_standard_library();
+  EXPECT_DOUBLE_EQ(lib.min_input_cap(), lib[0].input_cap);
+  EXPECT_DOUBLE_EQ(lib.min_area(), lib[0].area);
+  const BufferLibrary empty;
+  EXPECT_DOUBLE_EQ(empty.min_input_cap(), 0.0);
+  EXPECT_EQ(empty.best_for_load(10.0), 0u);
+}
+
+TEST(Library, NamesAreUnique) {
+  const BufferLibrary lib = make_standard_library();
+  for (std::size_t i = 1; i < lib.size(); ++i)
+    EXPECT_NE(lib[i].name, lib[i - 1].name);
+}
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,85 @@
+// Exhaustive oracle for van Ginneken buffer insertion: on a single straight
+// two-pin wire with a known set of buffer stations, enumerate every buffer
+// assignment (including "none") at every station and verify the DP finds
+// exactly the optimal driver required time.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "buflib/library.h"
+#include "tree/evaluate.h"
+#include "vangin/vangin.h"
+
+namespace merlin {
+namespace {
+
+// Stations from sink toward source at distances i*D/nseg, i = 0..nseg
+// (matching vangin's segmentation of a straight source->sink wire, with
+// station 0 at the sink end and station nseg at the source).
+double brute_force_best(const Net& net, const BufferLibrary& lib,
+                        std::int64_t D, int nseg) {
+  const double seg_len = static_cast<double>(D) / nseg;
+  const int sites = nseg + 1;  // buffer slots: sink end ... source end
+  const int choices = static_cast<int>(lib.size()) + 1;  // none or buffer i
+
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<int> pick(sites, 0);
+  // Odometer over all assignments.
+  while (true) {
+    // Walk from the sink upward.
+    double load = net.sinks[0].load;
+    double req = net.sinks[0].req_time;
+    for (int s = 0; s < sites; ++s) {
+      if (pick[s] > 0) {
+        const Buffer& b = lib[static_cast<std::size_t>(pick[s] - 1)];
+        req -= b.delay_ps(load);
+        load = b.input_cap;
+      }
+      if (s < nseg) {  // wire segment up to the next station
+        req -= net.wire.elmore_delay(seg_len, load);
+        load += net.wire.wire_cap(seg_len);
+      }
+    }
+    best = std::max(best, req - net.driver.delay.at_nominal(load));
+
+    int s = 0;
+    while (s < sites && ++pick[s] == choices) pick[s++] = 0;
+    if (s == sites) break;
+  }
+  return best;
+}
+
+class VanGinOracle : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(VanGinOracle, DpMatchesExhaustiveEnumeration) {
+  const BufferLibrary lib = make_tiny_library(3);
+  const std::int64_t D = GetParam();
+  const int nseg = 4;
+
+  Net net;
+  net.source = {0, 0};
+  net.wire = WireModel{0.1, 0.2};
+  net.driver.delay = lib[1].delay;
+  net.sinks.push_back(Sink{{static_cast<std::int32_t>(D), 0}, 12.0, 5000.0});
+
+  RoutingTree bare;
+  bare.add_node(NodeKind::kSource, net.source, -1, 0);
+  bare.add_node(NodeKind::kSink, net.sinks[0].pos, 0, 0);
+
+  VanGinnekenConfig cfg;
+  cfg.prune.max_solutions = 0;  // exact curves
+  cfg.max_segment_um = static_cast<double>(D) / nseg;
+  const VanGinnekenResult r = vangin_insert(net, bare, lib, cfg);
+  const double dp_q = evaluate_tree(net, r.tree, lib).driver_req_time;
+
+  const double oracle = brute_force_best(net, lib, D, nseg);
+  EXPECT_NEAR(dp_q, oracle, 1e-6) << "D=" << D;
+}
+
+INSTANTIATE_TEST_SUITE_P(WireLengths, VanGinOracle,
+                         ::testing::Values(400, 1200, 2800, 6000, 12000));
+
+}  // namespace
+}  // namespace merlin

@@ -1,0 +1,162 @@
+// Unit + property tests for the simultaneous wire-sizing extension
+// ([LCLH96] lineage): width-scaled wire models, width-aware evaluation, and
+// the engines' use of width menus.
+
+#include <gtest/gtest.h>
+
+#include "buflib/library.h"
+#include "core/bubble.h"
+#include "net/generator.h"
+#include "order/tsp.h"
+#include "ptree/ptree.h"
+#include "tree/evaluate.h"
+#include "vangin/vangin.h"
+
+namespace merlin {
+namespace {
+
+TEST(WireWidth, ScaledModelPhysics) {
+  const WireModel base{0.1, 0.2};
+  const WireModel wide = scaled_width(base, 3.0);
+  EXPECT_NEAR(wide.res_per_um, 0.1 / 3.0, 1e-12);           // R falls as 1/w
+  EXPECT_NEAR(wide.cap_per_um, 0.2 * (0.55 + 1.35), 1e-12); // C sublinear in w
+  const WireModel unit = scaled_width(base, 1.0);
+  EXPECT_NEAR(unit.res_per_um, base.res_per_um, 1e-12);
+  EXPECT_NEAR(unit.cap_per_um, base.cap_per_um, 1e-12);
+}
+
+TEST(WireWidth, WideWireFasterIntoHeavyLoad) {
+  // For a long wire into a heavy load, RC dominated by R*C_load: widening
+  // wins.  For a short weakly loaded wire the extra cap hurts upstream.
+  const WireModel base{0.1, 0.2};
+  const double long_len = 3000, heavy = 200;
+  EXPECT_LT(scaled_width(base, 3.0).elmore_delay(long_len, heavy),
+            base.elmore_delay(long_len, heavy));
+  // Total wire cap is strictly larger for the wide wire.
+  EXPECT_GT(scaled_width(base, 3.0).wire_cap(100), base.wire_cap(100));
+}
+
+TEST(WireWidth, EvaluatorHonorsEdgeWidths) {
+  Net net;
+  net.source = {0, 0};
+  net.wire = WireModel{0.1, 0.2};
+  net.driver.delay = DelayParams{50, 1, 0, 0};
+  net.sinks.push_back(Sink{{1000, 0}, 50.0, 10000.0});
+  const BufferLibrary lib = make_tiny_library();
+
+  RoutingTree narrow;
+  narrow.add_node(NodeKind::kSource, net.source, -1, 0);
+  narrow.add_node(NodeKind::kSink, {1000, 0}, 0, 0, 1.0);
+  RoutingTree wide;
+  wide.add_node(NodeKind::kSource, net.source, -1, 0);
+  wide.add_node(NodeKind::kSink, {1000, 0}, 0, 0, 3.0);
+
+  const EvalResult en = evaluate_tree(net, narrow, lib);
+  const EvalResult ew = evaluate_tree(net, wide, lib);
+  // Wide wire: more root load, but better required time on this heavy route.
+  EXPECT_GT(ew.root_load, en.root_load);
+  EXPECT_GT(ew.root_req_time, en.root_req_time);
+}
+
+TEST(WireWidth, PTreePredictionStillMatchesEvaluator) {
+  const BufferLibrary lib = make_tiny_library();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    NetSpec spec;
+    spec.n_sinks = 6;
+    spec.seed = seed;
+    const Net net = make_random_net(spec, lib);
+    PTreeConfig cfg;
+    cfg.candidates.budget_factor = 1.5;
+    cfg.wire_widths = {1.0, 2.0, 3.0};
+    const PTreeResult r = ptree_route(net, tsp_order(net), cfg);
+    const EvalResult ev = evaluate_tree(net, r.tree, lib);
+    EXPECT_NEAR(ev.root_req_time, r.chosen.req_time, 1e-6) << seed;
+    EXPECT_NEAR(ev.root_load, r.chosen.load, 1e-6) << seed;
+  }
+}
+
+TEST(WireWidth, SizingNeverHurtsPTree) {
+  // The 1x-only space is a subset of the sized space; with identical pruning
+  // budgets large enough to avoid cap noise, sizing can only help.
+  const BufferLibrary lib = make_tiny_library();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    NetSpec spec;
+    spec.n_sinks = 5;
+    spec.seed = seed;
+    const Net net = make_random_net(spec, lib);
+    PTreeConfig plain;
+    plain.candidates.budget_factor = 1.5;
+    plain.prune.max_solutions = 0;  // exact
+    PTreeConfig sized = plain;
+    sized.wire_widths = {1.0, 2.0, 4.0};
+    auto driver_q = [&](const Solution& s) {
+      return s.req_time - net.driver.delay.at_nominal(s.load);
+    };
+    const double q_plain =
+        driver_q(ptree_route(net, tsp_order(net), plain).chosen);
+    const double q_sized =
+        driver_q(ptree_route(net, tsp_order(net), sized).chosen);
+    EXPECT_GE(q_sized, q_plain - 1e-6) << seed;
+  }
+}
+
+TEST(WireWidth, BubblePredictionStillMatchesEvaluator) {
+  const BufferLibrary lib = make_standard_library();
+  NetSpec spec;
+  spec.n_sinks = 6;
+  spec.seed = 5;
+  const Net net = make_random_net(spec, lib);
+  BubbleConfig cfg;
+  cfg.alpha = 3;
+  cfg.candidates.budget_factor = 1.5;
+  cfg.candidates.max_candidates = 12;
+  cfg.inner_prune.max_solutions = 4;
+  cfg.group_prune.max_solutions = 5;
+  cfg.buffer_stride = 4;
+  cfg.wire_widths = {1.0, 2.0};
+  const BubbleResult r = bubble_construct(net, lib, tsp_order(net), cfg);
+  const EvalResult ev = evaluate_tree(net, r.tree, lib);
+  EXPECT_NEAR(ev.root_req_time, r.chosen.req_time, 1e-6);
+  EXPECT_NEAR(ev.root_load, r.chosen.load, 1e-6);
+  EXPECT_NEAR(ev.buffer_area, r.chosen.area, 1e-6);
+}
+
+TEST(WireWidth, VanGinnekenUsesWidthsOnLongWire) {
+  const BufferLibrary lib = make_standard_library();
+  Net net;
+  net.source = {0, 0};
+  net.wire = WireModel{};
+  net.driver.delay = lib[6].delay;
+  net.sinks.push_back(Sink{{6000, 0}, 10.0, 10000.0});
+  RoutingTree bare;
+  bare.add_node(NodeKind::kSource, net.source, -1, 0);
+  bare.add_node(NodeKind::kSink, {6000, 0}, 0, 0);
+
+  VanGinnekenConfig plain;
+  VanGinnekenConfig sized;
+  sized.wire_widths = {1.0, 2.0, 3.0};
+  const double q_plain =
+      evaluate_tree(net, vangin_insert(net, bare, lib, plain).tree, lib)
+          .driver_req_time;
+  const VanGinnekenResult rs = vangin_insert(net, bare, lib, sized);
+  const double q_sized = evaluate_tree(net, rs.tree, lib).driver_req_time;
+  EXPECT_GE(q_sized, q_plain - 1e-6);
+  // Prediction still exact with widths in play.
+  EXPECT_NEAR(evaluate_tree(net, rs.tree, lib).root_req_time,
+              rs.chosen.req_time, 1e-6);
+}
+
+TEST(WireWidth, TreeRoundTripPreservesWidths) {
+  Net net;
+  net.source = {0, 0};
+  net.sinks.push_back(Sink{{500, 0}, 10.0, 1000.0});
+  SolNodePtr sink = make_sink_node({200, 0}, 0, 2.0);
+  SolNodePtr wire = make_wire_node({0, 0}, sink, 3.0);
+  const RoutingTree t = build_routing_tree(net, wire);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.node(1).wire_width, 3.0);  // steiner edge
+  EXPECT_DOUBLE_EQ(t.node(2).wire_width, 2.0);  // sink edge
+}
+
+}  // namespace
+}  // namespace merlin

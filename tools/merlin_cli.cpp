@@ -1,0 +1,140 @@
+// merlin_cli: command-line buffered routing tree generation.
+//
+//   merlin_cli <net-file> [options]
+//     --flow 1|2|3        flow to run (default 3 = MERLIN)
+//     --alpha N           Ca_Tree fanout bound (default 4)
+//     --area-limit A      variant I: max total buffer area
+//     --req-target T      variant II: minimize area subject to req >= T (ps)
+//     --candidates K      max candidate locations (default 2.5x terminals)
+//     --svg FILE          write the resulting tree as SVG
+//     --print-tree        dump the tree structure
+//     --random N SEED     ignore <net-file> and generate a random N-sink net
+//
+// Exit code 0 on success; prints a one-line summary to stdout.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "buflib/library.h"
+#include "flow/flows.h"
+#include "io/netfile.h"
+#include "io/svg.h"
+#include "net/generator.h"
+#include "tree/evaluate.h"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: merlin_cli <net-file>|--random N SEED [--flow 1|2|3] "
+               "[--alpha N] [--area-limit A] [--req-target T] "
+               "[--candidates K] [--svg FILE] [--print-tree]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merlin;
+  if (argc < 2) usage();
+
+  std::string net_path;
+  int flow = 3;
+  std::size_t alpha = 4;
+  double area_limit = -1.0, req_target = -1e300;
+  std::size_t max_candidates = 0;
+  std::string svg_path;
+  bool print_tree = false;
+  std::size_t random_n = 0;
+  std::uint64_t random_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](int more) {
+      if (i + more >= argc) usage();
+    };
+    if (a == "--flow") {
+      need(1);
+      flow = std::atoi(argv[++i]);
+    } else if (a == "--alpha") {
+      need(1);
+      alpha = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--area-limit") {
+      need(1);
+      area_limit = std::atof(argv[++i]);
+    } else if (a == "--req-target") {
+      need(1);
+      req_target = std::atof(argv[++i]);
+    } else if (a == "--candidates") {
+      need(1);
+      max_candidates = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--svg") {
+      need(1);
+      svg_path = argv[++i];
+    } else if (a == "--print-tree") {
+      print_tree = true;
+    } else if (a == "--random") {
+      need(2);
+      random_n = std::strtoul(argv[++i], nullptr, 10);
+      random_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!a.empty() && a[0] == '-') {
+      usage();
+    } else {
+      net_path = a;
+    }
+  }
+  if (net_path.empty() && random_n == 0) usage();
+  if (flow < 1 || flow > 3) usage();
+
+  const BufferLibrary lib = make_standard_library();
+  Net net;
+  try {
+    if (random_n > 0) {
+      NetSpec spec;
+      spec.name = "random" + std::to_string(random_n);
+      spec.n_sinks = random_n;
+      spec.seed = random_seed;
+      net = make_random_net(spec, lib);
+    } else {
+      net = read_net_file(net_path);
+    }
+
+    FlowConfig cfg = scaled_flow_config(net.fanout());
+    cfg.merlin.bubble.alpha = alpha;
+    if (max_candidates > 0) cfg.candidates.max_candidates = max_candidates;
+    if (area_limit >= 0.0) {
+      cfg.merlin.bubble.objective.mode = ObjectiveMode::kMaxReqTime;
+      cfg.merlin.bubble.objective.area_limit = area_limit;
+    }
+    if (req_target > -1e299) {
+      cfg.merlin.bubble.objective.mode = ObjectiveMode::kMinArea;
+      cfg.merlin.bubble.objective.req_target = req_target;
+    }
+
+    FlowResult r;
+    switch (flow) {
+      case 1: r = run_flow1(net, lib, cfg); break;
+      case 2: r = run_flow2(net, lib, cfg); break;
+      default: r = run_flow3(net, lib, cfg); break;
+    }
+
+    std::printf(
+        "net=%s sinks=%zu flow=%d  driver_req=%.1fps delay=%.1fps "
+        "buffer_area=%.1f buffers=%zu wirelength=%.0fum runtime=%.0fms%s\n",
+        net.name.c_str(), net.fanout(), flow, r.eval.driver_req_time,
+        r.eval.table_delay(net), r.eval.buffer_area, r.eval.buffer_count,
+        r.eval.wirelength, r.runtime_ms,
+        flow == 3 ? (" loops=" + std::to_string(r.merlin_loops)).c_str() : "");
+
+    if (print_tree) std::printf("%s", r.tree.to_string(net, lib).c_str());
+    if (!svg_path.empty()) {
+      write_svg_file(svg_path, net, r.tree, lib);
+      std::printf("wrote %s\n", svg_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merlin_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
