@@ -1,0 +1,106 @@
+// Parallel batch engine scaling exhibit: per-thread-count wall time and
+// speedup for a circuit-scale Flow III run, plus per-net latency
+// percentiles, plus a differential check that every thread count produced
+// bit-identical results (the invariant tests/test_batch_differential.cpp
+// enforces).
+//
+//   bench_parallel [--quick] [--gates N] [--seed S] [--flow 1|2|3]
+//
+// Speedup is hardware-dependent; on a single-core container every
+// configuration degenerates to ~1x while the differential column must stay
+// "identical" regardless.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buflib/library.h"
+#include "flow/batch.h"
+#include "flow/circuit.h"
+#include "flow/report.h"
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merlin;
+
+  std::size_t n_gates = 90;  // ~50+ driven nets
+  std::uint64_t seed = 7;
+  int flow = 3;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--gates") == 0 && i + 1 < argc)
+      n_gates = std::strtoul(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--flow") == 0 && i + 1 < argc)
+      flow = std::atoi(argv[++i]);
+  }
+  if (quick) n_gates = std::min<std::size_t>(n_gates, 40);
+
+  const BufferLibrary lib = make_standard_library();
+  CircuitSpec spec;
+  spec.name = "par" + std::to_string(n_gates);
+  spec.n_gates = n_gates;
+  spec.seed = seed;
+  const Circuit ckt = make_random_circuit(spec, lib);
+
+  std::printf("bench_parallel: circuit %s, %zu gates, %zu nets, flow %d, "
+              "%u hardware threads\n\n",
+              ckt.name.c_str(), ckt.gates.size(),
+              extract_circuit_nets(ckt, lib).size(), flow,
+              std::thread::hardware_concurrency());
+
+  std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  if (quick) thread_counts = {1, 2, 4};
+
+  TextTable table({"threads", "wall_ms", "speedup", "p50_ms", "p90_ms",
+                   "p99_ms", "max_ms", "steals", "identical"});
+  double wall_1t = 0.0;
+  BatchResult baseline;
+  for (const std::size_t threads : thread_counts) {
+    BatchOptions opts;
+    opts.threads = threads;
+    opts.flow = static_cast<FlowKind>(flow);
+    const BatchResult r = BatchRunner(lib, opts).run(ckt);
+
+    std::vector<double> lat;
+    lat.reserve(r.nets.size());
+    for (const BatchNetResult& n : r.nets) lat.push_back(n.wall_ms);
+
+    if (threads == 1) {
+      wall_1t = r.stats.wall_ms;
+      baseline = r;
+    }
+    table.begin_row();
+    table.cell(threads);
+    table.cell(r.stats.wall_ms, 1);
+    table.cell(wall_1t > 0.0 ? wall_1t / r.stats.wall_ms : 1.0, 2);
+    table.cell(percentile(lat, 0.50), 2);
+    table.cell(percentile(lat, 0.90), 2);
+    table.cell(percentile(lat, 0.99), 2);
+    table.cell(percentile(lat, 1.0), 2);
+    table.cell(r.stats.steals);
+    table.cell(std::string(
+        threads == 1 ? "-" : batch_results_identical(baseline, r) ? "yes" : "NO"));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("per-net latency percentiles are job wall times as scheduled;\n"
+              "'identical' compares every scheduling-independent field "
+              "against the 1-thread run.\n");
+  return 0;
+}

@@ -110,7 +110,13 @@ struct BubbleConfig {
 /// stored child-form curves for every candidate location.
 ///
 /// A cache is only valid for one (net, library, config, candidate-set)
-/// combination — merlin_optimize owns one per run.
+/// combination — merlin_optimize owns one per run, or clears and reuses a
+/// caller-provided scratch cache (MerlinConfig::scratch_cache).
+///
+/// Thread ownership: the cache is not internally synchronized (even `find`
+/// mutates the hit/miss counters).  Exactly one thread may use a given
+/// instance at a time; parallel batch execution therefore keeps one scratch
+/// cache per pool worker rather than sharing one across workers.
 class GammaCache {
  public:
   /// Returns the cached curves for `key`, or nullptr.
@@ -131,7 +137,13 @@ class GammaCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
-  void clear() { map_.clear(); }
+  /// Drops all entries and resets the hit/miss counters, returning the
+  /// instance to its freshly constructed state (allocation kept).
+  void clear() {
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
 
  private:
   std::unordered_map<std::string, std::vector<SolutionCurve>> map_;

@@ -29,8 +29,15 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
   // clean convergence instead of a loop.
   std::set<std::vector<std::uint32_t>> seen;
 
-  GammaCache cache;
-  GammaCache* cache_ptr = cfg.reuse_subproblems ? &cache : nullptr;
+  GammaCache local_cache;
+  GammaCache* cache_ptr = nullptr;
+  if (cfg.reuse_subproblems) {
+    // A cache is only valid for one (net, config) combination, so a caller-
+    // provided scratch cache is cleared before use; what it buys is the
+    // reuse of the map's allocation across many nets on one worker thread.
+    cache_ptr = cfg.scratch_cache ? cfg.scratch_cache : &local_cache;
+    cache_ptr->clear();
+  }
 
   bool have_best = false;
   while (res.iterations < cfg.max_iterations) {
@@ -62,8 +69,10 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
   }
   if (!have_best)
     throw std::logic_error("merlin_optimize: no iterations performed");
-  res.cache_hits = cache.hits();
-  res.cache_misses = cache.misses();
+  if (cache_ptr) {
+    res.cache_hits = cache_ptr->hits();
+    res.cache_misses = cache_ptr->misses();
+  }
   return res;
 }
 

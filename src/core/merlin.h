@@ -25,6 +25,14 @@ struct MerlinConfig {
   /// and copy sub-problems shared between the overlapping neighborhoods
   /// (costs roughly 2x memory, saves most of the work after iteration 1).
   bool reuse_subproblems = true;
+
+  /// Optional externally owned scratch cache.  When set (and
+  /// reuse_subproblems is true) merlin_optimize clears and uses it instead
+  /// of a run-local cache, so a caller processing many nets can reuse the
+  /// map's allocation.  GammaCache is not internally synchronized: the
+  /// scratch cache must be owned by exactly one thread at a time — batch
+  /// execution keeps one per pool worker, never one shared across workers.
+  GammaCache* scratch_cache = nullptr;
 };
 
 /// Outcome of a MERLIN run.

@@ -1,0 +1,213 @@
+#include "flow/batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/pool.h"
+#include "tree/evaluate.h"
+
+namespace merlin {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+bool trees_identical(const RoutingTree& a, const RoutingTree& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const TreeNode& x = a.node(i);
+    const TreeNode& y = b.node(i);
+    if (x.kind != y.kind || x.at != y.at || x.idx != y.idx ||
+        x.parent != y.parent || x.wire_width != y.wire_width ||
+        x.children != y.children)
+      return false;
+  }
+  return true;
+}
+
+bool evals_identical(const EvalResult& a, const EvalResult& b) {
+  return a.root_load == b.root_load && a.root_req_time == b.root_req_time &&
+         a.driver_delay == b.driver_delay &&
+         a.driver_req_time == b.driver_req_time &&
+         a.buffer_area == b.buffer_area && a.wirelength == b.wirelength &&
+         a.buffer_count == b.buffer_count;
+}
+
+}  // namespace
+
+std::uint64_t batch_net_seed(std::uint64_t base_seed, std::uint32_t net_id) {
+  // One SplitMix64 scramble of (base, id): distinct, well-separated streams
+  // per net, a pure function of the identifiers.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (net_id + 1ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+BatchRunner::BatchRunner(const BufferLibrary& lib, BatchOptions opts)
+    : lib_(lib), opts_(std::move(opts)) {}
+
+BatchResult BatchRunner::run(const Circuit& ckt) const {
+  const std::vector<CircuitNet> jobs =
+      extract_circuit_nets(ckt, lib_, opts_.req_compression);
+  return run_jobs(jobs, &ckt);
+}
+
+BatchResult BatchRunner::run_nets(const std::vector<Net>& nets) const {
+  std::vector<CircuitNet> jobs;
+  jobs.reserve(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (nets[i].fanout() == 0)
+      throw std::invalid_argument("BatchRunner: net " + std::to_string(i) +
+                                  " has no sinks");
+    jobs.push_back(CircuitNet{static_cast<std::uint32_t>(i), nets[i]});
+  }
+  return run_jobs(jobs, nullptr);
+}
+
+BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
+                                  const Circuit* ckt) const {
+  const auto t0 = Clock::now();
+
+  BatchResult out;
+  out.nets.resize(jobs.size());
+  // realized[g] = per-consumer path delays of gate g's net (STA input).
+  std::vector<std::vector<double>> realized;
+  if (ckt) realized.resize(ckt->gates.size());
+
+  {
+    const std::size_t n_threads =
+        opts_.threads > 0 ? opts_.threads
+                          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    // Per-worker scratch; constructed before the pool so that if an
+    // exception unwinds this scope, the pool's draining destructor (which
+    // may still run tasks referencing the caches) fires first.
+    std::vector<GammaCache> caches(n_threads);
+    ThreadPool pool(n_threads);
+
+    std::vector<std::future<void>> done;
+    done.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      done.push_back(pool.submit([&, i] {
+        const CircuitNet& job = jobs[i];
+        BatchNetResult& slot = out.nets[i];  // exclusive to this task
+        const auto tj = Clock::now();
+        slot.net_id = job.driver_gate;
+        slot.trivial = job.trivial();
+        if (job.trivial()) {
+          slot.result.tree = trivial_net_tree(job.net);
+          slot.result.eval = evaluate_tree(job.net, slot.result.tree, lib_);
+        } else if (opts_.custom_flow) {
+          Rng rng(batch_net_seed(opts_.seed, job.driver_gate));
+          slot.result = opts_.custom_flow(job.net, lib_, rng);
+        } else {
+          FlowConfig cfg = opts_.scaled_config
+                               ? scaled_flow_config(job.net.fanout())
+                               : opts_.config;
+          switch (opts_.flow) {
+            case FlowKind::kFlow1: slot.result = run_flow1(job.net, lib_, cfg); break;
+            case FlowKind::kFlow2: slot.result = run_flow2(job.net, lib_, cfg); break;
+            case FlowKind::kFlow3:
+              // Worker-local scratch cache: reuses the map's allocation from
+              // net to net, owned by exactly one thread.
+              cfg.merlin.scratch_cache = &caches[pool.worker_index()];
+              slot.result = run_flow3(job.net, lib_, cfg);
+              break;
+          }
+        }
+        if (ckt)
+          realized[job.driver_gate] =
+              sink_path_delays(job.net, slot.result.tree, lib_);
+        slot.wall_ms = ms_since(tj);
+      }));
+    }
+    for (std::future<void>& f : done) f.get();  // rethrows worker exceptions
+
+    out.stats.threads_used = pool.size();
+    out.stats.steals = pool.steal_count();
+  }
+  out.stats.wall_ms = ms_since(t0);
+
+  // Deterministic reduction: ascending net id, serial.
+  std::sort(out.nets.begin(), out.nets.end(),
+            [](const BatchNetResult& a, const BatchNetResult& b) {
+              return a.net_id < b.net_id;
+            });
+  BatchStats& st = out.stats;
+  st.net_count = out.nets.size();
+  for (const BatchNetResult& r : out.nets) {
+    if (r.trivial) ++st.trivial_nets;
+    st.total_net_ms += r.wall_ms;
+    st.max_net_ms = std::max(st.max_net_ms, r.wall_ms);
+    st.cache_hits += r.result.cache_hits;
+    st.cache_misses += r.result.cache_misses;
+    st.buffers_inserted += r.result.eval.buffer_count;
+    st.buffer_area += r.result.eval.buffer_area;
+  }
+  if (st.net_count > 0)
+    st.mean_net_ms = st.total_net_ms / static_cast<double>(st.net_count);
+
+  if (ckt) {
+    CircuitFlowResult& cr = out.circuit;
+    cr.nets_routed = out.nets.size();
+    for (const BatchNetResult& r : out.nets) {
+      if (r.trivial) continue;
+      cr.area += r.result.eval.buffer_area;
+      cr.buffers_inserted += r.result.eval.buffer_count;
+      cr.runtime_ms += r.result.runtime_ms;
+    }
+    cr.area += ckt->gate_area(lib_);
+    cr.delay_ps = circuit_critical_delay(*ckt, lib_, realized);
+  }
+  return out;
+}
+
+std::string BatchStats::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "nets=%zu (trivial=%zu) threads=%zu steals=%zu wall=%.1fms "
+                "net_ms[total=%.1f mean=%.2f max=%.2f] cache[hit=%zu miss=%zu] "
+                "buffers=%zu area=%.1f",
+                net_count, trivial_nets, threads_used, steals, wall_ms,
+                total_net_ms, mean_net_ms, max_net_ms, cache_hits, cache_misses,
+                buffers_inserted, buffer_area);
+  return buf;
+}
+
+bool flow_results_identical(const FlowResult& a, const FlowResult& b) {
+  return trees_identical(a.tree, b.tree) && evals_identical(a.eval, b.eval) &&
+         a.merlin_loops == b.merlin_loops && a.cache_hits == b.cache_hits &&
+         a.cache_misses == b.cache_misses;
+}
+
+bool batch_results_identical(const BatchResult& a, const BatchResult& b) {
+  if (a.nets.size() != b.nets.size()) return false;
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    const BatchNetResult& x = a.nets[i];
+    const BatchNetResult& y = b.nets[i];
+    if (x.net_id != y.net_id || x.trivial != y.trivial ||
+        !flow_results_identical(x.result, y.result))
+      return false;
+  }
+  const BatchStats &sa = a.stats, &sb = b.stats;
+  if (sa.net_count != sb.net_count || sa.trivial_nets != sb.trivial_nets ||
+      sa.cache_hits != sb.cache_hits || sa.cache_misses != sb.cache_misses ||
+      sa.buffers_inserted != sb.buffers_inserted ||
+      sa.buffer_area != sb.buffer_area)
+    return false;
+  const CircuitFlowResult &ca = a.circuit, &cb = b.circuit;
+  return ca.area == cb.area && ca.delay_ps == cb.delay_ps &&
+         ca.nets_routed == cb.nets_routed &&
+         ca.buffers_inserted == cb.buffers_inserted;
+}
+
+}  // namespace merlin

@@ -1,0 +1,135 @@
+#pragma once
+// Parallel circuit-scale flow execution.
+//
+// Table 2 of the paper evaluates the flows over whole benchmark circuits —
+// hundreds of independent per-net constructions — which is embarrassingly
+// parallel.  BatchRunner shards a circuit's nets across a work-stealing
+// thread pool (runtime/pool.h), runs any of Flows I/II/III (or a custom
+// per-net constructor) on each, and merges deterministically:
+//
+//   * results are keyed by driver-gate id and each job writes its own
+//     pre-allocated slot, so nothing depends on completion order;
+//   * the reduction (areas, stats, STA) is a serial sweep in ascending net
+//     id, so floating-point sums are bit-identical run to run;
+//   * each net gets its own RNG stream seeded from (base seed, net id) —
+//     never from a worker id or a global counter — so any randomized
+//     constructor still produces output independent of thread count and
+//     scheduling;
+//   * Flow III's GammaCache is per-worker scratch (cleared per net), never
+//     shared across threads.
+//
+// tests/test_batch_differential.cpp enforces the resulting invariant:
+// 1-thread and N-thread runs are bit-identical.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "buflib/library.h"
+#include "flow/circuit.h"
+#include "flow/flows.h"
+#include "net/rng.h"
+
+namespace merlin {
+
+/// Which of the paper's flows the batch runs on every net.
+enum class FlowKind { kFlow1 = 1, kFlow2 = 2, kFlow3 = 3 };
+
+/// Seed of the RNG stream handed to the constructor of net `net_id`.
+/// Depends only on (base_seed, net_id) — the scheduling-independence anchor.
+std::uint64_t batch_net_seed(std::uint64_t base_seed, std::uint32_t net_id);
+
+/// A per-net constructor with an explicit per-net random stream.  The Rng is
+/// seeded with batch_net_seed(opts.seed, net_id); deterministic constructors
+/// simply ignore it.
+using SeededNetFlow =
+    std::function<FlowResult(const Net&, const BufferLibrary&, Rng&)>;
+
+/// Batch execution knobs.
+struct BatchOptions {
+  std::size_t threads = 1;  ///< worker count; 0 = hardware concurrency
+  FlowKind flow = FlowKind::kFlow3;
+  std::uint64_t seed = 0;  ///< base seed for the per-net RNG streams
+
+  /// When true (default) each net gets scaled_flow_config(fanout); when
+  /// false, `config` is used verbatim for every net.
+  bool scaled_config = true;
+  FlowConfig config{};
+
+  /// Overrides `flow` when set: the batch runs this constructor instead.
+  SeededNetFlow custom_flow;
+
+  /// `req_compression` of run_circuit_flow, applied during net extraction.
+  double req_compression = 1.0;
+};
+
+/// Outcome of one net of the batch.
+struct BatchNetResult {
+  std::uint32_t net_id = 0;  ///< driver-gate id (or index, for raw net lists)
+  bool trivial = false;      ///< two-pin net routed as a direct wire
+  FlowResult result;
+  double wall_ms = 0.0;  ///< job wall time as scheduled (not deterministic)
+};
+
+/// Aggregate observability report of a batch run.
+struct BatchStats {
+  std::size_t net_count = 0;    ///< nets processed (including trivial)
+  std::size_t trivial_nets = 0;
+  std::size_t threads_used = 1;
+  std::size_t steals = 0;  ///< pool tasks executed off a foreign queue
+
+  double wall_ms = 0.0;          ///< end-to-end batch wall time
+  double total_net_ms = 0.0;     ///< sum of per-net job wall times
+  double mean_net_ms = 0.0;
+  double max_net_ms = 0.0;
+
+  std::size_t cache_hits = 0;    ///< GammaCache totals (Flow III only)
+  std::size_t cache_misses = 0;
+  std::size_t buffers_inserted = 0;
+  double buffer_area = 0.0;
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of a batch run.
+struct BatchResult {
+  std::vector<BatchNetResult> nets;  ///< ascending net_id
+  BatchStats stats;
+  /// Full circuit-level outcome (STA included); only populated by
+  /// BatchRunner::run(Circuit), zero for raw net lists.
+  CircuitFlowResult circuit;
+};
+
+/// Shards nets across a thread pool and merges deterministically.
+class BatchRunner {
+ public:
+  BatchRunner(const BufferLibrary& lib, BatchOptions opts = {});
+
+  /// Runs the configured flow on every driven net of `ckt` and closes with
+  /// the circuit-level STA (the parallel form of run_circuit_flow).
+  [[nodiscard]] BatchResult run(const Circuit& ckt) const;
+
+  /// Runs the configured flow on an explicit net list; net ids are indices.
+  [[nodiscard]] BatchResult run_nets(const std::vector<Net>& nets) const;
+
+ private:
+  BatchResult run_jobs(const std::vector<CircuitNet>& jobs,
+                       const Circuit* ckt) const;
+
+  const BufferLibrary& lib_;
+  BatchOptions opts_;
+};
+
+/// True iff two flow results are identical in every scheduling-independent
+/// field: the full routing tree, the evaluation, loop count and cache
+/// counters.  Wall times are excluded by design.
+bool flow_results_identical(const FlowResult& a, const FlowResult& b);
+
+/// flow_results_identical over whole batches (net ids, trivial flags, trees,
+/// evals, and the deterministic aggregate fields of stats and circuit).
+bool batch_results_identical(const BatchResult& a, const BatchResult& b);
+
+}  // namespace merlin

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "flow/batch.h"
 #include "net/rng.h"
 #include "tree/evaluate.h"
 
@@ -93,17 +94,22 @@ struct NetEstimate {
   std::vector<double> spoke_delay;  // per consumer
 };
 
-}  // namespace
-
-CircuitFlowResult run_circuit_flow(const Circuit& ckt, const BufferLibrary& lib,
-                                   const NetFlow& flow, double req_compression) {
-  const std::size_t ng = ckt.gates.size();
-
-  // Fanout lists.
-  std::vector<std::vector<std::uint32_t>> fanouts(ng);
-  for (std::size_t gi = 0; gi < ng; ++gi)
+// Fanout lists of every gate (consumers in ascending gate id).
+std::vector<std::vector<std::uint32_t>> fanout_lists(const Circuit& ckt) {
+  std::vector<std::vector<std::uint32_t>> fanouts(ckt.gates.size());
+  for (std::size_t gi = 0; gi < ckt.gates.size(); ++gi)
     for (std::uint32_t f : ckt.gates[gi].fanins)
       fanouts[f].push_back(static_cast<std::uint32_t>(gi));
+  return fanouts;
+}
+
+}  // namespace
+
+std::vector<CircuitNet> extract_circuit_nets(const Circuit& ckt,
+                                             const BufferLibrary& lib,
+                                             double req_compression) {
+  const std::size_t ng = ckt.gates.size();
+  const auto fanouts = fanout_lists(ckt);
 
   // The load a gate's output net presents, star-estimated.
   auto est_net = [&](std::size_t gi) {
@@ -151,14 +157,13 @@ CircuitFlowResult run_circuit_flow(const Circuit& ckt, const BufferLibrary& lib,
     }
   }
 
-  // Per-net construction.  realized[gi][ci] = delay from gate gi's input to
-  // consumer ci's input through gi's gate and its buffered routing tree.
-  CircuitFlowResult res;
-  std::vector<std::vector<double>> realized(ng);
+  std::vector<CircuitNet> nets;
   for (std::size_t gi = 0; gi < ng; ++gi) {
     if (fanouts[gi].empty()) continue;
 
-    Net net;
+    CircuitNet cn;
+    cn.driver_gate = static_cast<std::uint32_t>(gi);
+    Net& net = cn.net;
     net.name = ckt.name + "." + ckt.gates[gi].name;
     net.wire = ckt.wire;
     net.source = ckt.gates[gi].pos;
@@ -179,38 +184,55 @@ CircuitFlowResult run_circuit_flow(const Circuit& ckt, const BufferLibrary& lib,
       for (Sink& s : net.sinks)
         s.req_time = max_req - (max_req - s.req_time) * req_compression;
     }
-
-    if (net.fanout() == 1) {
-      // Trivial two-pin net: a direct wire, identical under every flow.
-      RoutingTree tree;
-      tree.add_node(NodeKind::kSource, net.source, -1, 0);
-      tree.add_node(NodeKind::kSink, net.sinks[0].pos, 0, 0);
-      realized[gi] = sink_path_delays(net, tree, lib);
-      ++res.nets_routed;
-      continue;
-    }
-
-    FlowResult fr = flow(net, lib);
-    realized[gi] = sink_path_delays(net, fr.tree, lib);
-    res.area += fr.eval.buffer_area;
-    res.buffers_inserted += fr.eval.buffer_count;
-    res.runtime_ms += fr.runtime_ms;
-    ++res.nets_routed;
+    nets.push_back(std::move(cn));
   }
+  return nets;
+}
 
-  // Final forward STA over the realized nets.
+RoutingTree trivial_net_tree(const Net& net) {
+  if (net.fanout() != 1)
+    throw std::invalid_argument("trivial_net_tree: net is not two-pin");
+  RoutingTree tree;
+  tree.add_node(NodeKind::kSource, net.source, -1, 0);
+  tree.add_node(NodeKind::kSink, net.sinks[0].pos, 0, 0);
+  return tree;
+}
+
+double circuit_critical_delay(const Circuit& ckt, const BufferLibrary& lib,
+                              const std::vector<std::vector<double>>& realized) {
+  const std::size_t ng = ckt.gates.size();
+  if (realized.size() != ng)
+    throw std::invalid_argument("circuit_critical_delay: realized size mismatch");
+  const auto fanouts = fanout_lists(ckt);
+
   std::vector<double> arr(ng, 0.0);
+  double delay_ps = 0.0;
   for (std::size_t gi = 0; gi < ng; ++gi) {
+    if (!fanouts[gi].empty() && realized[gi].size() != fanouts[gi].size())
+      throw std::invalid_argument("circuit_critical_delay: bad realized row " +
+                                  std::to_string(gi));
     for (std::size_t ci = 0; ci < fanouts[gi].size(); ++ci) {
       const std::uint32_t c = fanouts[gi][ci];
       arr[c] = std::max(arr[c], arr[gi] + realized[gi][ci]);
     }
     if (ckt.gates[gi].is_primary_output)
-      res.delay_ps = std::max(
-          res.delay_ps, arr[gi] + lib[ckt.gates[gi].cell].delay.at_nominal(kOutputPinLoad));
+      delay_ps = std::max(
+          delay_ps, arr[gi] + lib[ckt.gates[gi].cell].delay.at_nominal(kOutputPinLoad));
   }
-  res.area += ckt.gate_area(lib);
-  return res;
+  return delay_ps;
+}
+
+CircuitFlowResult run_circuit_flow(const Circuit& ckt, const BufferLibrary& lib,
+                                   const NetFlow& flow, double req_compression) {
+  // The serial path is the parallel engine at one thread — a single code
+  // path is what makes the serial-vs-parallel differential tests meaningful.
+  BatchOptions opts;
+  opts.threads = 1;
+  opts.req_compression = req_compression;
+  opts.custom_flow = [&flow](const Net& net, const BufferLibrary& l, Rng&) {
+    return flow(net, l);
+  };
+  return BatchRunner(lib, opts).run(ckt).circuit;
 }
 
 }  // namespace merlin

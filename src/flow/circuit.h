@@ -74,6 +74,37 @@ struct CircuitFlowResult {
 /// and required times), produce a buffered routing tree for it.
 using NetFlow = std::function<FlowResult(const Net&, const BufferLibrary&)>;
 
+/// One net of a circuit, extracted into the per-net optimizer's input form.
+/// `driver_gate` is the id of the gate whose output pin drives the net — the
+/// stable key by which batch execution shards, merges and reports.
+struct CircuitNet {
+  std::uint32_t driver_gate = 0;
+  Net net;
+
+  /// Two-pin nets are routed as a direct wire, identically under every flow,
+  /// and bypass the per-net optimizer entirely.
+  [[nodiscard]] bool trivial() const { return net.fanout() == 1; }
+};
+
+/// Extracts every driven net of the circuit (ascending driver-gate id) with
+/// the pin required times a backward estimated-timing pass provides, exactly
+/// as `run_circuit_flow` hands them to its per-net flow.  `req_compression`
+/// as documented there.
+std::vector<CircuitNet> extract_circuit_nets(const Circuit& ckt,
+                                             const BufferLibrary& lib,
+                                             double req_compression = 1.0);
+
+/// The direct-wire routing tree used for a trivial (single-sink) net.
+RoutingTree trivial_net_tree(const Net& net);
+
+/// Forward arrival-time STA over realized per-net delays.  `realized[g][ci]`
+/// is the delay from gate g's input through its gate and routed net to its
+/// ci-th fanout consumer's input (`sink_path_delays` order); gates with no
+/// fanouts contribute their primary-output delay.  Returns the critical
+/// arrival at the worst primary output (ps).
+double circuit_critical_delay(const Circuit& ckt, const BufferLibrary& lib,
+                              const std::vector<std::vector<double>>& realized);
+
 /// Runs `flow` on every multi-sink net of the circuit and evaluates the
 /// whole circuit: backward required times from a common clock target, per-net
 /// construction, forward STA over realized trees.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "flow/stitch.h"
@@ -19,7 +20,8 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-// Centroid of a point multiset (used to place flow I's group buffers).
+}  // namespace
+
 Point centroid(const std::vector<Point>& pts) {
   if (pts.empty()) return Point{0, 0};
   std::int64_t sx = 0, sy = 0;
@@ -27,11 +29,15 @@ Point centroid(const std::vector<Point>& pts) {
     sx += p.x;
     sy += p.y;
   }
+  // 64-bit mean, clamped before narrowing: the mean of in-range coordinates
+  // is mathematically in range, but the clamp keeps any future caller with
+  // a widened Point type from silently truncating.
   const auto n = static_cast<std::int64_t>(pts.size());
-  return Point{static_cast<std::int32_t>(sx / n), static_cast<std::int32_t>(sy / n)};
+  constexpr std::int64_t lo = std::numeric_limits<std::int32_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+  return Point{static_cast<std::int32_t>(std::clamp(sx / n, lo, hi)),
+               static_cast<std::int32_t>(std::clamp(sy / n, lo, hi))};
 }
-
-}  // namespace
 
 FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
                      const FlowConfig& cfg) {
@@ -169,6 +175,8 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
   res.eval = evaluate_tree(net, res.tree, lib);
   res.runtime_ms = ms_since(t0);
   res.merlin_loops = mr.iterations;
+  res.cache_hits = mr.cache_hits;
+  res.cache_misses = mr.cache_misses;
   return res;
 }
 

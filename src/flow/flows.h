@@ -41,6 +41,8 @@ struct FlowResult {
   EvalResult eval;
   double runtime_ms = 0.0;
   std::size_t merlin_loops = 0;  ///< flow III only: Table 1 "Loops" column
+  std::size_t cache_hits = 0;    ///< flow III only: GammaCache statistics
+  std::size_t cache_misses = 0;  ///< (batch runs report circuit-wide totals)
 };
 
 /// Flow I: LTTREE + per-group PTREE.
@@ -58,5 +60,11 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
 /// A FlowConfig with budgets scaled to the net size so that the Table-1
 /// style experiments finish in laptop time even for the 73-sink net.
 FlowConfig scaled_flow_config(std::size_t n_sinks);
+
+/// Integer centroid of a point multiset (flow I places each group's buffer
+/// at its subtree's centroid).  Accumulates and divides in 64-bit, then
+/// clamps into the int32 coordinate domain, so far-flung coordinates cannot
+/// silently wrap.  Empty input yields the origin.
+Point centroid(const std::vector<Point>& pts);
 
 }  // namespace merlin

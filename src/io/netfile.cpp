@@ -1,5 +1,6 @@
 #include "io/netfile.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,13 @@ namespace {
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
   throw std::runtime_error("netfile: line " + std::to_string(line) + ": " + what);
+}
+
+// Streams happily parse "nan" and "inf" into doubles; a single such value
+// poisons every downstream timing computation, so the parser rejects them
+// at the source (found by tests/test_netfile_fuzz.cpp).
+void require_finite(std::size_t line, const char* what, double v) {
+  if (!std::isfinite(v)) fail(line, std::string(what) + ": non-finite value");
 }
 
 }  // namespace
@@ -32,10 +40,18 @@ Net read_net(std::istream& in) {
     } else if (tok == "wire") {
       if (!(ls >> net.wire.res_per_um >> net.wire.cap_per_um))
         fail(lineno, "wire: expected <res_per_um> <cap_per_um>");
+      require_finite(lineno, "wire", net.wire.res_per_um);
+      require_finite(lineno, "wire", net.wire.cap_per_um);
+      if (net.wire.res_per_um < 0.0 || net.wire.cap_per_um < 0.0)
+        fail(lineno, "wire: negative RC parameter");
     } else if (tok == "driver") {
       if (!(ls >> net.driver.name >> net.driver.delay.p0 >> net.driver.delay.p1 >>
             net.driver.delay.p2 >> net.driver.delay.p3))
         fail(lineno, "driver: expected <name> <p0> <p1> <p2> <p3>");
+      require_finite(lineno, "driver", net.driver.delay.p0);
+      require_finite(lineno, "driver", net.driver.delay.p1);
+      require_finite(lineno, "driver", net.driver.delay.p2);
+      require_finite(lineno, "driver", net.driver.delay.p3);
     } else if (tok == "source") {
       if (!(ls >> net.source.x >> net.source.y))
         fail(lineno, "source: expected <x> <y>");
@@ -44,6 +60,8 @@ Net read_net(std::istream& in) {
       Sink s;
       if (!(ls >> s.pos.x >> s.pos.y >> s.load >> s.req_time))
         fail(lineno, "sink: expected <x> <y> <load_fF> <req_time_ps>");
+      require_finite(lineno, "sink", s.load);
+      require_finite(lineno, "sink", s.req_time);
       if (s.load < 0.0) fail(lineno, "sink: negative load");
       net.sinks.push_back(s);
     } else {

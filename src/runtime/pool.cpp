@@ -1,0 +1,103 @@
+#include "runtime/pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace merlin {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and the thread's index in it.
+// Written once per worker thread at startup, before any task can observe it.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = ThreadPool::npos;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0)
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  queues_.resize(n_threads);
+  workers_.reserve(n_threads);
+  for (std::size_t wi = 0; wi < n_threads; ++wi)
+    workers_.emplace_back([this, wi] { worker_loop(wi); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;  // drain mode: workers exit once every queue is empty
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    // A worker submitting from inside a task keeps its child local; external
+    // submitters deal round-robin so the initial shard is even.
+    const std::size_t wi = tl_pool == this ? tl_index : next_queue_++ % queues_.size();
+    queues_[wi].push_back(std::move(pt));
+    ++in_flight_;
+  }
+  cv_work_.notify_one();
+  return fut;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::worker_index() const {
+  return tl_pool == this ? tl_index : npos;
+}
+
+std::size_t ThreadPool::steal_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return steals_;
+}
+
+bool ThreadPool::pop_task(std::size_t wi, std::packaged_task<void()>& out) {
+  if (!queues_[wi].empty()) {  // own work: newest first (LIFO)
+    out = std::move(queues_[wi].back());
+    queues_[wi].pop_back();
+    return true;
+  }
+  // Steal the oldest task of the longest other queue.
+  std::size_t victim = npos, best = 0;
+  for (std::size_t qi = 0; qi < queues_.size(); ++qi)
+    if (qi != wi && queues_[qi].size() > best) {
+      best = queues_[qi].size();
+      victim = qi;
+    }
+  if (victim == npos) return false;
+  out = std::move(queues_[victim].front());
+  queues_[victim].pop_front();
+  ++steals_;
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t wi) {
+  tl_pool = this;
+  tl_index = wi;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::packaged_task<void()> task;
+    while (!pop_task(wi, task)) {
+      if (stop_) return;  // drained and shutting down
+      cv_work_.wait(lk);
+    }
+    lk.unlock();
+    task();  // packaged_task captures exceptions into the future
+    lk.lock();
+    if (--in_flight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+}  // namespace merlin

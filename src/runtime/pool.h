@@ -1,0 +1,82 @@
+#pragma once
+// Work-stealing thread pool for circuit-scale batch execution.
+//
+// Each worker owns a deque; `submit` deals tasks round-robin across the
+// worker queues (or onto the submitting worker's own queue when called from
+// inside the pool).  A worker pops from the back of its own queue (LIFO, hot
+// in cache) and, when empty, steals from the front of the longest other
+// queue (FIFO, oldest first) so an imbalanced shard distribution still keeps
+// every core busy.  All queues hang off one mutex: per-net flow work is
+// milliseconds-scale, so queue contention is irrelevant next to the tasks
+// themselves, and a single lock keeps the pool trivially ThreadSanitizer-
+// clean.
+//
+// Exceptions thrown by a task are captured in the task's future and rethrown
+// from `future::get()` on the caller's thread.  Destruction drains: every
+// task already submitted runs to completion before the workers join, so
+// dropping a pool with queued work loses nothing.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace merlin {
+
+class ThreadPool {
+ public:
+  /// Sentinel returned by worker_index() on threads outside this pool.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// `n_threads` = 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+
+  /// Drains every already-submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task`.  The returned future completes when the task has run;
+  /// `get()` rethrows any exception the task threw.  Throws
+  /// std::runtime_error if the pool is already shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Index of the calling thread within this pool, or `npos` when called
+  /// from a thread this pool does not own.  Stable for the pool's lifetime —
+  /// batch runners key per-worker scratch state (e.g. GammaCache) off it.
+  [[nodiscard]] std::size_t worker_index() const;
+
+  /// Number of tasks a worker executed out of another worker's queue.
+  /// Purely informational (load-balance observability).
+  [[nodiscard]] std::size_t steal_count() const;
+
+ private:
+  void worker_loop(std::size_t wi);
+
+  /// Pops the next task for worker `wi` (own queue first, else steal the
+  /// oldest task of the longest other queue).  Caller holds `mu_`.
+  bool pop_task(std::size_t wi, std::packaged_task<void()>& out);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< task available / stopping
+  std::condition_variable cv_idle_;  ///< in-flight count reached zero
+  std::vector<std::deque<std::packaged_task<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t next_queue_ = 0;  ///< round-robin submit cursor
+  std::size_t in_flight_ = 0;   ///< queued + currently running tasks
+  std::size_t steals_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace merlin

@@ -1,0 +1,164 @@
+// The batch engine's headline invariant, enforced: for randomized circuits,
+// 1-thread and N-thread batch runs of every flow produce bit-identical
+// results, and repeated N-thread runs agree with each other.  Determinism
+// under concurrency is a contract here, not a hope.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "buflib/library.h"
+#include "flow/batch.h"
+#include "flow/circuit.h"
+#include "net/generator.h"
+
+namespace merlin {
+namespace {
+
+// Small budgets: the differential property is independent of solution
+// quality, so the 63 batch runs below stay fast.
+FlowConfig cheap_cfg() {
+  FlowConfig cfg;
+  cfg.candidates.policy = CandidatePolicy::kReducedHanan;
+  cfg.candidates.budget_factor = 1.0;
+  cfg.candidates.max_candidates = 10;
+  cfg.merlin.bubble.alpha = 3;
+  cfg.merlin.bubble.inner_prune.max_solutions = 3;
+  cfg.merlin.bubble.group_prune.max_solutions = 3;
+  cfg.merlin.bubble.buffer_stride = 6;
+  cfg.merlin.bubble.extension_neighbors = 4;
+  cfg.merlin.max_iterations = 2;
+  cfg.engine_prune.max_solutions = 4;
+  return cfg;
+}
+
+Circuit random_circuit(std::size_t i, const BufferLibrary& lib) {
+  CircuitSpec spec;
+  spec.name = "diff" + std::to_string(i);
+  spec.n_gates = 14 + (i * 5) % 12;  // 14..25 gates
+  spec.n_primary_inputs = 4;
+  spec.max_fanout = 7;
+  spec.seed = 1000 + 77 * i;
+  return make_random_circuit(spec, lib);
+}
+
+BatchResult run_batch(const Circuit& ckt, const BufferLibrary& lib,
+                      FlowKind flow, std::size_t threads) {
+  BatchOptions opts;
+  opts.threads = threads;
+  opts.flow = flow;
+  opts.scaled_config = false;
+  opts.config = cheap_cfg();
+  return BatchRunner(lib, opts).run(ckt);
+}
+
+TEST(BatchDifferential, SerialVsParallelBitIdenticalAcrossFlows) {
+  const BufferLibrary lib = make_standard_library();
+  // >= 20 randomized circuits; flows I/II/III cycle across them so each
+  // flow sees 7 different circuits.
+  for (std::size_t i = 0; i < 21; ++i) {
+    const Circuit ckt = random_circuit(i, lib);
+    const auto flow = static_cast<FlowKind>(1 + i % 3);
+    const BatchResult serial = run_batch(ckt, lib, flow, 1);
+    ASSERT_GT(serial.stats.net_count, 0u);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const BatchResult parallel = run_batch(ckt, lib, flow, threads);
+      EXPECT_EQ(parallel.stats.threads_used, threads);
+      EXPECT_TRUE(batch_results_identical(serial, parallel))
+          << "circuit " << i << " flow " << static_cast<int>(flow) << " at "
+          << threads << " threads diverged from the serial run";
+    }
+  }
+}
+
+TEST(BatchDifferential, RepeatedParallelRunsAgree) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = random_circuit(3, lib);
+  for (const FlowKind flow :
+       {FlowKind::kFlow1, FlowKind::kFlow2, FlowKind::kFlow3}) {
+    const BatchResult a = run_batch(ckt, lib, flow, 8);
+    const BatchResult b = run_batch(ckt, lib, flow, 8);
+    EXPECT_TRUE(batch_results_identical(a, b))
+        << "flow " << static_cast<int>(flow)
+        << ": two 8-thread runs disagreed";
+  }
+}
+
+TEST(BatchDifferential, SerialHelperMatchesBatchEngine) {
+  // run_circuit_flow is the batch engine at one thread; its circuit-level
+  // numbers must match a parallel default-flow run exactly.
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = random_circuit(5, lib);
+  const FlowConfig cfg = cheap_cfg();
+  const CircuitFlowResult serial = run_circuit_flow(
+      ckt, lib,
+      [&cfg](const Net& n, const BufferLibrary& l) { return run_flow3(n, l, cfg); });
+
+  BatchOptions opts;
+  opts.threads = 4;
+  opts.flow = FlowKind::kFlow3;
+  opts.scaled_config = false;
+  opts.config = cfg;
+  const BatchResult parallel = BatchRunner(lib, opts).run(ckt);
+  EXPECT_EQ(serial.delay_ps, parallel.circuit.delay_ps);
+  EXPECT_EQ(serial.area, parallel.circuit.area);
+  EXPECT_EQ(serial.nets_routed, parallel.circuit.nets_routed);
+  EXPECT_EQ(serial.buffers_inserted, parallel.circuit.buffers_inserted);
+}
+
+TEST(BatchDifferential, SeededStreamsDependOnlyOnNetId) {
+  // A deliberately randomized constructor: it perturbs its pruning budget
+  // from the per-net stream.  Thread count and scheduling must not leak in.
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = random_circuit(7, lib);
+
+  auto randomized = [](const Net& net, const BufferLibrary& l, Rng& rng) {
+    FlowConfig cfg = cheap_cfg();
+    cfg.candidates.max_candidates =
+        8 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    cfg.engine_prune.max_solutions =
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    return run_flow2(net, l, cfg);
+  };
+
+  auto run_with = [&](std::size_t threads) {
+    BatchOptions opts;
+    opts.threads = threads;
+    opts.seed = 42;
+    opts.custom_flow = randomized;
+    return BatchRunner(lib, opts).run(ckt);
+  };
+  const BatchResult serial = run_with(1);
+  const BatchResult parallel = run_with(8);
+  EXPECT_TRUE(batch_results_identical(serial, parallel));
+
+  // The stream seed is a pure function of (base seed, net id).
+  EXPECT_EQ(batch_net_seed(42, 7), batch_net_seed(42, 7));
+  EXPECT_NE(batch_net_seed(42, 7), batch_net_seed(42, 8));
+  EXPECT_NE(batch_net_seed(42, 7), batch_net_seed(43, 7));
+}
+
+TEST(BatchDifferential, RawNetListsAreDeterministicToo) {
+  const BufferLibrary lib = make_standard_library();
+  std::vector<Net> nets;
+  for (std::size_t i = 0; i < 12; ++i) {
+    NetSpec spec;
+    spec.name = "raw" + std::to_string(i);
+    spec.n_sinks = 1 + (i * 3) % 7;
+    spec.seed = 500 + i;
+    nets.push_back(make_random_net(spec, lib));
+  }
+  BatchOptions opts;
+  opts.scaled_config = false;
+  opts.config = cheap_cfg();
+  opts.threads = 1;
+  const BatchResult serial = BatchRunner(lib, opts).run_nets(nets);
+  opts.threads = 8;
+  const BatchResult parallel = BatchRunner(lib, opts).run_nets(nets);
+  ASSERT_EQ(serial.nets.size(), nets.size());
+  EXPECT_TRUE(batch_results_identical(serial, parallel));
+}
+
+}  // namespace
+}  // namespace merlin

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "buflib/library.h"
 #include "flow/flows.h"
 #include "net/generator.h"
@@ -95,6 +97,36 @@ TEST(Flows, Flow1HandlesSingleSink) {
   for (const FlowResult& r : {run_flow1(net, lib, cfg), run_flow2(net, lib, cfg),
                               run_flow3(net, lib, cfg)})
     EXPECT_TRUE(analyze_structure(net, r.tree).well_formed);
+}
+
+TEST(Flows, CentroidHandlesFarFlungCoordinates) {
+  // Regression: the 64-bit mean must narrow safely even when every sink sits
+  // at the edge of the int32 coordinate domain.
+  constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+
+  // All points at the positive extreme: the sum overflows int32 many times
+  // over, the centroid must still be exactly the extreme.
+  const Point far_pos = centroid({{kMax, kMax}, {kMax, kMax}, {kMax, kMax}});
+  EXPECT_EQ(far_pos, (Point{kMax, kMax}));
+
+  const Point far_neg = centroid({{kMin, kMin}, {kMin, kMin}});
+  EXPECT_EQ(far_neg, (Point{kMin, kMin}));
+
+  // Mixed extremes: mean of {min, max} truncates toward zero.
+  const Point mixed = centroid({{kMin, kMax}, {kMax, kMin}});
+  EXPECT_GE(mixed.x, -1);
+  EXPECT_LE(mixed.x, 0);
+  EXPECT_GE(mixed.y, -1);
+  EXPECT_LE(mixed.y, 0);
+
+  // Far-flung cluster: exact integer mean, no wraparound.
+  const Point spread = centroid({{2000000000, -2000000000},
+                                 {2000000000, -2000000000},
+                                 {1999999997, -1999999997}});
+  EXPECT_EQ(spread, (Point{1999999999, -1999999999}));
+
+  EXPECT_EQ(centroid({}), (Point{0, 0}));
 }
 
 TEST(Flows, ScaledConfigTiersAreOrdered) {

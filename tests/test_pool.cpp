@@ -1,0 +1,138 @@
+// Unit tests of the work-stealing thread pool: completion, exception
+// propagation from workers, stealing under imbalanced loads, and clean
+// shutdown with work still queued.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/pool.h"
+
+namespace merlin {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i)
+    futs.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("boom from worker"); });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "expected the worker exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from worker");
+  }
+  // The pool survives a throwing task and keeps executing.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); }).get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, StealsUnderImbalancedLoad) {
+  // Two workers, each pinned by one blocker task; 40 small tasks are dealt
+  // round-robin (20 per queue) behind them.  Releasing only blocker A leaves
+  // one worker free: it must drain its own 20 and steal the other queue's 20
+  // — the blocked worker cannot run them.
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  std::atomic<bool> release_a{false}, release_b{false};
+  std::vector<std::future<void>> blockers;
+  blockers.push_back(pool.submit([&started, &release_a] {
+    started.fetch_add(1);
+    while (!release_a.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }));
+  blockers.push_back(pool.submit([&started, &release_b] {
+    started.fetch_add(1);
+    while (!release_b.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }));
+  // Both workers must be pinned before the small tasks are dealt, or a
+  // worker could drain its own share early without ever stealing.
+  while (started.load() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::atomic<int> small_ran{0};
+  std::vector<std::future<void>> smalls;
+  for (int i = 0; i < 40; ++i)
+    smalls.push_back(pool.submit([&small_ran] { small_ran.fetch_add(1); }));
+
+  release_a.store(true);
+  for (auto& f : smalls) f.get();  // all smalls ran with B still blocked
+  EXPECT_EQ(small_ran.load(), 40);
+  EXPECT_GE(pool.steal_count(), 20u);  // the foreign queue's share
+
+  release_b.store(true);
+  for (auto& f : blockers) f.get();
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndScoped) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_index(), ThreadPool::npos);  // caller is not a worker
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 60; ++i)
+    futs.push_back(pool.submit([&] {
+      const std::size_t wi = pool.worker_index();
+      std::lock_guard<std::mutex> lk(mu);
+      seen.insert(wi);
+    }));
+  for (auto& f : futs) f.get();
+  for (std::size_t wi : seen) EXPECT_LT(wi, pool.size());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    // Destroy immediately: all 100 queued tasks must still run.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+        // A task submitted from inside a worker lands on that worker's own
+        // queue and still completes.
+        pool.submit([&ran] { ran.fetch_add(1); });
+      })
+      .get();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace merlin

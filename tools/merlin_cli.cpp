@@ -9,6 +9,9 @@
 //     --svg FILE          write the resulting tree as SVG
 //     --print-tree        dump the tree structure
 //     --random N SEED     ignore <net-file> and generate a random N-sink net
+//     --circuit G SEED    circuit mode: generate a random G-gate circuit and
+//                         run the chosen flow on every net (batch engine)
+//     --threads N         circuit mode: worker threads (0 = all cores)
 //
 // Exit code 0 on success; prints a one-line summary to stdout.
 
@@ -17,6 +20,8 @@
 #include <string>
 
 #include "buflib/library.h"
+#include "flow/batch.h"
+#include "flow/circuit.h"
 #include "flow/flows.h"
 #include "io/netfile.h"
 #include "io/svg.h"
@@ -29,7 +34,8 @@ namespace {
   std::fprintf(stderr,
                "usage: merlin_cli <net-file>|--random N SEED [--flow 1|2|3] "
                "[--alpha N] [--area-limit A] [--req-target T] "
-               "[--candidates K] [--svg FILE] [--print-tree]\n");
+               "[--candidates K] [--svg FILE] [--print-tree]\n"
+               "       merlin_cli --circuit G SEED [--flow 1|2|3] [--threads N]\n");
   std::exit(2);
 }
 
@@ -48,6 +54,9 @@ int main(int argc, char** argv) {
   bool print_tree = false;
   std::size_t random_n = 0;
   std::uint64_t random_seed = 1;
+  std::size_t circuit_gates = 0;
+  std::uint64_t circuit_seed = 1;
+  std::size_t threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -78,16 +87,50 @@ int main(int argc, char** argv) {
       need(2);
       random_n = std::strtoul(argv[++i], nullptr, 10);
       random_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--circuit") {
+      need(2);
+      circuit_gates = std::strtoul(argv[++i], nullptr, 10);
+      circuit_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--threads") {
+      need(1);
+      threads = std::strtoul(argv[++i], nullptr, 10);
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
       net_path = a;
     }
   }
-  if (net_path.empty() && random_n == 0) usage();
+  if (net_path.empty() && random_n == 0 && circuit_gates == 0) usage();
   if (flow < 1 || flow > 3) usage();
 
   const BufferLibrary lib = make_standard_library();
+
+  if (circuit_gates > 0) {
+    // Circuit mode: batch-run the chosen flow over every net of a random
+    // circuit on the parallel engine.
+    try {
+      CircuitSpec spec;
+      spec.name = "ckt" + std::to_string(circuit_gates);
+      spec.n_gates = circuit_gates;
+      spec.seed = circuit_seed;
+      const Circuit ckt = make_random_circuit(spec, lib);
+
+      BatchOptions opts;
+      opts.threads = threads;
+      opts.flow = static_cast<FlowKind>(flow);
+      const BatchResult r = BatchRunner(lib, opts).run(ckt);
+      std::printf("circuit=%s gates=%zu flow=%d  delay=%.1fps area=%.1f "
+                  "construct=%.0fms\n",
+                  ckt.name.c_str(), ckt.gates.size(), flow, r.circuit.delay_ps,
+                  r.circuit.area, r.circuit.runtime_ms);
+      std::printf("batch: %s\n", r.stats.to_string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "merlin_cli: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   Net net;
   try {
     if (random_n > 0) {
