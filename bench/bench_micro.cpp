@@ -16,7 +16,8 @@
 namespace merlin {
 namespace {
 
-SolutionCurve random_curve(std::size_t n, std::uint64_t seed) {
+SolutionCurve random_curve(SolutionArena& arena, std::size_t n,
+                           std::uint64_t seed) {
   Rng rng(seed);
   SolutionCurve c;
   for (std::size_t i = 0; i < n; ++i) {
@@ -24,14 +25,16 @@ SolutionCurve random_curve(std::size_t n, std::uint64_t seed) {
     s.req_time = rng.uniform(0, 1000);
     s.load = rng.uniform(1, 50);
     s.area = rng.uniform(0, 10);
-    s.node = make_sink_node({0, 0}, 0);
+    s.node = arena.make_sink({0, 0}, 0);
     c.push(std::move(s));
   }
   return c;
 }
 
 void BM_CurvePrune(benchmark::State& state) {
-  const auto base = random_curve(static_cast<std::size_t>(state.range(0)), 7);
+  SolutionArena arena;
+  const auto base =
+      random_curve(arena, static_cast<std::size_t>(state.range(0)), 7);
   for (auto _ : state) {
     SolutionCurve c = base;
     c.prune();
@@ -41,7 +44,8 @@ void BM_CurvePrune(benchmark::State& state) {
 BENCHMARK(BM_CurvePrune)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_CurvePruneCapped(benchmark::State& state) {
-  const auto base = random_curve(128, 7);
+  SolutionArena arena;
+  const auto base = random_curve(arena, 128, 7);
   PruneConfig cfg;
   cfg.max_solutions = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -53,10 +57,17 @@ void BM_CurvePruneCapped(benchmark::State& state) {
 BENCHMARK(BM_CurvePruneCapped)->Arg(4)->Arg(8);
 
 void BM_MergeCurves(benchmark::State& state) {
-  const auto a = random_curve(static_cast<std::size_t>(state.range(0)), 1);
-  const auto b = random_curve(static_cast<std::size_t>(state.range(0)), 2);
+  SolutionArena src_arena;
+  const auto a =
+      random_curve(src_arena, static_cast<std::size_t>(state.range(0)), 1);
+  const auto b =
+      random_curve(src_arena, static_cast<std::size_t>(state.range(0)), 2);
+  // Scratch arena reset per iteration so memory stays bounded over millions
+  // of iterations; the merge nodes are never replayed, only allocated.
+  SolutionArena arena;
   for (auto _ : state) {
-    auto m = merge_curves(a, b, {0, 0}, {});
+    arena.reset();
+    auto m = merge_curves(arena, a, b, {0, 0}, {});
     benchmark::DoNotOptimize(m);
   }
 }
@@ -64,10 +75,13 @@ BENCHMARK(BM_MergeCurves)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_BufferedOptions(benchmark::State& state) {
   const BufferLibrary lib = make_standard_library();
-  const auto src = random_curve(6, 3);
+  SolutionArena src_arena;
+  const auto src = random_curve(src_arena, 6, 3);
+  SolutionArena arena;  // scratch, reset per iteration (see BM_MergeCurves)
   for (auto _ : state) {
+    arena.reset();
     SolutionCurve dst;
-    push_buffered_options(src, {0, 0}, lib, dst,
+    push_buffered_options(arena, src, {0, 0}, lib, dst,
                           static_cast<std::size_t>(state.range(0)));
     benchmark::DoNotOptimize(dst);
   }

@@ -22,13 +22,14 @@ int main() {
   {
     TextTable t({"merge depth", "pushed", "after prune", "prune time (us)"});
     Rng rng(1);
+    SolutionArena arena;
     SolutionCurve acc;
     for (int i = 0; i < 32; ++i) {
       Solution s;
       s.req_time = rng.uniform(0, 1000);
       s.load = rng.uniform(1, 50);
       s.area = rng.uniform(0, 10);
-      s.node = make_sink_node({0, 0}, 0);
+      s.node = arena.make_sink({0, 0}, 0);
       acc.push(std::move(s));
     }
     acc.prune();
@@ -41,12 +42,12 @@ int main() {
         s.req_time = r2.uniform(0, 1000);
         s.load = r2.uniform(1, 50);
         s.area = r2.uniform(0, 10);
-        s.node = make_sink_node({0, 0}, 1);
+        s.node = arena.make_sink({0, 0}, 1);
         other.push(std::move(s));
       }
       other.prune();
       const auto t0 = std::chrono::steady_clock::now();
-      acc = merge_curves(acc, other, {0, 0}, {});
+      acc = merge_curves(arena, acc, other, {0, 0}, {});
       const double us = std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() - t0)
                             .count();

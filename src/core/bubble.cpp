@@ -36,6 +36,12 @@ class GammaTable {
                                         std::size_t p) const {
     return cells_[index(l, e, r, p)];
   }
+  /// The k curves of one (l, e, r) state, contiguous over p.  Layers consume
+  /// child states through this view instead of copying k curves per variant.
+  [[nodiscard]] std::span<const SolutionCurve> row(std::size_t l, Chi e,
+                                                   std::size_t r) const {
+    return {&cells_[index(l, e, r, 0)], k_};
+  }
 
  private:
   [[nodiscard]] std::size_t index(std::size_t l, Chi e, std::size_t r,
@@ -68,17 +74,26 @@ struct Terminal {
 
 inline constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
 
-// Dense (i, j, p) storage for the within-layer *PTREE DP (w is tiny: <= alpha).
+// Dense (i, j, p) storage for the within-layer *PTREE DP (w is tiny: <=
+// alpha).  One instance lives in the Workspace and is re-prepared per layer
+// call: clearing cells keeps their vector capacity, so after the first few
+// layers the entire within-layer DP runs without heap allocation.
 class LayerTable {
  public:
-  LayerTable(std::size_t w, std::size_t k) : w_(w), k_(k), cells_(w * (w + 1) / 2 * k) {}
+  void prepare(std::size_t w, std::size_t k) {
+    w_ = w;
+    k_ = k;
+    const std::size_t need = w * (w + 1) / 2 * k;
+    if (cells_.size() < need) cells_.resize(need);
+    for (std::size_t i = 0; i < need; ++i) cells_[i].clear();
+  }
 
   SolutionCurve& at(std::size_t i, std::size_t j, std::size_t p) {
     return cells_[(i * w_ - i * (i - 1) / 2 + (j - i)) * k_ + p];
   }
 
  private:
-  std::size_t w_, k_;
+  std::size_t w_ = 0, k_ = 0;
   std::vector<SolutionCurve> cells_;
 };
 
@@ -89,6 +104,7 @@ struct Workspace {
   const BufferLibrary& lib;
   const BubbleConfig& cfg;
   const Order& order;
+  SolutionArena& arena;
   std::vector<Point> pts;
   std::size_t k = 0;
   std::size_t source_p = 0;
@@ -99,6 +115,13 @@ struct Workspace {
   /// BubbleConfig::extension_neighbors), nearest first.
   std::vector<std::vector<std::uint32_t>> neigh;
   std::vector<Point> neigh_pts_scratch;
+  // Per-layer-call scratch, reused across the whole construction so curve
+  // and table capacity warms up once (see LayerTable::prepare).
+  LayerTable layer_scratch;
+  std::vector<SolutionCurve> ext_scratch;     // extension staging, one per p
+  std::vector<SolutionCurve> routed_scratch;  // layer_ptree output, one per p
+  std::vector<MergeJob> jobs_scratch;
+  std::vector<const SolutionCurve*> srcs_scratch;
 
   [[nodiscard]] std::span<const double> widths() const {
     return cfg.wire_widths.empty() ? std::span<const double>(kDefaultWidth)
@@ -106,9 +129,10 @@ struct Workspace {
   }
 
   Workspace(const Net& net_, const BufferLibrary& lib_, const BubbleConfig& cfg_,
-            const Order& order_, std::vector<Point> pts_)
-      : net(net_), lib(lib_), cfg(cfg_), order(order_), pts(std::move(pts_)),
-        k(pts.size()), n(net_.fanout()), gamma(net_.fanout(), pts.size()) {
+            const Order& order_, SolutionArena& arena_, std::vector<Point> pts_)
+      : net(net_), lib(lib_), cfg(cfg_), order(order_), arena(arena_),
+        pts(std::move(pts_)), k(pts.size()), n(net_.fanout()),
+        gamma(net_.fanout(), pts.size()) {
     neigh.resize(k);
     std::vector<std::uint32_t> all(k);
     for (std::uint32_t p = 0; p < k; ++p) all[p] = p;
@@ -131,15 +155,16 @@ struct Workspace {
 // The *PTREE layer DP (paper section 3.2.3): finds non-inferior rectilinear
 // routings rooted at every candidate location over the ordered terminals,
 // where one terminal may be an already-built sub-group represented by its
-// child curves X (one curve per root location).  Returns the full-range
-// curve per candidate location.
-std::vector<SolutionCurve> layer_ptree(
-    Workspace& ws, const std::vector<Terminal>& seq,
-    std::span<const std::vector<SolutionCurve>> children /* [slot][k] */) {
+// child curves X (one curve per root location, viewed in place in the Gamma
+// table).  Fills `routed` with the full-range curve per candidate location.
+void layer_ptree(Workspace& ws, const std::vector<Terminal>& seq,
+                 std::span<const std::span<const SolutionCurve>> children,
+                 std::vector<SolutionCurve>& routed) {
   const std::size_t w = seq.size();
   const std::size_t k = ws.k;
   const PruneConfig& prune = ws.cfg.inner_prune;
-  LayerTable table(w, k);
+  LayerTable& table = ws.layer_scratch;
+  table.prepare(w, k);
   ++ws.layer_calls;
 
   // Base cases.
@@ -158,8 +183,8 @@ std::vector<SolutionCurve> layer_ptree(
           sol.req_time = s.req_time - wm.elmore_delay(len, s.load);
           sol.load = s.load + wm.wire_cap(len);
           sol.wirelen = len;
-          sol.node = make_sink_node(ws.pts[p],
-                                    static_cast<std::int32_t>(seq[t].sink), width);
+          sol.node = ws.arena.make_sink(
+              ws.pts[p], static_cast<std::int32_t>(seq[t].sink), width);
           cell.push(std::move(sol));
           if (len == 0.0) break;
         }
@@ -170,8 +195,9 @@ std::vector<SolutionCurve> layer_ptree(
 
   // Ranges by increasing length: merges at each point, then one
   // wire-extension relaxation (sufficient under Elmore; see ptree.cpp).
-  std::vector<MergeJob> jobs;
-  std::vector<const SolutionCurve*> srcs(k);
+  std::vector<MergeJob>& jobs = ws.jobs_scratch;
+  std::vector<const SolutionCurve*>& srcs = ws.srcs_scratch;
+  ws.ext_scratch.resize(k);
   for (std::size_t len = 2; len <= w; ++len) {
     for (std::size_t i = 0; i + len <= w; ++i) {
       const std::size_t j = i + len - 1;
@@ -180,13 +206,14 @@ std::vector<SolutionCurve> layer_ptree(
         jobs.clear();
         for (std::size_t u = i; u < j; ++u)
           jobs.push_back(MergeJob{&table.at(i, u, p), &table.at(u + 1, j, p)});
-        push_merged_options(jobs, ws.pts[p], prune, cell);
+        push_merged_options(ws.arena, jobs, ws.pts[p], prune, cell);
         cell.prune(prune);
       }
       // The extension relaxation reads the pre-extension (merge-only) cells,
       // so results are staged and committed after the sweep.
-      std::vector<SolutionCurve> extended(k);
       for (std::size_t p = 0; p < k; ++p) {
+        SolutionCurve& ext = ws.ext_scratch[p];
+        ext.clear();
         const auto& nb = ws.neigh[p];
         srcs.resize(nb.size());
         ws.neigh_pts_scratch.resize(nb.size());
@@ -194,20 +221,22 @@ std::vector<SolutionCurve> layer_ptree(
           srcs[t] = &table.at(i, j, nb[t]);
           ws.neigh_pts_scratch[t] = ws.pts[nb[t]];
         }
-        push_extended_options(srcs, ws.neigh_pts_scratch, ws.pts[p],
-                              ws.net.wire, prune, extended[p], ws.widths());
+        push_extended_options(ws.arena, srcs, ws.neigh_pts_scratch, ws.pts[p],
+                              ws.net.wire, prune, ext, ws.widths());
       }
       for (std::size_t p = 0; p < k; ++p) {
         SolutionCurve& cell = table.at(i, j, p);
-        for (const Solution& s : extended[p]) cell.push(s);
+        for (const Solution& s : ws.ext_scratch[p]) cell.push(s);
         cell.prune(prune);
       }
     }
   }
 
-  std::vector<SolutionCurve> out(k);
-  for (std::size_t p = 0; p < k; ++p) out[p] = std::move(table.at(0, w - 1, p));
-  return out;
+  routed.resize(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    routed[p].clear();
+    for (const Solution& s : table.at(0, w - 1, p)) routed[p].push(s);
+  }
 }
 
 // Converts anchor curves (one per candidate) into child curves X: at each
@@ -220,7 +249,7 @@ std::vector<SolutionCurve> anchors_to_child(Workspace& ws,
   for (std::size_t p = 0; p < ws.k; ++p) {
     // Child curves are long-lived inputs to later layers; give them the
     // (richer) group budget rather than the transient inner one.
-    push_extended_options(srcs, ws.pts, ws.pts[p], ws.net.wire,
+    push_extended_options(ws.arena, srcs, ws.pts, ws.pts[p], ws.net.wire,
                           ws.cfg.group_prune, x[p], ws.widths());
   }
   return x;
@@ -234,7 +263,7 @@ void apply_root_options(Workspace& ws, const std::vector<SolutionCurve>& routed,
     if (routed[p].empty()) continue;
     if (keep_unbuffered)
       for (const Solution& s : routed[p]) into[p].push(s);
-    push_buffered_options(routed[p], ws.pts[p], ws.lib, into[p],
+    push_buffered_options(ws.arena, routed[p], ws.pts[p], ws.lib, into[p],
                           ws.cfg.buffer_stride);
     // Amortized pruning keeps accumulation cells from ballooning while many
     // (l, e, r) child choices pour into the same (L, E, R) group.
@@ -319,7 +348,13 @@ void enumerate_layer_sequences(const std::vector<Terminal>& base,
 
 BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                               const Order& order, const BubbleConfig& cfg_in,
-                              GammaCache* cache) {
+                              GammaCache* cache, SolutionArena* arena_opt) {
+  if (cache != nullptr && arena_opt == nullptr)
+    throw std::invalid_argument(
+        "bubble_construct: a GammaCache requires a caller-owned arena (cached "
+        "curves hold handles into it; see GammaCache docs)");
+  SolutionArena local_arena;
+  SolutionArena& arena = arena_opt ? *arena_opt : local_arena;
   // Default the cap keep-point scalarization to a mid-library drive strength
   // (see PruneConfig::ref_res) so tight caps never squeeze out the solutions
   // an upstream driver would actually pick.
@@ -338,7 +373,7 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
 
   const std::vector<Point> terms = net.terminals();
   std::vector<Point> pts = candidate_locations(terms, cfg.candidates);
-  Workspace ws(net, lib, cfg, order, std::move(pts));
+  Workspace ws(net, lib, cfg, order, arena, std::move(pts));
   ws.source_p = ws.k;
   for (std::size_t p = 0; p < ws.k; ++p)
     if (ws.pts[p] == net.source) ws.source_p = p;
@@ -374,13 +409,14 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
           sol.req_time = s.req_time - wm.elmore_delay(len, s.load);
           sol.load = s.load + wm.wire_cap(len);
           sol.wirelen = len;
-          sol.node = make_sink_node(ws.pts[p],
-                                    static_cast<std::int32_t>(order[pos]), width);
+          sol.node = ws.arena.make_sink(
+              ws.pts[p], static_cast<std::int32_t>(order[pos]), width);
           base.push(std::move(sol));
           if (len == 0.0) break;
         }
         for (const Solution& sol : base) anchor[p].push(sol);
-        push_buffered_options(base, ws.pts[p], lib, anchor[p], cfg.buffer_stride);
+        push_buffered_options(ws.arena, base, ws.pts[p], lib, anchor[p],
+                              cfg.buffer_stride);
         anchor[p].prune(cfg.group_prune);
       }
       if (n == 1) {
@@ -433,14 +469,15 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
               if (!omega.valid(n)) continue;
               const GroupSpan omegas[1] = {omega};
               if (!build_sequence(ws, Omega, omegas, seq)) continue;
-              // Child curves X(l,e,r,.) live directly in gamma.
-              std::vector<std::vector<SolutionCurve>> children(1);
-              children[0].resize(ws.k);
+              // Child curves X(l,e,r,.) are consumed in place in gamma.
+              const std::span<const SolutionCurve> children[1] = {
+                  ws.gamma.row(l, e, r)};
               bool any = false;
-              for (std::size_t p = 0; p < ws.k; ++p) {
-                children[0][p] = ws.gamma.at(l, e, r, p);
-                any = any || !children[0][p].empty();
-              }
+              for (const SolutionCurve& c : children[0])
+                if (!c.empty()) {
+                  any = true;
+                  break;
+                }
               if (!any) continue;
               std::vector<std::vector<Terminal>> variants;
               if (cfg.enable_bubbling) {
@@ -450,8 +487,8 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                 variants.push_back(seq);
               }
               for (const auto& var : variants) {
-                auto routed = layer_ptree(ws, var, children);
-                apply_root_options(ws, routed,
+                layer_ptree(ws, var, children, ws.routed_scratch);
+                apply_root_options(ws, ws.routed_scratch,
                                    cfg.allow_unbuffered_groups || L == n, acc);
               }
             }
@@ -459,7 +496,6 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
         }
         // Relaxed Ca_Trees (section 3.2.1): a second inner group per layer.
         if (cfg.max_internal_children >= 2 && L >= 2) {
-          std::vector<std::vector<SolutionCurve>> children(2);
           for (std::size_t l1 = 1; l1 + 1 <= L - 1; ++l1) {
             for (Chi e1 : chis(l1)) {
               const std::size_t sl1 = GroupSpan{l1, e1, 0}.span_len();
@@ -478,19 +514,18 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                       if (!o2.valid(n) || o2.left() <= r1) continue;
                       const GroupSpan omegas[2] = {o1, o2};
                       if (!build_sequence(ws, Omega, omegas, seq)) continue;
+                      const std::span<const SolutionCurve> children[2] = {
+                          ws.gamma.row(l1, e1, r1), ws.gamma.row(l2, e2, r2)};
                       bool any1 = false, any2 = false;
-                      children[0].assign(ws.k, SolutionCurve{});
-                      children[1].assign(ws.k, SolutionCurve{});
                       for (std::size_t p = 0; p < ws.k; ++p) {
-                        children[0][p] = ws.gamma.at(l1, e1, r1, p);
-                        children[1][p] = ws.gamma.at(l2, e2, r2, p);
                         any1 = any1 || !children[0][p].empty();
                         any2 = any2 || !children[1][p].empty();
                       }
                       if (!any1 || !any2) continue;
-                      auto routed = layer_ptree(ws, seq, children);
-                      apply_root_options(
-                          ws, routed, cfg.allow_unbuffered_groups || L == n, acc);
+                      layer_ptree(ws, seq, children, ws.routed_scratch);
+                      apply_root_options(ws, ws.routed_scratch,
+                                         cfg.allow_unbuffered_groups || L == n,
+                                         acc);
                     }
                   }
                 }
@@ -547,8 +582,8 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
   }
   res.chosen = *best;
   res.driver_req_time = driver_q(*best);
-  res.tree = build_routing_tree(net, best->node);
-  res.out_order = provenance_sink_order(best->node, n);
+  res.tree = build_routing_tree(net, arena, best->node);
+  res.out_order = provenance_sink_order(arena, best->node, n);
   return res;
 }
 

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,6 +114,13 @@ struct BubbleConfig {
 /// combination — merlin_optimize owns one per run, or clears and reuses a
 /// caller-provided scratch cache (MerlinConfig::scratch_cache).
 ///
+/// Arena coupling: cached curves hold SolNodeId handles into the
+/// SolutionArena of the bubble_construct run that inserted them, so a cache
+/// always travels with one arena of the same lifetime (bubble_construct
+/// enforces this by rejecting a cache without an arena).  Between runs the
+/// owner compacts the arena with the cache's curves as roots
+/// (collect_roots) and rewrites the handles (remap_nodes).
+///
 /// Thread ownership: the cache is not internally synchronized (even `find`
 /// mutates the hit/miss counters).  Exactly one thread may use a given
 /// instance at a time; parallel batch execution therefore keeps one scratch
@@ -137,6 +145,19 @@ class GammaCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
+
+  /// Appends every provenance handle held by the cached curves to `out`
+  /// (the cache's contribution to a SolutionArena::mark_compact root set).
+  void collect_roots(std::vector<SolNodeId>& out) const {
+    for (const auto& [key, curves] : map_)
+      for (const SolutionCurve& c : curves) c.collect_roots(out);
+  }
+
+  /// Rewrites every cached handle through a mark_compact remap table.
+  void remap_nodes(std::span<const SolNodeId> remap) {
+    for (auto& [key, curves] : map_)
+      for (SolutionCurve& c : curves) c.remap_nodes(remap);
+  }
   /// Drops all entries and resets the hit/miss counters, returning the
   /// instance to its freshly constructed state (allocation kept).
   void clear() {
@@ -167,9 +188,16 @@ struct BubbleResult {
 /// Runs BUBBLE_CONSTRUCT for `net` with initial order `order`.  `cache`, if
 /// given, is consulted for sub-problems shared with earlier runs on the
 /// same net/config and updated with this run's groups (section III.4).
+///
+/// `arena` receives all provenance allocated by the run.  It is required
+/// whenever `cache` is given (cached curves reference the arena, so both
+/// must outlive the run together — see GammaCache); without a cache it may
+/// be nullptr, in which case a private arena backs the run and the result's
+/// curve handles dangle after return (tree/out_order/metrics stay valid).
 /// Preconditions: net has >= 1 sink, order is a permutation, alpha >= 2.
 BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                               const Order& order, const BubbleConfig& cfg = {},
-                              GammaCache* cache = nullptr);
+                              GammaCache* cache = nullptr,
+                              SolutionArena* arena = nullptr);
 
 }  // namespace merlin

@@ -38,14 +38,21 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
     cache_ptr = cfg.scratch_cache ? cfg.scratch_cache : &local_cache;
     cache_ptr->clear();
   }
+  // Likewise for provenance storage: the scratch arena is reset (capacity
+  // kept), and one arena then backs every iteration — cached curves carry
+  // handles into it, so cache and arena advance in lockstep.
+  SolutionArena local_arena;
+  SolutionArena& arena = cfg.scratch_arena ? *cfg.scratch_arena : local_arena;
+  arena.reset();
 
   bool have_best = false;
+  std::vector<SolNodeId> live_roots;
   while (res.iterations < cfg.max_iterations) {
     if (!seen.insert(pi.sequence()).second) {
       res.converged = true;
       break;
     }
-    BubbleResult r = bubble_construct(net, lib, pi, cfg.bubble, cache_ptr);
+    BubbleResult r = bubble_construct(net, lib, pi, cfg.bubble, cache_ptr, &arena);
     ++res.iterations;
     res.iteration_req_times.push_back(r.driver_req_time);
 
@@ -66,6 +73,23 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
       break;
     }
     pi = next;
+
+    // Another neighborhood will be searched: squeeze the dead sub-DAGs of
+    // this iteration out of the arena.  Live are the cached group curves
+    // (next iteration's section III.4 hits) and the best result's own
+    // handles; everything else — the losing candidates of the iteration —
+    // is reclaimed.  Remapping never changes replayed structure, so results
+    // are unaffected (the arena tests pin this down).
+    live_roots.clear();
+    if (cache_ptr) cache_ptr->collect_roots(live_roots);
+    res.best.root_curve.collect_roots(live_roots);
+    if (res.best.chosen.node != kNullSol)
+      live_roots.push_back(res.best.chosen.node);
+    const std::vector<SolNodeId> remap = arena.mark_compact(live_roots);
+    if (cache_ptr) cache_ptr->remap_nodes(remap);
+    res.best.root_curve.remap_nodes(remap);
+    if (res.best.chosen.node != kNullSol)
+      res.best.chosen.node = remap[res.best.chosen.node];
   }
   if (!have_best)
     throw std::logic_error("merlin_optimize: no iterations performed");

@@ -33,6 +33,15 @@ struct MerlinConfig {
   /// scratch cache must be owned by exactly one thread at a time — batch
   /// execution keeps one per pool worker, never one shared across workers.
   GammaCache* scratch_cache = nullptr;
+
+  /// Optional externally owned scratch arena for all provenance of the run.
+  /// When set, merlin_optimize resets it at the start (slab capacity kept —
+  /// the allocation-reuse analogue of scratch_cache) and the returned
+  /// best.root_curve / best.chosen handles stay resolvable in it until the
+  /// caller resets it.  When null a run-local arena is used and those
+  /// handles dangle after return.  Same single-thread ownership rule as
+  /// scratch_cache; the batch engine keeps one per pool worker.
+  SolutionArena* scratch_arena = nullptr;
 };
 
 /// Outcome of a MERLIN run.

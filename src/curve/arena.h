@@ -1,0 +1,121 @@
+#pragma once
+// SolutionArena — bump-allocated storage for provenance SolNodes.
+//
+// The DP engines allocate provenance on their innermost loops (one node per
+// surviving curve point, Lemma 10 bounds the points at O(nmq) per state).
+// With shared_ptr provenance that meant a heap allocation plus atomic
+// refcount traffic per node, multiplied across every worker of the batch
+// engine.  The arena replaces it with the flat-pool/index-handle idiom:
+//
+//   * nodes live in fixed-size slabs (never reallocated, so references
+//     handed out by operator[] stay valid across further allocation);
+//   * a handle is a dense 32-bit index (SolNodeId) — half the size of a
+//     pointer, trivially relocatable and serializable;
+//   * freeing is wholesale: reset() between independent DP invocations, or
+//     mark_compact() to squeeze dead sub-DAGs out while a GammaCache keeps
+//     older curves alive across neighborhood-search iterations.
+//
+// Ownership rules (see docs/ARCHITECTURE.md):
+//   * one arena per DP invocation — engines that take an optional arena use
+//     a private local one when none is supplied;
+//   * a GammaCache and the arena holding its curves' nodes must travel
+//     together and have the same lifetime;
+//   * arenas are single-threaded; the batch engine gives each pool worker
+//     its own arena next to its scratch GammaCache.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "curve/solution.h"
+#include "geom/point.h"
+
+namespace merlin {
+
+class SolutionArena {
+ public:
+  /// Nodes per slab.  Slabs are never reallocated or freed before the arena
+  /// (reset() keeps them), so `&arena[id]` is stable across allocation.
+  static constexpr std::size_t kSlabShift = 13;  // 8192 nodes, 512 KiB/slab
+  static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
+  static constexpr std::size_t kSlabMask = kSlabSize - 1;
+
+  struct Stats {
+    std::uint64_t nodes_allocated = 0;  ///< lifetime total (across resets)
+    std::size_t live_nodes = 0;         ///< nodes since the last reset/compact
+    std::size_t peak_nodes = 0;         ///< high-water mark of live_nodes
+    std::size_t reserved_bytes = 0;     ///< slab memory currently held
+    std::size_t peak_bytes = 0;         ///< peak_nodes * sizeof(SolNode)
+    std::uint64_t resets = 0;
+    std::uint64_t compactions = 0;
+  };
+
+  SolutionArena() = default;
+  SolutionArena(SolutionArena&&) = default;
+  SolutionArena& operator=(SolutionArena&&) = default;
+  SolutionArena(const SolutionArena&) = delete;
+  SolutionArena& operator=(const SolutionArena&) = delete;
+
+  // -- allocation (mirrors the old make_*_node free functions) --------------
+
+  SolNodeId make_sink(Point at, std::int32_t sink_idx, double wire_width = 1.0) {
+    return emplace(SolNode{StepKind::kSink, sink_idx, at, wire_width,
+                           kNullSol, kNullSol});
+  }
+  SolNodeId make_wire(Point at, SolNodeId child, double wire_width = 1.0) {
+    return emplace(SolNode{StepKind::kWire, -1, at, wire_width, child, kNullSol});
+  }
+  SolNodeId make_merge(Point at, SolNodeId l, SolNodeId r) {
+    return emplace(SolNode{StepKind::kMerge, -1, at, 1.0, l, r});
+  }
+  SolNodeId make_buffer(Point at, std::int32_t buf_idx, SolNodeId child) {
+    return emplace(SolNode{StepKind::kBuffer, buf_idx, at, 1.0, child, kNullSol});
+  }
+
+  // -- access ----------------------------------------------------------------
+
+  [[nodiscard]] const SolNode& operator[](SolNodeId id) const {
+    return slabs_[id >> kSlabShift][id & kSlabMask];
+  }
+  /// Bounds-checked access; throws std::invalid_argument on kNullSol or an
+  /// id this arena never handed out (the replay/extraction entry points use
+  /// it so a stale handle fails loudly instead of reading freed memory).
+  [[nodiscard]] const SolNode& at(SolNodeId id) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool contains(SolNodeId id) const { return id < size_; }
+
+  // -- wholesale reclamation -------------------------------------------------
+
+  /// Drops every node but keeps slab capacity for reuse (the per-worker
+  /// arenas of the batch engine call this between nets).
+  void reset();
+
+  /// Mark-compact garbage collection.  Marks everything reachable from
+  /// `roots` (kNullSol entries are permitted and skipped), slides the
+  /// survivors down in allocation order, and returns the old-id → new-id
+  /// remap table (dead or never-allocated ids map to kNullSol).  Allocation
+  /// order is preserved, and because children are always allocated before
+  /// their parents, shared sub-DAGs (the paper's Lemma 7 sharing) stay
+  /// shared: two parents of one child both see the same remapped id.
+  /// Callers must remap every surviving handle they hold (SolutionCurve::
+  /// remap_nodes, GammaCache::remap_nodes).
+  std::vector<SolNodeId> mark_compact(std::span<const SolNodeId> roots);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  SolNodeId emplace(SolNode n);
+  [[nodiscard]] SolNode& slot(SolNodeId id) {
+    return slabs_[id >> kSlabShift][id & kSlabMask];
+  }
+
+  std::vector<std::unique_ptr<SolNode[]>> slabs_;
+  std::size_t size_ = 0;       // nodes currently live (bump pointer)
+  Stats stats_;                // live_nodes/reserved_bytes filled by stats()
+};
+
+}  // namespace merlin

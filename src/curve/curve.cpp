@@ -8,10 +8,14 @@ namespace merlin {
 
 namespace {
 
-constexpr double kEps = 1e-9;
-
 // Shared pruning core.  `T` must expose req_time/load/area/wirelen members;
 // used both for stored Solutions and for not-yet-allocated candidates.
+// Dominance goes through the same `dominates` helper as push-time tests
+// (Solution::dominated_by), so the epsilon cannot drift between the two.
+//
+// The whole routine works in place (stable compactions with a write index,
+// index gathers for the cap): pruning runs on every DP state, so a scratch
+// vector here would be one of the hottest allocation sites in the library.
 template <typename T>
 void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
   if (v.empty()) return;
@@ -32,16 +36,18 @@ void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
       if (a.req_time != b.req_time) return a.req_time > b.req_time;
       return a.wirelen < b.wirelen;
     });
-    std::vector<T> keep;
-    keep.reserve(v.size());
-    for (auto& s : v) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
       const bool same_bin =
-          !keep.empty() &&
-          bin(keep.back().load, cfg.load_quantum) == bin(s.load, cfg.load_quantum) &&
-          bin(keep.back().area, cfg.area_quantum) == bin(s.area, cfg.area_quantum);
-      if (!same_bin) keep.push_back(std::move(s));
+          w > 0 &&
+          bin(v[w - 1].load, cfg.load_quantum) == bin(v[i].load, cfg.load_quantum) &&
+          bin(v[w - 1].area, cfg.area_quantum) == bin(v[i].area, cfg.area_quantum);
+      if (!same_bin) {
+        if (w != i) v[w] = std::move(v[i]);
+        ++w;
+      }
     }
-    v = std::move(keep);
+    v.resize(w);
   }
 
   // Exact 3-D Pareto sweep (Def. 6).  After sorting by load, any dominator
@@ -52,20 +58,21 @@ void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
     if (a.req_time != b.req_time) return a.req_time > b.req_time;
     return a.wirelen < b.wirelen;
   });
-  std::vector<T> keep;
-  keep.reserve(v.size());
-  for (auto& s : v) {
-    bool dominated = false;
-    for (const T& k : keep) {
-      if (k.load <= s.load + kEps && k.area <= s.area + kEps &&
-          k.req_time >= s.req_time - kEps) {
-        dominated = true;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bool is_dominated = false;
+    for (std::size_t k = 0; k < w; ++k) {
+      if (dominates(v[k], v[i])) {
+        is_dominated = true;
         break;
       }
     }
-    if (!dominated) keep.push_back(std::move(s));
+    if (!is_dominated) {
+      if (w != i) v[w] = std::move(v[i]);
+      ++w;
+    }
   }
-  v = std::move(keep);
+  v.resize(w);
 
   // Engineering cap.  All survivors are non-inferior, so the cap is purely
   // about which part of the frontier to keep.  We always keep the three
@@ -90,28 +97,31 @@ void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
               v[best_scalar].req_time - cfg.ref_res * v[best_scalar].load)
         best_scalar = i;
     }
-    std::vector<std::size_t> must{0, best_rt, min_area};
-    if (cfg.ref_res > 0.0) must.push_back(best_scalar);
-    std::sort(must.begin(), must.end());
-    must.erase(std::unique(must.begin(), must.end()), must.end());
+    std::size_t must[4] = {0, best_rt, min_area, 0};
+    std::size_t n_must = 3;
+    if (cfg.ref_res > 0.0) must[n_must++] = best_scalar;
+    std::sort(must, must + n_must);
+    n_must = static_cast<std::size_t>(std::unique(must, must + n_must) - must);
 
-    std::vector<std::size_t> pick = must;
-    for (std::size_t j = 0; j < m && pick.size() < m + must.size(); ++j)
+    thread_local std::vector<std::size_t> pick;
+    pick.assign(must, must + n_must);
+    for (std::size_t j = 0; j < m && pick.size() < m + n_must; ++j)
       pick.push_back(m == 1 ? best_rt : j * (n - 1) / (m - 1));
     std::sort(pick.begin(), pick.end());
     pick.erase(std::unique(pick.begin(), pick.end()), pick.end());
     // Trim middle samples (never the must-keeps) down to the cap.
-    for (std::size_t j = 1; pick.size() > std::max(m, must.size());) {
+    for (std::size_t j = 1; pick.size() > std::max(m, n_must);) {
       if (j + 1 >= pick.size()) break;
-      if (!std::binary_search(must.begin(), must.end(), pick[j]))
+      if (!std::binary_search(must, must + n_must, pick[j]))
         pick.erase(pick.begin() + static_cast<std::ptrdiff_t>(j));
       else
         ++j;
     }
-    std::vector<T> capped;
-    capped.reserve(pick.size());
-    for (std::size_t idx : pick) capped.push_back(std::move(v[idx]));
-    v = std::move(capped);
+    // `pick` is strictly increasing, so pick[t] >= t: gathering forward in
+    // place never reads a slot already written.
+    for (std::size_t t = 0; t < pick.size(); ++t)
+      if (pick[t] != t) v[t] = std::move(v[pick[t]]);
+    v.resize(pick.size());
   }
 }
 
@@ -126,6 +136,16 @@ struct MergeCand {
 
 void SolutionCurve::prune(const PruneConfig& cfg) { pareto_prune(sols_, cfg); }
 
+void SolutionCurve::collect_roots(std::vector<SolNodeId>& out) const {
+  for (const Solution& s : sols_)
+    if (s.node != kNullSol) out.push_back(s.node);
+}
+
+void SolutionCurve::remap_nodes(std::span<const SolNodeId> remap) {
+  for (Solution& s : sols_)
+    if (s.node != kNullSol) s.node = remap[s.node];
+}
+
 const Solution* SolutionCurve::best_req_time() const {
   const Solution* best = nullptr;
   for (const Solution& s : sols_)
@@ -138,7 +158,7 @@ const Solution* SolutionCurve::best_req_time() const {
 const Solution* SolutionCurve::best_req_time_under_area(double max_area) const {
   const Solution* best = nullptr;
   for (const Solution& s : sols_) {
-    if (s.area > max_area + kEps) continue;
+    if (s.area > max_area + kCurveEps) continue;
     if (best == nullptr || s.req_time > best->req_time ||
         (s.req_time == best->req_time && s.area < best->area))
       best = &s;
@@ -149,7 +169,7 @@ const Solution* SolutionCurve::best_req_time_under_area(double max_area) const {
 const Solution* SolutionCurve::min_area_meeting_req(double min_req) const {
   const Solution* best = nullptr;
   for (const Solution& s : sols_) {
-    if (s.req_time < min_req - kEps) continue;
+    if (s.req_time < min_req - kCurveEps) continue;
     if (best == nullptr || s.area < best->area ||
         (s.area == best->area && s.req_time > best->req_time))
       best = &s;
@@ -157,9 +177,15 @@ const Solution* SolutionCurve::min_area_meeting_req(double min_req) const {
   return best;
 }
 
-SolutionCurve merge_curves(const SolutionCurve& left, const SolutionCurve& right,
-                           Point at, const PruneConfig& cfg) {
-  std::vector<MergeCand> cands;
+SolutionCurve merge_curves(SolutionArena& arena, const SolutionCurve& left,
+                           const SolutionCurve& right, Point at,
+                           const PruneConfig& cfg) {
+  // Candidate scratch is thread-local across calls: the DP engines call the
+  // algebra once per state, and a fresh vector here dominated their
+  // allocator traffic.  Single-threaded use per worker matches the arena's
+  // own ownership rule.
+  thread_local std::vector<MergeCand> cands;
+  cands.clear();
   cands.reserve(left.size() * right.size());
   for (std::uint32_t i = 0; i < left.size(); ++i) {
     for (std::uint32_t j = 0; j < right.size(); ++j) {
@@ -179,15 +205,15 @@ SolutionCurve merge_curves(const SolutionCurve& left, const SolutionCurve& right
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = make_merge_node(at, left[c.il].node, right[c.ir].node);
+    s.node = arena.make_merge(at, left[c.il].node, right[c.ir].node);
     out.push(std::move(s));
   }
   return out;
 }
 
-SolutionCurve extend_curve(const SolutionCurve& src, Point from, Point to,
-                           const WireModel& wire, const PruneConfig& cfg,
-                           double wire_width) {
+SolutionCurve extend_curve(SolutionArena& arena, const SolutionCurve& src,
+                           Point from, Point to, const WireModel& wire,
+                           const PruneConfig& cfg, double wire_width) {
   const double len = static_cast<double>(manhattan(from, to));
   const WireModel w = scaled_width(wire, wire_width);
   SolutionCurve out;
@@ -197,7 +223,7 @@ SolutionCurve extend_curve(const SolutionCurve& src, Point from, Point to,
       e.req_time = s.req_time - w.elmore_delay(len, s.load);
       e.load = s.load + w.wire_cap(len);
       e.wirelen = s.wirelen + len;
-      e.node = make_wire_node(to, s.node, wire_width);
+      e.node = arena.make_wire(to, s.node, wire_width);
     }
     out.push(std::move(e));
   }
@@ -205,9 +231,9 @@ SolutionCurve extend_curve(const SolutionCurve& src, Point from, Point to,
   return out;
 }
 
-void push_buffered_options(const SolutionCurve& src, Point at,
-                           const BufferLibrary& lib, SolutionCurve& dst,
-                           std::size_t stride) {
+void push_buffered_options(SolutionArena& arena, const SolutionCurve& src,
+                           Point at, const BufferLibrary& lib,
+                           SolutionCurve& dst, std::size_t stride) {
   if (stride == 0) stride = 1;
   // Generate (solution, buffer) candidates, prune among themselves, then
   // allocate provenance only for survivors.
@@ -215,12 +241,14 @@ void push_buffered_options(const SolutionCurve& src, Point at,
     double req_time, load, area, wirelen;
     std::uint32_t is, ib;
   };
-  std::vector<std::uint32_t> tried;
+  thread_local std::vector<std::uint32_t> tried;
+  tried.clear();
   for (std::uint32_t b = 0; b < lib.size(); b += stride) tried.push_back(b);
   if (!lib.empty() && (tried.empty() || tried.back() + 1 != lib.size()))
     tried.push_back(static_cast<std::uint32_t>(lib.size()) - 1);  // strongest
 
-  std::vector<BufCand> cands;
+  thread_local std::vector<BufCand> cands;
+  cands.clear();
   cands.reserve(src.size() * tried.size());
   for (std::uint32_t i = 0; i < src.size(); ++i) {
     const Solution& s = src[i];
@@ -237,19 +265,21 @@ void push_buffered_options(const SolutionCurve& src, Point at,
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = make_buffer_node(at, static_cast<std::int32_t>(c.ib), src[c.is].node);
+    s.node = arena.make_buffer(at, static_cast<std::int32_t>(c.ib),
+                               src[c.is].node);
     dst.push(std::move(s));
   }
 }
 
-void push_merged_options(std::span<const MergeJob> jobs, Point at,
-                         const PruneConfig& cfg, SolutionCurve& dst) {
+void push_merged_options(SolutionArena& arena, std::span<const MergeJob> jobs,
+                         Point at, const PruneConfig& cfg, SolutionCurve& dst) {
   struct Cand {
     double req_time, load, area, wirelen;
     const Solution* l;
     const Solution* r;
   };
-  std::vector<Cand> cands;
+  thread_local std::vector<Cand> cands;
+  cands.clear();
   for (const MergeJob& job : jobs) {
     for (const Solution& a : *job.left) {
       for (const Solution& b : *job.right) {
@@ -265,12 +295,13 @@ void push_merged_options(std::span<const MergeJob> jobs, Point at,
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = make_merge_node(at, c.l->node, c.r->node);
+    s.node = arena.make_merge(at, c.l->node, c.r->node);
     dst.push(std::move(s));
   }
 }
 
-void push_extended_options(std::span<const SolutionCurve* const> srcs,
+void push_extended_options(SolutionArena& arena,
+                           std::span<const SolutionCurve* const> srcs,
                            std::span<const Point> src_pts, Point to,
                            const WireModel& wire, const PruneConfig& cfg,
                            SolutionCurve& dst, std::span<const double> widths) {
@@ -281,7 +312,8 @@ void push_extended_options(std::span<const SolutionCurve* const> srcs,
     const Solution* src;
     bool zero_len;
   };
-  std::vector<Cand> cands;
+  thread_local std::vector<Cand> cands;
+  cands.clear();
   for (std::size_t i = 0; i < srcs.size(); ++i) {
     if (srcs[i] == nullptr) continue;
     const double len = static_cast<double>(manhattan(src_pts[i], to));
@@ -306,7 +338,7 @@ void push_extended_options(std::span<const SolutionCurve* const> srcs,
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = c.zero_len ? c.src->node : make_wire_node(to, c.src->node, c.width);
+    s.node = c.zero_len ? c.src->node : arena.make_wire(to, c.src->node, c.width);
     dst.push(std::move(s));
   }
 }

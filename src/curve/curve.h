@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "buflib/library.h"
+#include "curve/arena.h"
 #include "curve/solution.h"
 #include "timing/wire.h"
 
@@ -36,6 +37,10 @@ struct PruneConfig {
 /// `prune` restores the non-inferior invariant.  DP inner loops push many
 /// candidates and prune once per state, which is both faster and exactly
 /// what Figure 9 does (lines 19-20 prune after all merges into a state).
+///
+/// Provenance handles (`Solution::node`) are only meaningful together with
+/// the SolutionArena the curve was built against; a curve outliving that
+/// arena keeps valid metrics but dangling handles.
 class SolutionCurve {
  public:
   SolutionCurve() = default;
@@ -56,6 +61,14 @@ class SolutionCurve {
   /// enforces the solution cap (keeping the area-spread of the frontier).
   void prune(const PruneConfig& cfg = {});
 
+  /// Appends every non-null provenance handle to `out` — the curve's
+  /// contribution to a SolutionArena::mark_compact root set.
+  void collect_roots(std::vector<SolNodeId>& out) const;
+
+  /// Rewrites every provenance handle through the remap table returned by
+  /// SolutionArena::mark_compact.
+  void remap_nodes(std::span<const SolNodeId> remap);
+
   /// The solution with the largest required time, or nullptr if empty.
   [[nodiscard]] const Solution* best_req_time() const;
 
@@ -74,22 +87,23 @@ class SolutionCurve {
 // ---------------------------------------------------------------------------
 // Curve algebra.  All operations prune *before* allocating provenance nodes:
 // candidate tuples are generated into scratch storage, the non-inferior
-// subset is selected, and only survivors get SolNodes.  This keeps the DP
-// allocation count proportional to what is stored, not what is enumerated.
+// subset is selected, and only survivors get SolNodes in `arena` — the same
+// arena that produced the input curves' handles.
 // ---------------------------------------------------------------------------
 
 /// Joins two curves rooted at the same point `at`: every pair of solutions
 /// merges into one with summed load/area/wirelen and min required time.
 /// The result is pruned with `cfg` before provenance allocation.
-SolutionCurve merge_curves(const SolutionCurve& left, const SolutionCurve& right,
-                           Point at, const PruneConfig& cfg);
+SolutionCurve merge_curves(SolutionArena& arena, const SolutionCurve& left,
+                           const SolutionCurve& right, Point at,
+                           const PruneConfig& cfg);
 
 /// Extends every solution of `src` (rooted at `from`) by a wire to `to` of
 /// width multiplier `wire_width` (see timing/wire.h scaled_width).
 /// Zero-length extensions reuse the child provenance node unchanged.
-SolutionCurve extend_curve(const SolutionCurve& src, Point from, Point to,
-                           const WireModel& wire, const PruneConfig& cfg,
-                           double wire_width = 1.0);
+SolutionCurve extend_curve(SolutionArena& arena, const SolutionCurve& src,
+                           Point from, Point to, const WireModel& wire,
+                           const PruneConfig& cfg, double wire_width = 1.0);
 
 /// Appends, for every solution of `src` and every buffer of `lib`, the
 /// solution obtained by driving it with that buffer at `at` into `dst`.
@@ -98,9 +112,9 @@ SolutionCurve extend_curve(const SolutionCurve& src, Point from, Point to,
 /// `stride` > 1 tries only every stride-th buffer (plus the strongest one) —
 /// an engineering knob that exploits the library's geometric sizing: skipped
 /// sizes are bracketed by tried ones, so little quality is lost.
-void push_buffered_options(const SolutionCurve& src, Point at,
-                           const BufferLibrary& lib, SolutionCurve& dst,
-                           std::size_t stride = 1);
+void push_buffered_options(SolutionArena& arena, const SolutionCurve& src,
+                           Point at, const BufferLibrary& lib,
+                           SolutionCurve& dst, std::size_t stride = 1);
 
 // ---------------------------------------------------------------------------
 // Batch operations for DP inner loops.  They fold many candidate sources
@@ -117,14 +131,15 @@ struct MergeJob {
 
 /// Appends to `dst` the non-inferior pairwise merges over all jobs
 /// (provenance allocated for survivors only).
-void push_merged_options(std::span<const MergeJob> jobs, Point at,
-                         const PruneConfig& cfg, SolutionCurve& dst);
+void push_merged_options(SolutionArena& arena, std::span<const MergeJob> jobs,
+                         Point at, const PruneConfig& cfg, SolutionCurve& dst);
 
 /// Appends to `dst` the non-inferior wire extensions of `srcs[i]` (rooted at
 /// `src_pts[i]`) to the common destination `to`, trying every width in
 /// `widths` (empty means the default 1x width only — the non-wire-sized
 /// problem).  Zero-length extensions reuse the source provenance node.
-void push_extended_options(std::span<const SolutionCurve* const> srcs,
+void push_extended_options(SolutionArena& arena,
+                           std::span<const SolutionCurve* const> srcs,
                            std::span<const Point> src_pts, Point to,
                            const WireModel& wire, const PruneConfig& cfg,
                            SolutionCurve& dst,

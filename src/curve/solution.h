@@ -15,12 +15,16 @@
 // load, which is what makes the principle of dynamic programming [Be57]
 // valid here (section I of the paper).
 //
-// Each solution additionally carries a provenance node so the winning
+// Each solution additionally carries a provenance handle so the winning
 // structure can be rebuilt by "following the pointers stored during the
-// generation of the solution curves" (Figure 9, line 22).
+// generation of the solution curves" (Figure 9, line 22).  Provenance nodes
+// are plain-old-data records living in a SolutionArena (curve/arena.h) and
+// are addressed by 32-bit SolNodeId handles rather than shared_ptr: the DP
+// inner loops allocate one node per *surviving* candidate, and a bump
+// allocator plus index handles keeps that path free of per-node heap
+// traffic and refcount contention.
 
 #include <cstdint>
-#include <memory>
 
 #include "geom/point.h"
 
@@ -34,39 +38,41 @@ enum class StepKind : std::uint8_t {
   kBuffer,  ///< buffer `idx` at `at` drives structure `a` (rooted at `at`)
 };
 
-struct SolNode;
-using SolNodePtr = std::shared_ptr<const SolNode>;
+/// Handle of a provenance node inside a SolutionArena.
+using SolNodeId = std::uint32_t;
 
-/// Immutable provenance node.  Nodes form a DAG: pruning drops references
-/// and shared sub-structures (the paper's Lemma 7 sharing) stay alive only
-/// while some surviving solution still points at them.
+/// The null handle (no provenance / unused child slot).
+inline constexpr SolNodeId kNullSol = 0xFFFFFFFFu;
+
+/// Immutable provenance node (POD).  Nodes form a DAG inside one arena:
+/// pruning drops handles, and shared sub-structures (the paper's Lemma 7
+/// sharing) are reclaimed by SolutionArena::mark_compact once no surviving
+/// solution can reach them.
 struct SolNode {
   StepKind kind;
   std::int32_t idx;  ///< sink index (kSink) or library buffer index (kBuffer)
   Point at;          ///< root location of this structure
   double wire_width; ///< width multiplier of the wire this step lays down
                      ///< (kSink / kWire only; 1.0 = default width)
-  SolNodePtr a;      ///< first child structure (unused for kSink)
-  SolNodePtr b;      ///< second child structure (kMerge only)
+  SolNodeId a;       ///< first child structure (kNullSol for kSink)
+  SolNodeId b;       ///< second child structure (kMerge only)
 };
 
-inline SolNodePtr make_sink_node(Point at, std::int32_t sink_idx,
-                                 double wire_width = 1.0) {
-  return std::make_shared<SolNode>(
-      SolNode{StepKind::kSink, sink_idx, at, wire_width, nullptr, nullptr});
-}
-inline SolNodePtr make_wire_node(Point at, SolNodePtr child,
-                                 double wire_width = 1.0) {
-  return std::make_shared<SolNode>(
-      SolNode{StepKind::kWire, -1, at, wire_width, std::move(child), nullptr});
-}
-inline SolNodePtr make_merge_node(Point at, SolNodePtr l, SolNodePtr r) {
-  return std::make_shared<SolNode>(
-      SolNode{StepKind::kMerge, -1, at, 1.0, std::move(l), std::move(r)});
-}
-inline SolNodePtr make_buffer_node(Point at, std::int32_t buf_idx, SolNodePtr child) {
-  return std::make_shared<SolNode>(
-      SolNode{StepKind::kBuffer, buf_idx, at, 1.0, std::move(child), nullptr});
+/// The shared curve-dominance tolerance.  Push-time tests
+/// (Solution::dominated_by) and prune-time sweeps (SolutionCurve::prune) go
+/// through the same predicate below so the epsilon cannot drift between
+/// the two sides.
+inline constexpr double kCurveEps = 1e-9;
+
+/// Dominance per Definition 6 of the paper: `winner` dominates `loser` iff
+/// it is no worse in all three curve dimensions.  Templated so the DP inner
+/// loops can test not-yet-allocated candidate tuples (anything exposing
+/// req_time/load/area) against stored Solutions with the identical rule.
+template <typename W, typename L>
+[[nodiscard]] inline bool dominates(const W& winner, const L& loser,
+                                    double eps = kCurveEps) {
+  return winner.load <= loser.load + eps && winner.area <= loser.area + eps &&
+         winner.req_time >= loser.req_time - eps;
 }
 
 /// One point of a three-dimensional solution curve.
@@ -75,15 +81,14 @@ struct Solution {
   double load = 0.0;      ///< fF at the root (smaller is better)
   double area = 0.0;      ///< total buffer area (smaller is better)
   double wirelen = 0.0;   ///< total wirelength in um (tie-breaker only)
-  SolNodePtr node;        ///< provenance for extraction
+  SolNodeId node = kNullSol;  ///< provenance handle (resolve in the arena
+                              ///< that produced this solution)
 
-  /// Dominance test per Definition 6 of the paper: `*this` is inferior to
-  /// (dominated by) `o` iff o is no worse in all three curve dimensions.
-  /// Wirelength is not part of the dominance relation (it is not one of the
-  /// paper's curve dimensions); it only breaks exact ties during pruning.
-  [[nodiscard]] bool dominated_by(const Solution& o, double eps = 1e-9) const {
-    return o.load <= load + eps && o.area <= area + eps &&
-           o.req_time >= req_time - eps;
+  /// Dominance test per Definition 6: `*this` is inferior to (dominated by)
+  /// `o`.  Wirelength is not part of the dominance relation (it is not one
+  /// of the paper's curve dimensions); it only breaks exact ties in pruning.
+  [[nodiscard]] bool dominated_by(const Solution& o, double eps = kCurveEps) const {
+    return dominates(o, *this, eps);
   }
 };
 

@@ -90,8 +90,12 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
                           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
     // Per-worker scratch; constructed before the pool so that if an
     // exception unwinds this scope, the pool's draining destructor (which
-    // may still run tasks referencing the caches) fires first.
+    // may still run tasks referencing the caches/arenas) fires first.
+    // Each worker owns one GammaCache and one SolutionArena: no provenance
+    // allocation is ever shared across threads, and slab/map capacity is
+    // reused from net to net.
     std::vector<GammaCache> caches(n_threads);
+    std::vector<SolutionArena> arenas(n_threads);
     ThreadPool pool(n_threads);
 
     std::vector<std::future<void>> done;
@@ -113,6 +117,9 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
           FlowConfig cfg = opts_.scaled_config
                                ? scaled_flow_config(job.net.fanout())
                                : opts_.config;
+          // Worker-local scratch arena: every flow's provenance goes into
+          // it (reset per net), reusing slab capacity from net to net.
+          cfg.scratch_arena = &arenas[pool.worker_index()];
           switch (opts_.flow) {
             case FlowKind::kFlow1: slot.result = run_flow1(job.net, lib_, cfg); break;
             case FlowKind::kFlow2: slot.result = run_flow2(job.net, lib_, cfg); break;

@@ -42,6 +42,11 @@ Point centroid(const std::vector<Point>& pts) {
 FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
                      const FlowConfig& cfg) {
   const auto t0 = Clock::now();
+  // One arena spans the whole flow: LTTREE, every per-group PTREE, and the
+  // grafting below must produce inter-linkable handles.
+  SolutionArena local_arena;
+  SolutionArena& arena = cfg.scratch_arena ? *cfg.scratch_arena : local_arena;
+  arena.reset();
 
   // Phase 1: fanout optimization in the logic domain (required-time order,
   // exactly the paper's Setup I).  As in SIS-era flows, a statistical wire
@@ -57,7 +62,8 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
       std::sqrt(static_cast<double>(net.fanout()));
   ltcfg.wire_load_per_pin = kWireloadPessimism * net.wire.cap_per_um *
                             steiner_len_est / static_cast<double>(net.fanout());
-  LTTreeResult lt = lttree_optimize(net, required_time_order(net), lib, ltcfg);
+  LTTreeResult lt =
+      lttree_optimize(net, required_time_order(net), lib, ltcfg, &arena);
   const auto& groups = lt.tree.groups;
 
   // Buffer placement: each group's buffer goes to the centroid of all sink
@@ -79,9 +85,10 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
   // Phase 2: route every group's local net with PTREE (TSP order), deepest
   // group first so each parent knows its child's routed required time.
   struct RoutedGroup {
-    SolNodePtr node;      // provenance rooted at the group buffer, original indices
-    double req = 0.0;     // required time at the buffer input
-    double load = 0.0;    // input cap of the buffer
+    SolNodeId node = kNullSol;  // provenance rooted at the group buffer,
+                                // original indices, in `arena`
+    double req = 0.0;           // required time at the buffer input
+    double load = 0.0;          // input cap of the buffer
   };
   std::vector<RoutedGroup> routed(groups.size());
 
@@ -104,7 +111,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
     std::vector<SinkSubstitution> subs;
     for (std::uint32_t s : g.sinks) {
       local.sinks.push_back(net.sinks[s]);
-      subs.push_back(SinkSubstitution{static_cast<std::int32_t>(s), nullptr, {}});
+      subs.push_back(SinkSubstitution{static_cast<std::int32_t>(s), kNullSol, {}});
     }
     if (g.child >= 0) {
       const auto c = static_cast<std::size_t>(g.child);
@@ -121,13 +128,13 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
     PTreeConfig pcfg;
     pcfg.candidates = cfg.candidates;
     pcfg.prune = cfg.engine_prune;
-    PTreeResult pr = ptree_route(local, tsp_order(local), pcfg);
+    PTreeResult pr = ptree_route(local, tsp_order(local), pcfg, &arena);
 
     RoutedGroup rg;
-    rg.node = rewrite_provenance(pr.chosen.node, subs);
+    rg.node = rewrite_provenance(arena, pr.chosen.node, subs);
     if (g.buffer_idx >= 0) {
       const Buffer& b = lib[static_cast<std::size_t>(g.buffer_idx)];
-      rg.node = make_buffer_node(place[gi], g.buffer_idx, rg.node);
+      rg.node = arena.make_buffer(place[gi], g.buffer_idx, rg.node);
       rg.req = pr.chosen.req_time - b.delay_ps(pr.chosen.load);
       rg.load = b.input_cap;
     } else {
@@ -138,7 +145,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
   }
 
   FlowResult res;
-  res.tree = build_routing_tree(net, routed[0].node);
+  res.tree = build_routing_tree(net, arena, routed[0].node);
   res.eval = evaluate_tree(net, res.tree, lib);
   res.runtime_ms = ms_since(t0);
   return res;
@@ -147,14 +154,17 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
 FlowResult run_flow2(const Net& net, const BufferLibrary& lib,
                      const FlowConfig& cfg) {
   const auto t0 = Clock::now();
+  SolutionArena local_arena;
+  SolutionArena& arena = cfg.scratch_arena ? *cfg.scratch_arena : local_arena;
+  arena.reset();
   PTreeConfig pcfg;
   pcfg.candidates = cfg.candidates;
   pcfg.prune = cfg.engine_prune;
-  PTreeResult pr = ptree_route(net, tsp_order(net), pcfg);
+  PTreeResult pr = ptree_route(net, tsp_order(net), pcfg, &arena);
 
   VanGinnekenConfig vcfg;
   vcfg.prune = cfg.engine_prune;
-  VanGinnekenResult vg = vangin_insert(net, pr.tree, lib, vcfg);
+  VanGinnekenResult vg = vangin_insert(net, pr.tree, lib, vcfg, &arena);
 
   FlowResult res;
   res.tree = std::move(vg.tree);
@@ -168,6 +178,7 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
   const auto t0 = Clock::now();
   MerlinConfig mcfg = cfg.merlin;
   mcfg.bubble.candidates = cfg.candidates;
+  if (mcfg.scratch_arena == nullptr) mcfg.scratch_arena = cfg.scratch_arena;
   MerlinResult mr = merlin_optimize(net, lib, tsp_order(net), mcfg);
 
   FlowResult res;

@@ -33,6 +33,14 @@ struct FlowConfig {
   PruneConfig engine_prune{0.0, 0.0, 8};  ///< PTREE / LTTREE / van Ginneken
   MerlinConfig merlin{};                  ///< flow III (bubble.candidates is
                                           ///< overwritten with `candidates`)
+  /// Optional externally owned provenance arena.  When set, every engine a
+  /// flow runs allocates into it (the flow resets it first, keeping slab
+  /// capacity), so a caller processing many nets on one thread reuses the
+  /// memory — the batch engine keeps one per pool worker next to its
+  /// scratch GammaCache.  Single-thread ownership, like scratch_cache.
+  /// For flow III it doubles as MerlinConfig::scratch_arena unless that is
+  /// already set.
+  SolutionArena* scratch_arena = nullptr;
 };
 
 /// One flow's outcome on one net.

@@ -7,49 +7,55 @@ namespace merlin {
 
 namespace {
 
-SolNodePtr rewrite(const SolNodePtr& nd,
-                   const std::vector<SinkSubstitution>& subs,
-                   std::unordered_map<const SolNode*, SolNodePtr>& memo) {
-  if (nd == nullptr) return nullptr;
-  if (auto it = memo.find(nd.get()); it != memo.end()) return it->second;
+SolNodeId rewrite(SolutionArena& arena, SolNodeId id,
+                  const std::vector<SinkSubstitution>& subs,
+                  std::unordered_map<SolNodeId, SolNodeId>& memo) {
+  if (id == kNullSol) return kNullSol;
+  if (auto it = memo.find(id); it != memo.end()) return it->second;
 
-  SolNodePtr out;
-  switch (nd->kind) {
+  // Copy the node up front: rewriting children allocates, which may grow the
+  // arena while we hold the data (slabs are stable, but the copy also keeps
+  // this robust against future storage changes).
+  const SolNode nd = arena.at(id);
+  SolNodeId out = kNullSol;
+  switch (nd.kind) {
     case StepKind::kSink: {
-      const auto i = static_cast<std::size_t>(nd->idx);
+      const auto i = static_cast<std::size_t>(nd.idx);
       if (i >= subs.size())
         throw std::invalid_argument("rewrite_provenance: sink index out of range");
       const SinkSubstitution& sub = subs[i];
-      if (sub.subtree == nullptr) {
-        out = make_sink_node(nd->at, sub.new_idx);
-      } else if (nd->at == sub.subtree_root) {
+      if (sub.subtree == kNullSol) {
+        out = arena.make_sink(nd.at, sub.new_idx);
+      } else if (nd.at == sub.subtree_root) {
         out = sub.subtree;
       } else {
-        out = make_wire_node(nd->at, sub.subtree);
+        out = arena.make_wire(nd.at, sub.subtree);
       }
       break;
     }
     case StepKind::kWire:
-      out = make_wire_node(nd->at, rewrite(nd->a, subs, memo));
+      out = arena.make_wire(nd.at, rewrite(arena, nd.a, subs, memo));
       break;
-    case StepKind::kMerge:
-      out = make_merge_node(nd->at, rewrite(nd->a, subs, memo),
-                            rewrite(nd->b, subs, memo));
+    case StepKind::kMerge: {
+      const SolNodeId a = rewrite(arena, nd.a, subs, memo);
+      const SolNodeId b = rewrite(arena, nd.b, subs, memo);
+      out = arena.make_merge(nd.at, a, b);
       break;
+    }
     case StepKind::kBuffer:
-      out = make_buffer_node(nd->at, nd->idx, rewrite(nd->a, subs, memo));
+      out = arena.make_buffer(nd.at, nd.idx, rewrite(arena, nd.a, subs, memo));
       break;
   }
-  memo.emplace(nd.get(), out);
+  memo.emplace(id, out);
   return out;
 }
 
 }  // namespace
 
-SolNodePtr rewrite_provenance(const SolNodePtr& root,
-                              const std::vector<SinkSubstitution>& subs) {
-  std::unordered_map<const SolNode*, SolNodePtr> memo;
-  return rewrite(root, subs, memo);
+SolNodeId rewrite_provenance(SolutionArena& arena, SolNodeId root,
+                             const std::vector<SinkSubstitution>& subs) {
+  std::unordered_map<SolNodeId, SolNodeId> memo;
+  return rewrite(arena, root, subs, memo);
 }
 
 }  // namespace merlin

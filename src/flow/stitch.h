@@ -6,28 +6,36 @@
 // evaluate the assembled structure against the *original* net, the local
 // provenance must be rewritten: local sink indices remapped to original
 // ones, and pseudo-sinks replaced by the child group's (buffered) subtree.
+//
+// All handles — the input root, the grafted subtrees, and the rewritten
+// output — live in one SolutionArena: the flow runs LTTREE and every
+// per-group PTREE against the same arena precisely so this graft can link
+// across their provenance.
 
 #include <vector>
 
+#include "curve/arena.h"
 #include "curve/solution.h"
 
 namespace merlin {
 
 /// What a local sink index should become after rewriting.
 struct SinkSubstitution {
-  /// New sink index (used when `subtree` is null).
+  /// New sink index (used when `subtree` is kNullSol).
   std::int32_t new_idx = -1;
-  /// When non-null, the local sink is replaced by this structure (rooted at
-  /// `subtree_root`); a wire node is interposed if the consuming kSink node
-  /// sat at a different point.
-  SolNodePtr subtree;
+  /// When not kNullSol, the local sink is replaced by this structure (rooted
+  /// at `subtree_root`); a wire node is interposed if the consuming kSink
+  /// node sat at a different point.
+  SolNodeId subtree = kNullSol;
   Point subtree_root{};
 };
 
 /// Rewrites a provenance DAG: every kSink node with local index i becomes
 /// either a kSink with subs[i].new_idx or the grafted subs[i].subtree.
-/// Shared sub-DAGs are rewritten once (memoized).
-SolNodePtr rewrite_provenance(const SolNodePtr& root,
-                              const std::vector<SinkSubstitution>& subs);
+/// Shared sub-DAGs are rewritten once (memoized), preserving sharing in the
+/// output.  New nodes are allocated in `arena`, which must also hold `root`
+/// and every substituted subtree.
+SolNodeId rewrite_provenance(SolutionArena& arena, SolNodeId root,
+                             const std::vector<SinkSubstitution>& subs);
 
 }  // namespace merlin

@@ -18,23 +18,25 @@ namespace {
 // Every kBuffer node opens a new group; kSink/kMerge accumulate into the
 // current one.  LT-Tree type-I structure guarantees at most one buffer child
 // per group.
-void collect_group(const SolNode* nd, FanoutTree& ft, std::size_t group) {
-  if (nd == nullptr) return;
-  switch (nd->kind) {
+void collect_group(const SolutionArena& arena, SolNodeId id, FanoutTree& ft,
+                   std::size_t group) {
+  if (id == kNullSol) return;
+  const SolNode& nd = arena.at(id);
+  switch (nd.kind) {
     case StepKind::kSink:
-      ft.groups[group].sinks.push_back(static_cast<std::uint32_t>(nd->idx));
+      ft.groups[group].sinks.push_back(static_cast<std::uint32_t>(nd.idx));
       return;
     case StepKind::kMerge:
-      collect_group(nd->a.get(), ft, group);
-      collect_group(nd->b.get(), ft, group);
+      collect_group(arena, nd.a, ft, group);
+      collect_group(arena, nd.b, ft, group);
       return;
     case StepKind::kBuffer: {
       if (ft.groups[group].child != -1)
         throw std::logic_error("LTTREE produced two internal children");
-      const auto id = static_cast<std::int32_t>(ft.groups.size());
-      ft.groups[group].child = id;
-      ft.groups.push_back(FanoutGroup{nd->idx, {}, -1});
-      collect_group(nd->a.get(), ft, static_cast<std::size_t>(id));
+      const auto gid = static_cast<std::int32_t>(ft.groups.size());
+      ft.groups[group].child = gid;
+      ft.groups.push_back(FanoutGroup{nd.idx, {}, -1});
+      collect_group(arena, nd.a, ft, static_cast<std::size_t>(gid));
       return;
     }
     case StepKind::kWire:
@@ -46,7 +48,10 @@ void collect_group(const SolNode* nd, FanoutTree& ft, std::size_t group) {
 }  // namespace
 
 LTTreeResult lttree_optimize(const Net& net, const Order& order,
-                             const BufferLibrary& lib, const LTTreeConfig& cfg) {
+                             const BufferLibrary& lib, const LTTreeConfig& cfg,
+                             SolutionArena* arena_opt) {
+  SolutionArena local_arena;
+  SolutionArena& arena = arena_opt ? *arena_opt : local_arena;
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("lttree_optimize: net has no sinks");
   if (order.size() != n || !Order(order).valid())
@@ -64,14 +69,16 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
     SolutionCurve bases;
     double block_load = 0.0;
     double block_rt = std::numeric_limits<double>::infinity();
-    SolNodePtr block_node;
+    SolNodeId block_node = kNullSol;
     for (std::size_t j2 = j; j2-- > 0;) {
       const Sink& s = net.sinks[order[j2]];
       block_load += s.load + cfg.wire_load_per_pin;
       block_rt = std::min(block_rt, s.req_time);
-      SolNodePtr leaf = make_sink_node(origin, static_cast<std::int32_t>(order[j2]));
-      block_node = block_node ? make_merge_node(origin, std::move(leaf), block_node)
-                              : std::move(leaf);
+      const SolNodeId leaf =
+          arena.make_sink(origin, static_cast<std::int32_t>(order[j2]));
+      block_node = block_node != kNullSol
+                       ? arena.make_merge(origin, leaf, block_node)
+                       : leaf;
 
       const std::size_t direct = j - j2;  // sinks driven directly
       if (j2 == 0) {
@@ -89,13 +96,13 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
           sol.req_time = std::min(c.req_time, block_rt);
           sol.load = c.load + cfg.wire_load_per_pin + block_load;
           sol.area = c.area;
-          sol.node = make_merge_node(origin, c.node, block_node);
+          sol.node = arena.make_merge(origin, c.node, block_node);
           bases.push(std::move(sol));
         }
       }
     }
     bases.prune(cfg.prune);
-    push_buffered_options(bases, origin, lib, C[j]);
+    push_buffered_options(arena, bases, origin, lib, C[j]);
     C[j].prune(cfg.prune);
   }
 
@@ -104,15 +111,17 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
   {
     double block_load = 0.0;
     double block_rt = std::numeric_limits<double>::infinity();
-    SolNodePtr block_node;
+    SolNodeId block_node = kNullSol;
     for (std::size_t j2 = n + 1; j2-- > 0;) {
       if (j2 <= n - 1) {
         const Sink& s = net.sinks[order[j2]];
         block_load += s.load + cfg.wire_load_per_pin;
         block_rt = std::min(block_rt, s.req_time);
-        SolNodePtr leaf = make_sink_node(origin, static_cast<std::int32_t>(order[j2]));
-        block_node = block_node ? make_merge_node(origin, std::move(leaf), block_node)
-                                : std::move(leaf);
+        const SolNodeId leaf =
+            arena.make_sink(origin, static_cast<std::int32_t>(order[j2]));
+        block_node = block_node != kNullSol
+                         ? arena.make_merge(origin, leaf, block_node)
+                         : leaf;
       }
       const std::size_t direct = n - std::min(j2, n);
       if (j2 == 0) {
@@ -127,10 +136,13 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
         if (cfg.max_fanout != 0 && direct + 1 > cfg.max_fanout) continue;
         for (const Solution& c : C[j2]) {
           Solution sol;
-          sol.req_time = block_node ? std::min(c.req_time, block_rt) : c.req_time;
+          sol.req_time =
+              block_node != kNullSol ? std::min(c.req_time, block_rt) : c.req_time;
           sol.load = c.load + cfg.wire_load_per_pin + block_load;
           sol.area = c.area;
-          sol.node = block_node ? make_merge_node(origin, c.node, block_node) : c.node;
+          sol.node = block_node != kNullSol
+                         ? arena.make_merge(origin, c.node, block_node)
+                         : c.node;
           final_curve.push(std::move(sol));
         }
       }
@@ -157,7 +169,7 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
   res.root_load = best->load;
   res.buffer_area = best->area;
   res.tree.groups.push_back(FanoutGroup{-1, {}, -1});
-  collect_group(best->node.get(), res.tree, 0);
+  collect_group(arena, best->node, res.tree, 0);
   return res;
 }
 

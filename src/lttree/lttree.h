@@ -69,8 +69,14 @@ struct LTTreeResult {
 /// Runs the LT-Tree type-I DP.  `order` should list sinks by descending
 /// required time (most relaxed first, see order/tsp.h), as [To90]
 /// prescribes; any permutation is accepted.
+///
+/// Provenance is allocated in `*arena` when supplied (Flow I keeps the
+/// LTTREE skeleton and its per-group PTREE embeddings in one arena so the
+/// graft can link across them); with the default nullptr a private arena is
+/// used and the result's curve handles dangle after return.
 LTTreeResult lttree_optimize(const Net& net, const Order& order,
                              const BufferLibrary& lib,
-                             const LTTreeConfig& cfg = {});
+                             const LTTreeConfig& cfg = {},
+                             SolutionArena* arena = nullptr);
 
 }  // namespace merlin

@@ -30,7 +30,9 @@ class StateTable {
 }  // namespace
 
 PTreeResult ptree_route(const Net& net, const Order& order,
-                        const PTreeConfig& cfg_in) {
+                        const PTreeConfig& cfg_in, SolutionArena* arena_opt) {
+  SolutionArena local_arena;
+  SolutionArena& arena = arena_opt ? *arena_opt : local_arena;
   PTreeConfig cfg = cfg_in;
   if (cfg.prune.ref_res == 0.0)
     cfg.prune.ref_res = net.driver.delay.drive_res();
@@ -69,7 +71,7 @@ PTreeResult ptree_route(const Net& net, const Order& order,
         sol.area = 0.0;
         sol.wirelen = len;
         sol.node =
-            make_sink_node(pts[p], static_cast<std::int32_t>(order[i]), width);
+            arena.make_sink(pts[p], static_cast<std::int32_t>(order[i]), width);
         cell.push(std::move(sol));
         if (len == 0.0) break;  // widths indistinguishable at zero length
       }
@@ -91,14 +93,14 @@ PTreeResult ptree_route(const Net& net, const Order& order,
         jobs.clear();
         for (std::size_t u = i; u < j; ++u)
           jobs.push_back(MergeJob{&table.at(i, u, p), &table.at(u + 1, j, p)});
-        push_merged_options(jobs, pts[p], cfg.prune, cell);
+        push_merged_options(arena, jobs, pts[p], cfg.prune, cell);
         cell.prune(cfg.prune);
       }
       std::vector<SolutionCurve> extended(k);
       for (std::size_t p = 0; p < k; ++p) {
         for (std::size_t p2 = 0; p2 < k; ++p2)
           srcs[p2] = p2 == p ? nullptr : &table.at(i, j, p2);
-        push_extended_options(srcs, pts, pts[p], net.wire, cfg.prune,
+        push_extended_options(arena, srcs, pts, pts[p], net.wire, cfg.prune,
                               extended[p], widths);
       }
       for (std::size_t p = 0; p < k; ++p) {
@@ -123,7 +125,7 @@ PTreeResult ptree_route(const Net& net, const Order& order,
   }
   if (best == nullptr) throw std::logic_error("ptree_route: empty final curve");
   result.chosen = *best;
-  result.tree = build_routing_tree(net, best->node);
+  result.tree = build_routing_tree(net, arena, best->node);
   return result;
 }
 

@@ -43,7 +43,14 @@ struct PTreeResult {
 /// solution maximizes the required time at the driver *input* (i.e. after
 /// subtracting the driver's own delay into the root load).
 /// Precondition: order is a permutation of the net's sinks; net has >= 1 sink.
+///
+/// Provenance is allocated in `*arena` when one is supplied (the result's
+/// curve/solution handles then stay resolvable in it — Flow I grafts PTREE
+/// sub-solutions into an LTTREE skeleton this way); with the default
+/// nullptr a private arena is used and discarded, leaving `tree` and the
+/// numeric fields valid but the handles dangling.
 PTreeResult ptree_route(const Net& net, const Order& order,
-                        const PTreeConfig& cfg = {});
+                        const PTreeConfig& cfg = {},
+                        SolutionArena* arena = nullptr);
 
 }  // namespace merlin

@@ -96,34 +96,34 @@ std::string RoutingTree::to_string(const Net& net, const BufferLibrary& lib) con
 
 namespace {
 
-void attach(const Net& net, const SolNode* nd, RoutingTree& tree,
-            std::uint32_t parent) {
-  if (nd == nullptr) throw std::invalid_argument("null provenance node");
-  switch (nd->kind) {
+void attach(const Net& net, const SolutionArena& arena, SolNodeId id,
+            RoutingTree& tree, std::uint32_t parent) {
+  const SolNode& nd = arena.at(id);  // bounds-checked: stale handles throw
+  switch (nd.kind) {
     case StepKind::kSink: {
-      const auto i = static_cast<std::size_t>(nd->idx);
+      const auto i = static_cast<std::size_t>(nd.idx);
       if (i >= net.sinks.size())
         throw std::invalid_argument("provenance references bad sink index");
-      tree.add_node(NodeKind::kSink, net.sinks[i].pos, nd->idx, parent,
-                    nd->wire_width);
+      tree.add_node(NodeKind::kSink, net.sinks[i].pos, nd.idx, parent,
+                    nd.wire_width);
       return;
     }
     case StepKind::kWire: {
-      // Wire from nd->at (== parent's position) down to the child's root.
+      // Wire from nd.at (== parent's position) down to the child's root.
       const std::uint32_t steiner = tree.add_node(
-          NodeKind::kSteiner, nd->a->at, -1, parent, nd->wire_width);
-      attach(net, nd->a.get(), tree, steiner);
+          NodeKind::kSteiner, arena.at(nd.a).at, -1, parent, nd.wire_width);
+      attach(net, arena, nd.a, tree, steiner);
       return;
     }
     case StepKind::kMerge: {
-      attach(net, nd->a.get(), tree, parent);
-      attach(net, nd->b.get(), tree, parent);
+      attach(net, arena, nd.a, tree, parent);
+      attach(net, arena, nd.b, tree, parent);
       return;
     }
     case StepKind::kBuffer: {
       const std::uint32_t buf =
-          tree.add_node(NodeKind::kBuffer, nd->at, nd->idx, parent);
-      attach(net, nd->a.get(), tree, buf);
+          tree.add_node(NodeKind::kBuffer, nd.at, nd.idx, parent);
+      attach(net, arena, nd.a, tree, buf);
       return;
     }
   }
@@ -132,41 +132,45 @@ void attach(const Net& net, const SolNode* nd, RoutingTree& tree,
 
 }  // namespace
 
-RoutingTree build_routing_tree(const Net& net, const SolNodePtr& root) {
-  if (root == nullptr) throw std::invalid_argument("null provenance root");
-  if (root->at != net.source)
+RoutingTree build_routing_tree(const Net& net, const SolutionArena& arena,
+                               SolNodeId root) {
+  if (root == kNullSol) throw std::invalid_argument("null provenance root");
+  if (arena.at(root).at != net.source)
     throw std::invalid_argument("provenance root is not at the net source");
   RoutingTree tree;
   tree.add_node(NodeKind::kSource, net.source, -1, 0);
-  attach(net, root.get(), tree, 0);
+  attach(net, arena, root, tree, 0);
   return tree;
 }
 
 namespace {
 
-void collect_order(const SolNode* nd, std::vector<std::uint32_t>& seq) {
-  if (nd == nullptr) return;
-  switch (nd->kind) {
+void collect_order(const SolutionArena& arena, SolNodeId id,
+                   std::vector<std::uint32_t>& seq) {
+  if (id == kNullSol) return;
+  const SolNode& nd = arena.at(id);
+  switch (nd.kind) {
     case StepKind::kSink:
-      seq.push_back(static_cast<std::uint32_t>(nd->idx));
+      seq.push_back(static_cast<std::uint32_t>(nd.idx));
       return;
     case StepKind::kWire:
     case StepKind::kBuffer:
-      collect_order(nd->a.get(), seq);
+      collect_order(arena, nd.a, seq);
       return;
     case StepKind::kMerge:
-      collect_order(nd->a.get(), seq);
-      collect_order(nd->b.get(), seq);
+      collect_order(arena, nd.a, seq);
+      collect_order(arena, nd.b, seq);
       return;
   }
 }
 
 }  // namespace
 
-Order provenance_sink_order(const SolNodePtr& root, std::size_t n_sinks) {
+Order provenance_sink_order(const SolutionArena& arena, SolNodeId root,
+                            std::size_t n_sinks) {
   std::vector<std::uint32_t> seq;
   seq.reserve(n_sinks);
-  collect_order(root.get(), seq);
+  collect_order(arena, root, seq);
   return Order(std::move(seq));
 }
 

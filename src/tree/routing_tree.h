@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "buflib/library.h"
+#include "curve/arena.h"
 #include "curve/solution.h"
 #include "geom/point.h"
 #include "net/net.h"
@@ -76,12 +77,16 @@ class RoutingTree {
 };
 
 /// Replays a solution's provenance DAG into a concrete tree for `net`.
-/// `root` must be rooted at the net's source location.  Throws
-/// std::invalid_argument on malformed provenance.
-RoutingTree build_routing_tree(const Net& net, const SolNodePtr& root);
+/// `root` is a handle into `arena` (the arena the winning curve was built
+/// against) and must be rooted at the net's source location.  Throws
+/// std::invalid_argument on kNullSol, a foreign handle, or malformed
+/// provenance.
+RoutingTree build_routing_tree(const Net& net, const SolutionArena& arena,
+                               SolNodeId root);
 
 /// Sink order read directly off a provenance DAG (same convention as
 /// RoutingTree::sink_order, without building the tree).
-Order provenance_sink_order(const SolNodePtr& root, std::size_t n_sinks);
+Order provenance_sink_order(const SolutionArena& arena, SolNodeId root,
+                            std::size_t n_sinks);
 
 }  // namespace merlin

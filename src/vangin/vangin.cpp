@@ -24,12 +24,12 @@ Point point_along(Point from, Point to, std::int64_t d) {
 
 // Pushes both the unbuffered originals and all buffered variants of `cur`
 // at `at`, returning the pruned union.
-SolutionCurve with_buffer_options(const SolutionCurve& cur, Point at,
-                                  const BufferLibrary& lib,
+SolutionCurve with_buffer_options(SolutionArena& arena, const SolutionCurve& cur,
+                                  Point at, const BufferLibrary& lib,
                                   const PruneConfig& prune) {
   SolutionCurve out;
   for (const Solution& s : cur) out.push(s);
-  push_buffered_options(cur, at, lib, out);
+  push_buffered_options(arena, cur, at, lib, out);
   out.prune(prune);
   return out;
 }
@@ -38,7 +38,10 @@ SolutionCurve with_buffer_options(const SolutionCurve& cur, Point at,
 
 VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
                                 const BufferLibrary& lib,
-                                const VanGinnekenConfig& cfg_in) {
+                                const VanGinnekenConfig& cfg_in,
+                                SolutionArena* arena_opt) {
+  SolutionArena local_arena;
+  SolutionArena& arena = arena_opt ? *arena_opt : local_arena;
   VanGinnekenConfig cfg = cfg_in;
   if (cfg.prune.ref_res == 0.0)
     cfg.prune.ref_res = net.driver.delay.drive_res();
@@ -58,7 +61,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
         Solution sol;
         sol.req_time = s.req_time;
         sol.load = s.load;
-        sol.node = make_sink_node(s.pos, n.idx);
+        sol.node = arena.make_sink(s.pos, n.idx);
         curve[ri].push(std::move(sol));
         break;
       }
@@ -70,7 +73,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
         for (std::uint32_t c : n.children) {
           // Buffer option at the child end (covers "buffer at internal node").
           SolutionCurve cur =
-              with_buffer_options(curve[c], nodes[c].at, lib, cfg.prune);
+              with_buffer_options(arena, curve[c], nodes[c].at, lib, cfg.prune);
           const std::int64_t len = manhattan(nodes[c].at, n.at);
           if (len > 0) {
             const auto nseg = static_cast<std::int64_t>(std::max<double>(
@@ -87,11 +90,12 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
               SolutionCurve stepped;
               const SolutionCurve* cur_ptr = &cur;
               const Point prev_pt = prev;
-              push_extended_options(std::span<const SolutionCurve* const>(&cur_ptr, 1),
+              push_extended_options(arena,
+                                    std::span<const SolutionCurve* const>(&cur_ptr, 1),
                                     std::span<const Point>(&prev_pt, 1), st,
                                     net.wire, cfg.prune, stepped, widths);
               stepped.prune(cfg.prune);
-              cur = with_buffer_options(stepped, st, lib, cfg.prune);
+              cur = with_buffer_options(arena, stepped, st, lib, cfg.prune);
               prev = st;
             }
           }
@@ -99,7 +103,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
             acc = std::move(cur);
             first = false;
           } else {
-            acc = merge_curves(acc, cur, n.at, cfg.prune);
+            acc = merge_curves(arena, acc, cur, n.at, cfg.prune);
           }
         }
         curve[ri] = std::move(acc);
@@ -121,7 +125,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
   }
   if (best == nullptr) throw std::logic_error("vangin_insert: empty final curve");
   res.chosen = *best;
-  res.tree = build_routing_tree(net, best->node);
+  res.tree = build_routing_tree(net, arena, best->node);
   return res;
 }
 

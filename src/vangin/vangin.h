@@ -43,8 +43,13 @@ struct VanGinnekenResult {
 
 /// Inserts buffers into `unbuffered` (which must be a tree over `net` with
 /// no buffers), maximizing the required time at the driver input.
+///
+/// Provenance is allocated in `*arena` when supplied (keeping the result's
+/// curve handles resolvable); with the default nullptr a private arena is
+/// used and discarded after the tree is built.
 VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
                                 const BufferLibrary& lib,
-                                const VanGinnekenConfig& cfg = {});
+                                const VanGinnekenConfig& cfg = {},
+                                SolutionArena* arena = nullptr);
 
 }  // namespace merlin

@@ -162,111 +162,119 @@ TEST(Selectors, EmptyCurve) {
 }
 
 TEST(Algebra, MergeCurvesSumsLoadAreaMinsReqTime) {
+  SolutionArena arena;
   SolutionCurve a, b;
   Solution s1 = sol(100, 10, 5, 7);
-  s1.node = make_sink_node({0, 0}, 0);
+  s1.node = arena.make_sink({0, 0}, 0);
   Solution s2 = sol(80, 20, 3, 11);
-  s2.node = make_sink_node({0, 0}, 1);
+  s2.node = arena.make_sink({0, 0}, 1);
   a.push(s1);
   b.push(s2);
-  SolutionCurve m = merge_curves(a, b, {0, 0}, {});
+  SolutionCurve m = merge_curves(arena, a, b, {0, 0}, {});
   ASSERT_EQ(m.size(), 1u);
   EXPECT_DOUBLE_EQ(m[0].req_time, 80);
   EXPECT_DOUBLE_EQ(m[0].load, 30);
   EXPECT_DOUBLE_EQ(m[0].area, 8);
   EXPECT_DOUBLE_EQ(m[0].wirelen, 18);
-  ASSERT_NE(m[0].node, nullptr);
-  EXPECT_EQ(m[0].node->kind, StepKind::kMerge);
+  ASSERT_NE(m[0].node, kNullSol);
+  EXPECT_EQ(arena[m[0].node].kind, StepKind::kMerge);
 }
 
 TEST(Algebra, ExtendCurveAppliesElmore) {
   const WireModel w{0.1, 0.2};
+  SolutionArena arena;
   SolutionCurve a;
   Solution s = sol(1000, 50, 0);
-  s.node = make_sink_node({0, 0}, 0);
+  s.node = arena.make_sink({0, 0}, 0);
   a.push(s);
-  SolutionCurve e = extend_curve(a, {0, 0}, {100, 0}, w, {});
+  SolutionCurve e = extend_curve(arena, a, {0, 0}, {100, 0}, w, {});
   ASSERT_EQ(e.size(), 1u);
   // len 100: R = 10 ohm, Cw = 20 fF; delay = 10*(10+50) fF*ohm = 0.6 ps
   EXPECT_NEAR(e[0].req_time, 1000 - 0.6, 1e-9);
   EXPECT_NEAR(e[0].load, 70, 1e-9);
-  EXPECT_EQ(e[0].node->kind, StepKind::kWire);
+  EXPECT_EQ(arena[e[0].node].kind, StepKind::kWire);
 }
 
 TEST(Algebra, ZeroLengthExtensionReusesNode) {
+  SolutionArena arena;
   SolutionCurve a;
   Solution s = sol(10, 1, 0);
-  s.node = make_sink_node({5, 5}, 0);
+  s.node = arena.make_sink({5, 5}, 0);
   a.push(s);
-  SolutionCurve e = extend_curve(a, {5, 5}, {5, 5}, WireModel{}, {});
+  SolutionCurve e = extend_curve(arena, a, {5, 5}, {5, 5}, WireModel{}, {});
   ASSERT_EQ(e.size(), 1u);
-  EXPECT_EQ(e[0].node.get(), a[0].node.get());
+  EXPECT_EQ(e[0].node, a[0].node);  // same handle: no new node allocated
+  EXPECT_EQ(arena.size(), 1u);
 }
 
 TEST(Algebra, BufferedOptionsDecoupleLoad) {
   const BufferLibrary lib = make_tiny_library(3);
+  SolutionArena arena;
   SolutionCurve src, dst;
   Solution s = sol(1000, 500, 0);  // huge downstream load
-  s.node = make_sink_node({0, 0}, 0);
+  s.node = arena.make_sink({0, 0}, 0);
   src.push(s);
-  push_buffered_options(src, {0, 0}, lib, dst);
+  push_buffered_options(arena, src, {0, 0}, lib, dst);
   EXPECT_GE(dst.size(), 1u);
   for (const Solution& b : dst) {
     EXPECT_LT(b.load, 500);        // input cap replaces the load
     EXPECT_GT(b.area, 0);          // buffer area accounted
     EXPECT_LT(b.req_time, 1000);   // buffer delay subtracted
-    EXPECT_EQ(b.node->kind, StepKind::kBuffer);
+    EXPECT_EQ(arena[b.node].kind, StepKind::kBuffer);
   }
 }
 
 TEST(Algebra, BufferStrideAlwaysTriesStrongest) {
   const BufferLibrary lib = make_standard_library();
+  SolutionArena arena;
   SolutionCurve src, dst;
   Solution s = sol(1000, 3000, 0);  // enormous load: strongest buffer wins rt
-  s.node = make_sink_node({0, 0}, 0);
+  s.node = arena.make_sink({0, 0}, 0);
   src.push(s);
-  push_buffered_options(src, {0, 0}, lib, dst, /*stride=*/7);
+  push_buffered_options(arena, src, {0, 0}, lib, dst, /*stride=*/7);
   double best_rt = -1e30;
   std::int32_t best_idx = -1;
   for (const Solution& b : dst)
     if (b.req_time > best_rt) {
       best_rt = b.req_time;
-      best_idx = b.node->idx;
+      best_idx = arena[b.node].idx;
     }
   EXPECT_EQ(best_idx, static_cast<std::int32_t>(lib.size()) - 1);
 }
 
 TEST(Algebra, PushMergedOptionsAcrossJobs) {
+  SolutionArena arena;
   SolutionCurve a, b, c;
   Solution s1 = sol(100, 10, 0);
-  s1.node = make_sink_node({0, 0}, 0);
+  s1.node = arena.make_sink({0, 0}, 0);
   Solution s2 = sol(90, 5, 0);
-  s2.node = make_sink_node({0, 0}, 1);
+  s2.node = arena.make_sink({0, 0}, 1);
   Solution s3 = sol(95, 50, 0);  // heavy alternative for the right side
-  s3.node = make_sink_node({0, 0}, 2);
+  s3.node = arena.make_sink({0, 0}, 2);
   a.push(s1);
   b.push(s2);
   c.push(s3);
   std::vector<MergeJob> jobs{{&a, &b}, {&a, &c}};
   SolutionCurve dst;
-  push_merged_options(jobs, {0, 0}, {}, dst);
+  push_merged_options(arena, jobs, {0, 0}, {}, dst);
   // (a+b): rt 90 load 15; (a+c): rt 95 load 60 -> both non-inferior.
   EXPECT_EQ(dst.size(), 2u);
 }
 
 TEST(Algebra, PushExtendedOptionsPicksDominant) {
   const WireModel w{0.1, 0.2};
+  SolutionArena arena;
   SolutionCurve near_c, far_c;
   Solution sn = sol(100, 10, 0);
-  sn.node = make_sink_node({10, 0}, 0);
+  sn.node = arena.make_sink({10, 0}, 0);
   Solution sf = sol(100, 10, 0);
-  sf.node = make_sink_node({5000, 0}, 1);
+  sf.node = arena.make_sink({5000, 0}, 1);
   near_c.push(sn);
   far_c.push(sf);
   const std::vector<const SolutionCurve*> srcs{&near_c, &far_c};
   const std::vector<Point> pts{{10, 0}, {5000, 0}};
   SolutionCurve dst;
-  push_extended_options(srcs, pts, {0, 0}, w, {}, dst);
+  push_extended_options(arena, srcs, pts, {0, 0}, w, {}, dst);
   // The near source strictly dominates after extension.
   ASSERT_EQ(dst.size(), 1u);
   EXPECT_NEAR(dst[0].wirelen, 10, 1e-9);

@@ -45,12 +45,15 @@ TEST(GammaCache, IdenticalRunIsFullyCached) {
   const BubbleConfig cfg = fast_cfg();
 
   GammaCache cache;
-  const BubbleResult first = bubble_construct(net, lib, order, cfg, &cache);
+  SolutionArena arena;  // cached curves hold handles into it
+  const BubbleResult first =
+      bubble_construct(net, lib, order, cfg, &cache, &arena);
   EXPECT_EQ(cache.hits(), 0u);
   const std::size_t misses_after_first = cache.misses();
   EXPECT_GT(misses_after_first, 0u);
 
-  const BubbleResult second = bubble_construct(net, lib, order, cfg, &cache);
+  const BubbleResult second =
+      bubble_construct(net, lib, order, cfg, &cache, &arena);
   // Every sub-group of the identical rerun must hit.
   EXPECT_EQ(cache.misses(), misses_after_first);
   EXPECT_GT(cache.hits(), 0u);
@@ -66,8 +69,10 @@ TEST(GammaCache, CachedResultsAreBitIdentical) {
 
   const BubbleResult plain = bubble_construct(net, lib, order, cfg, nullptr);
   GammaCache cache;
-  bubble_construct(net, lib, order, cfg, &cache);  // warm
-  const BubbleResult cached = bubble_construct(net, lib, order, cfg, &cache);
+  SolutionArena arena;
+  bubble_construct(net, lib, order, cfg, &cache, &arena);  // warm
+  const BubbleResult cached =
+      bubble_construct(net, lib, order, cfg, &cache, &arena);
   EXPECT_DOUBLE_EQ(plain.driver_req_time, cached.driver_req_time);
   EXPECT_DOUBLE_EQ(plain.chosen.load, cached.chosen.load);
   EXPECT_DOUBLE_EQ(plain.chosen.area, cached.chosen.area);
@@ -81,9 +86,10 @@ TEST(GammaCache, NeighborOrderReusesMostSubproblems) {
   const BubbleConfig cfg = fast_cfg();
 
   GammaCache cache;
-  bubble_construct(net, lib, base, cfg, &cache);
+  SolutionArena arena;
+  bubble_construct(net, lib, base, cfg, &cache, &arena);
   const std::size_t misses_cold = cache.misses();
-  bubble_construct(net, lib, neighbor, cfg, &cache);
+  bubble_construct(net, lib, neighbor, cfg, &cache, &arena);
   const std::size_t new_misses = cache.misses() - misses_cold;
   // The single swap invalidates only sub-groups whose member sequence
   // changed ("often this overlap is relatively large"): the warm run must
@@ -115,10 +121,11 @@ TEST(GammaCache, ReuseSpeedsUpIteration) {
   const Order order = tsp_order(net);
   const BubbleConfig cfg = fast_cfg();
   GammaCache cache;
+  SolutionArena arena;
   const auto t0 = std::chrono::steady_clock::now();
-  bubble_construct(net, lib, order, cfg, &cache);
+  bubble_construct(net, lib, order, cfg, &cache, &arena);
   const auto t1 = std::chrono::steady_clock::now();
-  bubble_construct(net, lib, order, cfg, &cache);
+  bubble_construct(net, lib, order, cfg, &cache, &arena);
   const auto t2 = std::chrono::steady_clock::now();
   const double cold = std::chrono::duration<double>(t1 - t0).count();
   const double warm = std::chrono::duration<double>(t2 - t1).count();

@@ -18,7 +18,8 @@ Solution sol(double rt, double load, double area) {
   s.req_time = rt;
   s.load = load;
   s.area = area;
-  s.node = make_sink_node({0, 0}, 0);
+  // Provenance is irrelevant to the dominance properties under test; the
+  // default kNullSol handle keeps these solutions arena-free.
   return s;
 }
 
@@ -27,6 +28,7 @@ bool dominates(const Solution& a, const Solution& b) { return b.dominated_by(a);
 
 TEST(Lemma8, WireExtensionPreservesDominance) {
   const WireModel wire{0.1, 0.2};
+  SolutionArena arena;
   Rng rng(1);
   for (int trial = 0; trial < 200; ++trial) {
     const Solution a = sol(rng.uniform(0, 1000), rng.uniform(1, 100), rng.uniform(0, 50));
@@ -38,8 +40,10 @@ TEST(Lemma8, WireExtensionPreservesDominance) {
     SolutionCurve ca, cb;
     ca.push(a);
     cb.push(b);
-    const SolutionCurve ea = extend_curve(ca, {0, 0}, {static_cast<std::int32_t>(len), 0}, wire, {});
-    const SolutionCurve eb = extend_curve(cb, {0, 0}, {static_cast<std::int32_t>(len), 0}, wire, {});
+    const SolutionCurve ea = extend_curve(
+        arena, ca, {0, 0}, {static_cast<std::int32_t>(len), 0}, wire, {});
+    const SolutionCurve eb = extend_curve(
+        arena, cb, {0, 0}, {static_cast<std::int32_t>(len), 0}, wire, {});
     ASSERT_EQ(ea.size(), 1u);
     ASSERT_EQ(eb.size(), 1u);
     EXPECT_TRUE(dominates(ea[0], eb[0]))

@@ -8,66 +8,75 @@ namespace merlin {
 namespace {
 
 TEST(Stitch, RemapsSinkIndices) {
-  SolNodePtr s0 = make_sink_node({0, 0}, 0);
-  SolNodePtr s1 = make_sink_node({0, 0}, 1);
-  SolNodePtr m = make_merge_node({0, 0}, s0, s1);
+  SolutionArena arena;
+  SolNodeId s0 = arena.make_sink({0, 0}, 0);
+  SolNodeId s1 = arena.make_sink({0, 0}, 1);
+  SolNodeId m = arena.make_merge({0, 0}, s0, s1);
   std::vector<SinkSubstitution> subs(2);
   subs[0].new_idx = 7;
   subs[1].new_idx = 3;
-  const SolNodePtr out = rewrite_provenance(m, subs);
-  ASSERT_EQ(out->kind, StepKind::kMerge);
-  EXPECT_EQ(out->a->idx, 7);
-  EXPECT_EQ(out->b->idx, 3);
+  const SolNodeId out = rewrite_provenance(arena, m, subs);
+  ASSERT_EQ(arena[out].kind, StepKind::kMerge);
+  EXPECT_EQ(arena[arena[out].a].idx, 7);
+  EXPECT_EQ(arena[arena[out].b].idx, 3);
 }
 
 TEST(Stitch, GraftsSubtreeAtSamePoint) {
-  SolNodePtr pseudo = make_sink_node({10, 10}, 0);
-  SolNodePtr graft = make_buffer_node({10, 10}, 2, make_sink_node({10, 10}, 5));
+  SolutionArena arena;
+  SolNodeId pseudo = arena.make_sink({10, 10}, 0);
+  SolNodeId graft =
+      arena.make_buffer({10, 10}, 2, arena.make_sink({10, 10}, 5));
   std::vector<SinkSubstitution> subs(1);
   subs[0].subtree = graft;
   subs[0].subtree_root = {10, 10};
-  const SolNodePtr out = rewrite_provenance(pseudo, subs);
-  EXPECT_EQ(out.get(), graft.get());  // same point: no wire interposed
+  const SolNodeId out = rewrite_provenance(arena, pseudo, subs);
+  EXPECT_EQ(out, graft);  // same point: no wire interposed
 }
 
 TEST(Stitch, GraftsSubtreeThroughWire) {
-  SolNodePtr pseudo = make_sink_node({0, 0}, 0);  // consuming node at origin
-  SolNodePtr graft = make_buffer_node({10, 10}, 2, make_sink_node({10, 10}, 5));
+  SolutionArena arena;
+  SolNodeId pseudo = arena.make_sink({0, 0}, 0);  // consuming node at origin
+  SolNodeId graft =
+      arena.make_buffer({10, 10}, 2, arena.make_sink({10, 10}, 5));
   std::vector<SinkSubstitution> subs(1);
   subs[0].subtree = graft;
   subs[0].subtree_root = {10, 10};
-  const SolNodePtr out = rewrite_provenance(pseudo, subs);
-  ASSERT_EQ(out->kind, StepKind::kWire);
-  EXPECT_EQ(out->at, (Point{0, 0}));
-  EXPECT_EQ(out->a.get(), graft.get());
+  const SolNodeId out = rewrite_provenance(arena, pseudo, subs);
+  ASSERT_EQ(arena[out].kind, StepKind::kWire);
+  EXPECT_EQ(arena[out].at, (Point{0, 0}));
+  EXPECT_EQ(arena[out].a, graft);
 }
 
 TEST(Stitch, PreservesBuffersAndWires) {
-  SolNodePtr s = make_sink_node({5, 0}, 0);
-  SolNodePtr b = make_buffer_node({5, 0}, 4, s);
-  SolNodePtr w = make_wire_node({0, 0}, b);
+  SolutionArena arena;
+  SolNodeId s = arena.make_sink({5, 0}, 0);
+  SolNodeId b = arena.make_buffer({5, 0}, 4, s);
+  SolNodeId w = arena.make_wire({0, 0}, b);
   std::vector<SinkSubstitution> subs(1);
   subs[0].new_idx = 9;
-  const SolNodePtr out = rewrite_provenance(w, subs);
-  ASSERT_EQ(out->kind, StepKind::kWire);
-  ASSERT_EQ(out->a->kind, StepKind::kBuffer);
-  EXPECT_EQ(out->a->idx, 4);
-  EXPECT_EQ(out->a->a->idx, 9);
+  const SolNodeId out = rewrite_provenance(arena, w, subs);
+  ASSERT_EQ(arena[out].kind, StepKind::kWire);
+  const SolNode& ob = arena[arena[out].a];
+  ASSERT_EQ(ob.kind, StepKind::kBuffer);
+  EXPECT_EQ(ob.idx, 4);
+  EXPECT_EQ(arena[ob.a].idx, 9);
 }
 
 TEST(Stitch, MemoizesSharedSubDags) {
-  SolNodePtr s = make_sink_node({0, 0}, 0);
-  SolNodePtr m = make_merge_node({0, 0}, s, s);  // shared child
+  SolutionArena arena;
+  SolNodeId s = arena.make_sink({0, 0}, 0);
+  SolNodeId m = arena.make_merge({0, 0}, s, s);  // shared child
   std::vector<SinkSubstitution> subs(1);
   subs[0].new_idx = 2;
-  const SolNodePtr out = rewrite_provenance(m, subs);
-  EXPECT_EQ(out->a.get(), out->b.get());  // sharing preserved
+  const SolNodeId out = rewrite_provenance(arena, m, subs);
+  EXPECT_EQ(arena[out].a, arena[out].b);  // sharing preserved
 }
 
 TEST(Stitch, OutOfRangeIndexThrows) {
-  SolNodePtr s = make_sink_node({0, 0}, 3);
+  SolutionArena arena;
+  SolNodeId s = arena.make_sink({0, 0}, 3);
   std::vector<SinkSubstitution> subs(2);
-  EXPECT_THROW(rewrite_provenance(s, subs), std::invalid_argument);
+  EXPECT_THROW(rewrite_provenance(arena, s, subs), std::invalid_argument);
 }
 
 }  // namespace

@@ -86,12 +86,13 @@ TEST(Evaluate, BufferDecouplesDownstreamLoad) {
 TEST(Provenance, ReplayBuildsEquivalentTree) {
   const Net net = simple_net();
   // source -> wire to (50,0) -> buffer -> merge(sink0, sink1)
-  SolNodePtr s0 = make_sink_node({50, 0}, 0);
-  SolNodePtr s1 = make_sink_node({50, 0}, 1);
-  SolNodePtr m = make_merge_node({50, 0}, s0, s1);
-  SolNodePtr b = make_buffer_node({50, 0}, 1, m);
-  SolNodePtr w = make_wire_node({0, 0}, b);
-  const RoutingTree t = build_routing_tree(net, w);
+  SolutionArena arena;
+  SolNodeId s0 = arena.make_sink({50, 0}, 0);
+  SolNodeId s1 = arena.make_sink({50, 0}, 1);
+  SolNodeId m = arena.make_merge({50, 0}, s0, s1);
+  SolNodeId b = arena.make_buffer({50, 0}, 1, m);
+  SolNodeId w = arena.make_wire({0, 0}, b);
+  const RoutingTree t = build_routing_tree(net, arena, w);
 
   ASSERT_EQ(t.size(), 5u);  // source, steiner, buffer, 2 sinks
   EXPECT_EQ(t.node(0).kind, NodeKind::kSource);
@@ -103,18 +104,20 @@ TEST(Provenance, ReplayBuildsEquivalentTree) {
 
 TEST(Provenance, RootMustSitAtSource) {
   const Net net = simple_net();
-  SolNodePtr s0 = make_sink_node({50, 0}, 0);
-  EXPECT_THROW(build_routing_tree(net, s0), std::invalid_argument);
-  EXPECT_THROW(build_routing_tree(net, nullptr), std::invalid_argument);
+  SolutionArena arena;
+  SolNodeId s0 = arena.make_sink({50, 0}, 0);
+  EXPECT_THROW(build_routing_tree(net, arena, s0), std::invalid_argument);
+  EXPECT_THROW(build_routing_tree(net, arena, kNullSol), std::invalid_argument);
 }
 
 TEST(Provenance, SinkOrderExtraction) {
-  SolNodePtr s0 = make_sink_node({0, 0}, 2);
-  SolNodePtr s1 = make_sink_node({0, 0}, 0);
-  SolNodePtr s2 = make_sink_node({0, 0}, 1);
-  SolNodePtr m1 = make_merge_node({0, 0}, s0, s1);
-  SolNodePtr m2 = make_merge_node({0, 0}, m1, s2);
-  EXPECT_EQ(provenance_sink_order(m2, 3), Order({2, 0, 1}));
+  SolutionArena arena;
+  SolNodeId s0 = arena.make_sink({0, 0}, 2);
+  SolNodeId s1 = arena.make_sink({0, 0}, 0);
+  SolNodeId s2 = arena.make_sink({0, 0}, 1);
+  SolNodeId m1 = arena.make_merge({0, 0}, s0, s1);
+  SolNodeId m2 = arena.make_merge({0, 0}, m1, s2);
+  EXPECT_EQ(provenance_sink_order(arena, m2, 3), Order({2, 0, 1}));
 }
 
 TEST(Validate, WellFormedAndStructure) {

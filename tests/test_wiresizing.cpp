@@ -150,9 +150,10 @@ TEST(WireWidth, TreeRoundTripPreservesWidths) {
   Net net;
   net.source = {0, 0};
   net.sinks.push_back(Sink{{500, 0}, 10.0, 1000.0});
-  SolNodePtr sink = make_sink_node({200, 0}, 0, 2.0);
-  SolNodePtr wire = make_wire_node({0, 0}, sink, 3.0);
-  const RoutingTree t = build_routing_tree(net, wire);
+  SolutionArena arena;
+  SolNodeId sink = arena.make_sink({200, 0}, 0, 2.0);
+  SolNodeId wire = arena.make_wire({0, 0}, sink, 3.0);
+  const RoutingTree t = build_routing_tree(net, arena, wire);
   ASSERT_EQ(t.size(), 3u);
   EXPECT_DOUBLE_EQ(t.node(1).wire_width, 3.0);  // steiner edge
   EXPECT_DOUBLE_EQ(t.node(2).wire_width, 2.0);  // sink edge
