@@ -19,6 +19,7 @@
 #include "flow/circuit.h"
 #include "flow/flows.h"
 #include "flow/report.h"
+#include "obs/sink.h"
 
 namespace {
 
@@ -67,9 +68,18 @@ int main(int argc, char** argv) {
   // their spread as production flows do (see run_circuit_flow's doc).
   constexpr double kReqCompression = 0.5;
 
-  auto flow1 = [&](const Net& n, const BufferLibrary& l) { return run_flow1(n, l, cfg); };
-  auto flow2 = [&](const Net& n, const BufferLibrary& l) { return run_flow2(n, l, cfg); };
-  auto flow3 = [&](const Net& n, const BufferLibrary& l) { return run_flow3(n, l, cfg); };
+  // One sink per flow, accumulated over every circuit: the closing summary
+  // compares how hard each flow's DP prunes (run_circuit_flow is serial, so
+  // a shared sink per flow is safe).
+  ObsSink obs1, obs2, obs3;
+  auto with_obs = [&](ObsSink& s) {
+    FlowConfig c = cfg;
+    c.obs = &s;
+    return c;
+  };
+  auto flow1 = [&](const Net& n, const BufferLibrary& l) { return run_flow1(n, l, with_obs(obs1)); };
+  auto flow2 = [&](const Net& n, const BufferLibrary& l) { return run_flow2(n, l, with_obs(obs2)); };
+  auto flow3 = [&](const Net& n, const BufferLibrary& l) { return run_flow3(n, l, with_obs(obs3)); };
 
   TextTable t({"circuit", "gates", "I:area", "I:delay(ns)", "I:time(s)",
                "II:area", "II:delay", "II:time",
@@ -132,5 +142,29 @@ int main(int argc, char** argv) {
   std::printf("%s\n", t.render().c_str());
   std::printf("paper averages: II 1.02 area / 1.05 delay / 0.91 time;"
               " III 1.07 area / 0.85 delay / 1.85 time\n");
+
+  if (kObsEnabled) {
+    std::printf("\nDP pruning summary (all circuits, per flow):\n");
+    TextTable p({"flow", "pts_pushed", "pts_pruned", "prune_rate",
+                 "peak_width", "cache_hit_rate", "buffers"});
+    const char* names[] = {"I", "II", "III"};
+    const ObsSink* sinks[] = {&obs1, &obs2, &obs3};
+    for (int f = 0; f < 3; ++f) {
+      const Counters& c = sinks[f]->counters;
+      const std::uint64_t pushed = c.get(Counter::kCurvePointsPushed);
+      const std::uint64_t pruned = c.get(Counter::kCurvePointsPruned);
+      const std::uint64_t hits = c.get(Counter::kGammaCacheHits);
+      const std::uint64_t lookups = hits + c.get(Counter::kGammaCacheMisses);
+      p.begin_row();
+      p.cell(std::string(names[f]));
+      p.cell(pushed);
+      p.cell(pruned);
+      p.cell(pushed > 0 ? static_cast<double>(pruned) / static_cast<double>(pushed) : 0.0, 2);
+      p.cell(sinks[f]->gauges.get(Gauge::kCurvePeakWidth));
+      p.cell(lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0, 2);
+      p.cell(c.get(Counter::kBuffersInserted));
+    }
+    std::printf("%s\n", p.render().c_str());
+  }
   return 0;
 }

@@ -264,7 +264,7 @@ void apply_root_options(Workspace& ws, const std::vector<SolutionCurve>& routed,
     if (keep_unbuffered)
       for (const Solution& s : routed[p]) into[p].push(s);
     push_buffered_options(ws.arena, routed[p], ws.pts[p], ws.lib, into[p],
-                          ws.cfg.buffer_stride);
+                          ws.cfg.buffer_stride, ws.cfg.obs);
     // Amortized pruning keeps accumulation cells from ballooning while many
     // (l, e, r) child choices pour into the same (L, E, R) group.
     if (into[p].size() > 4 * std::max<std::size_t>(ws.cfg.group_prune.max_solutions, 8))
@@ -364,6 +364,11 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
     if (cfg.inner_prune.ref_res == 0.0) cfg.inner_prune.ref_res = mid;
     if (cfg.group_prune.ref_res == 0.0) cfg.group_prune.ref_res = mid;
   }
+  if (cfg.inner_prune.obs == nullptr) cfg.inner_prune.obs = cfg.obs;
+  if (cfg.group_prune.obs == nullptr) cfg.group_prune.obs = cfg.obs;
+  obs_add(cfg.obs, Counter::kBubbleRuns);
+  ScopedTimer obs_timer(cfg.obs, Phase::kBubbleConstruct);
+  const std::uint64_t arena_alloc_before = arena.stats().nodes_allocated;
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("bubble_construct: net has no sinks");
   if (order.size() != n || !Order(order).valid())
@@ -416,7 +421,7 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
         }
         for (const Solution& sol : base) anchor[p].push(sol);
         push_buffered_options(ws.arena, base, ws.pts[p], lib, anchor[p],
-                              cfg.buffer_stride);
+                              cfg.buffer_stride, cfg.obs);
         anchor[p].prune(cfg.group_prune);
       }
       if (n == 1) {
@@ -451,10 +456,12 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
             cache_key.append(reinterpret_cast<const char*>(&sid), sizeof(sid));
           }
           if (const auto* cached = cache->find(cache_key)) {
+            obs_add(cfg.obs, Counter::kGammaCacheHits);
             for (std::size_t p = 0; p < ws.k; ++p)
               ws.gamma.at(L, E, R, p) = (*cached)[p];
             continue;
           }
+          obs_add(cfg.obs, Counter::kGammaCacheMisses);
         }
 
         std::vector<SolutionCurve> acc(ws.k);  // anchor accumulation A(L,E,R,.)
@@ -534,7 +541,16 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
           }
         }
 
-        for (std::size_t p = 0; p < ws.k; ++p) acc[p].prune(cfg.group_prune);
+        if (kObsEnabled && cfg.obs != nullptr) {
+          std::uint64_t entering = 0;
+          for (std::size_t p = 0; p < ws.k; ++p) entering += acc[p].size();
+          for (std::size_t p = 0; p < ws.k; ++p) acc[p].prune(cfg.group_prune);
+          std::uint64_t kept = 0;
+          for (std::size_t p = 0; p < ws.k; ++p) kept += acc[p].size();
+          obs_layer(cfg.obs, L, entering, entering - kept, kept);
+        } else {
+          for (std::size_t p = 0; p < ws.k; ++p) acc[p].prune(cfg.group_prune);
+        }
         if (L == n) {
           for (std::size_t p = 0; p < ws.k; ++p)
             ws.gamma.at(L, E, R, p) = std::move(acc[p]);
@@ -584,6 +600,16 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
   res.driver_req_time = driver_q(*best);
   res.tree = build_routing_tree(net, arena, best->node);
   res.out_order = provenance_sink_order(arena, best->node, n);
+
+  obs_add(cfg.obs, Counter::kLayerCalls, res.layer_calls);
+  obs_add(cfg.obs, Counter::kBubbleBuffersInserted, res.tree.buffer_count());
+  obs_add(cfg.obs, Counter::kArenaNodesAllocated,
+          arena.stats().nodes_allocated - arena_alloc_before);
+  obs_gauge(cfg.obs, Gauge::kGammaPeakSolutions, res.solutions_stored);
+  obs_gauge(cfg.obs, Gauge::kArenaPeakLiveNodes, arena.stats().peak_nodes);
+  obs_gauge(cfg.obs, Gauge::kArenaPeakBytes, arena.stats().peak_bytes);
+  if (cache != nullptr)
+    obs_gauge(cfg.obs, Gauge::kCachePeakEntries, cache->size());
   return res;
 }
 

@@ -100,6 +100,11 @@ struct BubbleConfig {
   std::size_t max_internal_children = 1;
 
   Objective objective{};
+
+  /// Optional observability sink (one per engine run / worker; never shared
+  /// across threads).  Propagated into `inner_prune.obs` / `group_prune.obs`
+  /// when those are unset.
+  ObsSink* obs = nullptr;
 };
 
 /// Cross-iteration sub-problem cache (paper section III.4): the

@@ -52,8 +52,10 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
       res.converged = true;
       break;
     }
+    ScopedTimer obs_timer(cfg.bubble.obs, Phase::kMerlinIteration);
     BubbleResult r = bubble_construct(net, lib, pi, cfg.bubble, cache_ptr, &arena);
     ++res.iterations;
+    obs_add(cfg.bubble.obs, Counter::kMerlinIterations);
     res.iteration_req_times.push_back(r.driver_req_time);
 
     const Order next = r.out_order;
@@ -85,7 +87,11 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
     res.best.root_curve.collect_roots(live_roots);
     if (res.best.chosen.node != kNullSol)
       live_roots.push_back(res.best.chosen.node);
+    const std::size_t live_before = arena.stats().live_nodes;
     const std::vector<SolNodeId> remap = arena.mark_compact(live_roots);
+    obs_add(cfg.bubble.obs, Counter::kArenaCompactions);
+    obs_add(cfg.bubble.obs, Counter::kArenaNodesCompacted,
+            live_before - arena.stats().live_nodes);
     if (cache_ptr) cache_ptr->remap_nodes(remap);
     res.best.root_curve.remap_nodes(remap);
     if (res.best.chosen.node != kNullSol)

@@ -19,6 +19,8 @@ namespace {
 template <typename T>
 void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
   if (v.empty()) return;
+  const std::size_t entering = v.size();
+  obs_gauge(cfg.obs, Gauge::kCurvePeakWidth, entering);
 
   // Optional quantization: snap load/area into bins, keep the best required
   // time per bin (ties toward less wire).  This bounds the paper's q.
@@ -123,6 +125,10 @@ void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
       if (pick[t] != t) v[t] = std::move(v[pick[t]]);
     v.resize(pick.size());
   }
+
+  obs_add(cfg.obs, Counter::kCurvePointsPushed, entering);
+  obs_add(cfg.obs, Counter::kCurvePointsPruned, entering - v.size());
+  obs_add(cfg.obs, Counter::kCurvePointsKept, v.size());
 }
 
 // Candidate tuple used by merge_curves: provenance by parent indices, node
@@ -196,6 +202,7 @@ SolutionCurve merge_curves(SolutionArena& arena, const SolutionCurve& left,
                                 a.wirelen + b.wirelen, i, j});
     }
   }
+  obs_add(cfg.obs, Counter::kMergeCandidates, cands.size());
   pareto_prune(cands, cfg);
 
   SolutionCurve out;
@@ -227,13 +234,15 @@ SolutionCurve extend_curve(SolutionArena& arena, const SolutionCurve& src,
     }
     out.push(std::move(e));
   }
+  obs_add(cfg.obs, Counter::kExtendCandidates, out.size());
   out.prune(cfg);
   return out;
 }
 
 void push_buffered_options(SolutionArena& arena, const SolutionCurve& src,
                            Point at, const BufferLibrary& lib,
-                           SolutionCurve& dst, std::size_t stride) {
+                           SolutionCurve& dst, std::size_t stride,
+                           ObsSink* obs) {
   if (stride == 0) stride = 1;
   // Generate (solution, buffer) candidates, prune among themselves, then
   // allocate provenance only for survivors.
@@ -258,7 +267,10 @@ void push_buffered_options(SolutionArena& arena, const SolutionCurve& src,
                               s.area + buf.area, s.wirelen, i, b});
     }
   }
-  pareto_prune(cands, PruneConfig{});
+  obs_add(obs, Counter::kBufferCandidates, cands.size());
+  PruneConfig pc;
+  pc.obs = obs;
+  pareto_prune(cands, pc);
   for (const BufCand& c : cands) {
     Solution s;
     s.req_time = c.req_time;
@@ -288,6 +300,7 @@ void push_merged_options(SolutionArena& arena, std::span<const MergeJob> jobs,
       }
     }
   }
+  obs_add(cfg.obs, Counter::kMergeCandidates, cands.size());
   pareto_prune(cands, cfg);
   for (const Cand& c : cands) {
     Solution s;
@@ -331,6 +344,7 @@ void push_extended_options(SolutionArena& arena,
       }
     }
   }
+  obs_add(cfg.obs, Counter::kExtendCandidates, cands.size());
   pareto_prune(cands, cfg);
   for (const Cand& c : cands) {
     Solution s;

@@ -10,6 +10,7 @@
 #include "buflib/library.h"
 #include "curve/arena.h"
 #include "curve/solution.h"
+#include "obs/sink.h"
 #include "timing/wire.h"
 
 namespace merlin {
@@ -29,6 +30,12 @@ struct PruneConfig {
   /// upstream driver of this strength would pick, so it must survive even
   /// when the cap is tight.  0 disables the extra keep-point.
   double ref_res = 0.0;
+  /// Optional observability sink: every prune through this config records
+  /// pushed/pruned/kept counts and the peak curve width.  Not part of the
+  /// pruning policy itself; engines patch it from their own config's sink.
+  /// Must stay the last member — PruneConfig is brace-initialized
+  /// positionally throughout the codebase.
+  ObsSink* obs = nullptr;
 };
 
 /// A set of mutually non-inferior (required time, load, area) solutions.
@@ -114,7 +121,8 @@ SolutionCurve extend_curve(SolutionArena& arena, const SolutionCurve& src,
 /// sizes are bracketed by tried ones, so little quality is lost.
 void push_buffered_options(SolutionArena& arena, const SolutionCurve& src,
                            Point at, const BufferLibrary& lib,
-                           SolutionCurve& dst, std::size_t stride = 1);
+                           SolutionCurve& dst, std::size_t stride = 1,
+                           ObsSink* obs = nullptr);
 
 // ---------------------------------------------------------------------------
 // Batch operations for DP inner loops.  They fold many candidate sources

@@ -91,11 +91,18 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     // Per-worker scratch; constructed before the pool so that if an
     // exception unwinds this scope, the pool's draining destructor (which
     // may still run tasks referencing the caches/arenas) fires first.
-    // Each worker owns one GammaCache and one SolutionArena: no provenance
-    // allocation is ever shared across threads, and slab/map capacity is
-    // reused from net to net.
+    // Each worker owns one GammaCache, one SolutionArena and (when the
+    // caller wants observability) one ObsSink: no provenance allocation,
+    // and no stats recording, is ever shared across threads.
     std::vector<GammaCache> caches(n_threads);
     std::vector<SolutionArena> arenas(n_threads);
+    std::vector<ObsSink> sinks;
+    if (kObsEnabled && opts_.obs != nullptr) {
+      sinks.resize(n_threads);
+      // Worker sinks hold every trace; the deterministic cap is applied
+      // once, after the post-drain sort by net id.
+      for (ObsSink& s : sinks) s.set_trace_capacity(jobs.size());
+    }
     ThreadPool pool(n_threads);
 
     std::vector<std::future<void>> done;
@@ -104,6 +111,8 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
       done.push_back(pool.submit([&, i] {
         const CircuitNet& job = jobs[i];
         BatchNetResult& slot = out.nets[i];  // exclusive to this task
+        ObsSink* sink = sinks.empty() ? nullptr : &sinks[pool.worker_index()];
+        if (sink) sink->begin_net();
         const auto tj = Clock::now();
         slot.net_id = job.driver_gate;
         slot.trivial = job.trivial();
@@ -120,6 +129,7 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
           // Worker-local scratch arena: every flow's provenance goes into
           // it (reset per net), reusing slab capacity from net to net.
           cfg.scratch_arena = &arenas[pool.worker_index()];
+          cfg.obs = sink;
           switch (opts_.flow) {
             case FlowKind::kFlow1: slot.result = run_flow1(job.net, lib_, cfg); break;
             case FlowKind::kFlow2: slot.result = run_flow2(job.net, lib_, cfg); break;
@@ -135,12 +145,47 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
           realized[job.driver_gate] =
               sink_path_delays(job.net, slot.result.tree, lib_);
         slot.wall_ms = ms_since(tj);
+        if (sink) {
+          sink->add(Counter::kNetsProcessed);
+          if (slot.trivial) sink->add(Counter::kTrivialNets);
+          TraceRecord t;
+          t.net_id = job.driver_gate;
+          t.sinks = job.net.fanout();
+          t.wall_us = static_cast<std::uint64_t>(slot.wall_ms * 1000.0);
+          t.peak_curve_width = sink->net_peak_curve_width();
+          t.merlin_loops = slot.result.merlin_loops;
+          t.buffers = slot.result.eval.buffer_count;
+          sink->record_trace(t);
+        }
       }));
     }
     for (std::future<void>& f : done) f.get();  // rethrows worker exceptions
 
     out.stats.threads_used = pool.size();
     out.stats.steals = pool.steal_count();
+    out.stats.worker_tasks = pool.executed_counts();
+
+    // Fold the per-worker sinks into the caller's aggregate, serially, in
+    // worker order.  Counter sums, gauge maxima and layer totals commute
+    // across the worker partition, so the aggregate is identical for any
+    // thread count; traces are gathered, sorted by net id, and capped at
+    // the aggregate sink's capacity — also scheduling-independent.
+    if (!sinks.empty()) {
+      ScopedTimer reduce_timer(opts_.obs, Phase::kBatchReduce);
+      std::vector<TraceRecord> traces;
+      traces.reserve(jobs.size());
+      for (ObsSink& s : sinks) {
+        traces.insert(traces.end(), s.traces().begin(), s.traces().end());
+        s.traces().clear();
+        opts_.obs->merge_from(s);
+      }
+      std::sort(traces.begin(), traces.end(),
+                [](const TraceRecord& a, const TraceRecord& b) {
+                  return a.net_id < b.net_id;
+                });
+      for (const TraceRecord& t : traces) opts_.obs->record_trace(t);
+      obs_add(opts_.obs, Counter::kPoolTasks, jobs.size());
+    }
   }
   out.stats.wall_ms = ms_since(t0);
 
@@ -150,18 +195,18 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
               return a.net_id < b.net_id;
             });
   BatchStats& st = out.stats;
-  st.net_count = out.nets.size();
+  st.det.net_count = out.nets.size();
   for (const BatchNetResult& r : out.nets) {
-    if (r.trivial) ++st.trivial_nets;
+    if (r.trivial) ++st.det.trivial_nets;
     st.total_net_ms += r.wall_ms;
     st.max_net_ms = std::max(st.max_net_ms, r.wall_ms);
-    st.cache_hits += r.result.cache_hits;
-    st.cache_misses += r.result.cache_misses;
-    st.buffers_inserted += r.result.eval.buffer_count;
-    st.buffer_area += r.result.eval.buffer_area;
+    st.det.cache_hits += r.result.cache_hits;
+    st.det.cache_misses += r.result.cache_misses;
+    st.det.buffers_inserted += r.result.eval.buffer_count;
+    st.det.buffer_area += r.result.eval.buffer_area;
   }
-  if (st.net_count > 0)
-    st.mean_net_ms = st.total_net_ms / static_cast<double>(st.net_count);
+  if (st.det.net_count > 0)
+    st.mean_net_ms = st.total_net_ms / static_cast<double>(st.det.net_count);
 
   if (ckt) {
     CircuitFlowResult& cr = out.circuit;
@@ -184,9 +229,9 @@ std::string BatchStats::to_string() const {
                 "nets=%zu (trivial=%zu) threads=%zu steals=%zu wall=%.1fms "
                 "net_ms[total=%.1f mean=%.2f max=%.2f] cache[hit=%zu miss=%zu] "
                 "buffers=%zu area=%.1f",
-                net_count, trivial_nets, threads_used, steals, wall_ms,
-                total_net_ms, mean_net_ms, max_net_ms, cache_hits, cache_misses,
-                buffers_inserted, buffer_area);
+                det.net_count, det.trivial_nets, threads_used, steals, wall_ms,
+                total_net_ms, mean_net_ms, max_net_ms, det.cache_hits,
+                det.cache_misses, det.buffers_inserted, det.buffer_area);
   return buf;
 }
 
@@ -205,12 +250,10 @@ bool batch_results_identical(const BatchResult& a, const BatchResult& b) {
         !flow_results_identical(x.result, y.result))
       return false;
   }
-  const BatchStats &sa = a.stats, &sb = b.stats;
-  if (sa.net_count != sb.net_count || sa.trivial_nets != sb.trivial_nets ||
-      sa.cache_hits != sb.cache_hits || sa.cache_misses != sb.cache_misses ||
-      sa.buffers_inserted != sb.buffers_inserted ||
-      sa.buffer_area != sb.buffer_area)
-    return false;
+  // The deterministic substruct carries exactly the comparable fields, so
+  // its defaulted operator== is the whole stats comparison; wall times and
+  // scheduling facts are structurally excluded.
+  if (!(a.stats.det == b.stats.det)) return false;
   const CircuitFlowResult &ca = a.circuit, &cb = b.circuit;
   return ca.area == cb.area && ca.delay_ps == cb.delay_ps &&
          ca.nets_routed == cb.nets_routed &&

@@ -63,6 +63,15 @@ struct BatchOptions {
 
   /// `req_compression` of run_circuit_flow, applied during net extraction.
   double req_compression = 1.0;
+
+  /// Optional aggregate observability sink.  The runner gives every pool
+  /// worker a private ObsSink (same ownership discipline as the per-worker
+  /// GammaCache/SolutionArena), then merges them into this sink serially
+  /// after the pool drains: counters/gauges/layer stats are commutative, and
+  /// per-net trace rows are re-sorted by net id and capped at this sink's
+  /// trace_capacity() — so everything except wall times and the `runtime`
+  /// facts is identical across thread counts.
+  ObsSink* obs = nullptr;
 };
 
 /// Outcome of one net of the batch.
@@ -73,22 +82,36 @@ struct BatchNetResult {
   double wall_ms = 0.0;  ///< job wall time as scheduled (not deterministic)
 };
 
-/// Aggregate observability report of a batch run.
-struct BatchStats {
+/// The scheduling-independent aggregates of a batch run.  A substruct so
+/// the serial-vs-parallel differential tests can compare it *structurally*
+/// (defaulted operator==) rather than by the comment convention that used
+/// to mark which BatchStats fields were safe to diff; wall-time and
+/// scheduling facts live in the enclosing BatchStats and cannot leak into
+/// the comparison.
+struct BatchStatsDet {
   std::size_t net_count = 0;    ///< nets processed (including trivial)
   std::size_t trivial_nets = 0;
+  std::size_t cache_hits = 0;   ///< GammaCache totals (Flow III only)
+  std::size_t cache_misses = 0;
+  std::size_t buffers_inserted = 0;
+  double buffer_area = 0.0;
+  friend bool operator==(const BatchStatsDet&, const BatchStatsDet&) = default;
+};
+
+/// Aggregate observability report of a batch run.  Everything outside `det`
+/// depends on scheduling (thread count, steal luck, machine load) and is
+/// excluded from differential comparisons by construction.
+struct BatchStats {
+  BatchStatsDet det;
+
   std::size_t threads_used = 1;
   std::size_t steals = 0;  ///< pool tasks executed off a foreign queue
+  std::vector<std::uint64_t> worker_tasks;  ///< tasks executed per worker
 
   double wall_ms = 0.0;          ///< end-to-end batch wall time
   double total_net_ms = 0.0;     ///< sum of per-net job wall times
   double mean_net_ms = 0.0;
   double max_net_ms = 0.0;
-
-  std::size_t cache_hits = 0;    ///< GammaCache totals (Flow III only)
-  std::size_t cache_misses = 0;
-  std::size_t buffers_inserted = 0;
-  double buffer_area = 0.0;
 
   /// One-line human-readable summary.
   [[nodiscard]] std::string to_string() const;
@@ -129,7 +152,7 @@ class BatchRunner {
 bool flow_results_identical(const FlowResult& a, const FlowResult& b);
 
 /// flow_results_identical over whole batches (net ids, trivial flags, trees,
-/// evals, and the deterministic aggregate fields of stats and circuit).
+/// evals, `stats.det`, and the circuit-level outcome).
 bool batch_results_identical(const BatchResult& a, const BatchResult& b);
 
 }  // namespace merlin

@@ -20,6 +20,19 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+// Flow-level observations shared by flows I/II (flow III's engine records
+// its own arena figures): the buffer count of the final (evaluator-verified)
+// tree, the provenance allocated by the flow, and the arena's high-water
+// marks.
+void record_flow_obs(ObsSink* obs, const FlowResult& res,
+                     const SolutionArena& arena, std::uint64_t alloc_before) {
+  obs_add(obs, Counter::kBuffersInserted, res.eval.buffer_count);
+  obs_add(obs, Counter::kArenaNodesAllocated,
+          arena.stats().nodes_allocated - alloc_before);
+  obs_gauge(obs, Gauge::kArenaPeakLiveNodes, arena.stats().peak_nodes);
+  obs_gauge(obs, Gauge::kArenaPeakBytes, arena.stats().peak_bytes);
+}
+
 }  // namespace
 
 Point centroid(const std::vector<Point>& pts) {
@@ -47,6 +60,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
   SolutionArena local_arena;
   SolutionArena& arena = cfg.scratch_arena ? *cfg.scratch_arena : local_arena;
   arena.reset();
+  const std::uint64_t alloc0 = arena.stats().nodes_allocated;
 
   // Phase 1: fanout optimization in the logic domain (required-time order,
   // exactly the paper's Setup I).  As in SIS-era flows, a statistical wire
@@ -56,6 +70,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
   // (which is also why sequential flows over-buffer, Table 1's flow-I area).
   LTTreeConfig ltcfg;
   ltcfg.prune = cfg.engine_prune;
+  ltcfg.obs = cfg.obs;
   constexpr double kWireloadPessimism = 2.5;
   const double steiner_len_est =
       0.7 * static_cast<double>(net.bbox().half_perimeter()) *
@@ -128,6 +143,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
     PTreeConfig pcfg;
     pcfg.candidates = cfg.candidates;
     pcfg.prune = cfg.engine_prune;
+    pcfg.obs = cfg.obs;
     PTreeResult pr = ptree_route(local, tsp_order(local), pcfg, &arena);
 
     RoutedGroup rg;
@@ -148,6 +164,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
   res.tree = build_routing_tree(net, arena, routed[0].node);
   res.eval = evaluate_tree(net, res.tree, lib);
   res.runtime_ms = ms_since(t0);
+  record_flow_obs(cfg.obs, res, arena, alloc0);
   return res;
 }
 
@@ -157,19 +174,23 @@ FlowResult run_flow2(const Net& net, const BufferLibrary& lib,
   SolutionArena local_arena;
   SolutionArena& arena = cfg.scratch_arena ? *cfg.scratch_arena : local_arena;
   arena.reset();
+  const std::uint64_t alloc0 = arena.stats().nodes_allocated;
   PTreeConfig pcfg;
   pcfg.candidates = cfg.candidates;
   pcfg.prune = cfg.engine_prune;
+  pcfg.obs = cfg.obs;
   PTreeResult pr = ptree_route(net, tsp_order(net), pcfg, &arena);
 
   VanGinnekenConfig vcfg;
   vcfg.prune = cfg.engine_prune;
+  vcfg.obs = cfg.obs;
   VanGinnekenResult vg = vangin_insert(net, pr.tree, lib, vcfg, &arena);
 
   FlowResult res;
   res.tree = std::move(vg.tree);
   res.eval = evaluate_tree(net, res.tree, lib);
   res.runtime_ms = ms_since(t0);
+  record_flow_obs(cfg.obs, res, arena, alloc0);
   return res;
 }
 
@@ -179,6 +200,7 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
   MerlinConfig mcfg = cfg.merlin;
   mcfg.bubble.candidates = cfg.candidates;
   if (mcfg.scratch_arena == nullptr) mcfg.scratch_arena = cfg.scratch_arena;
+  if (mcfg.bubble.obs == nullptr) mcfg.bubble.obs = cfg.obs;
   MerlinResult mr = merlin_optimize(net, lib, tsp_order(net), mcfg);
 
   FlowResult res;
@@ -188,6 +210,9 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
   res.merlin_loops = mr.iterations;
   res.cache_hits = mr.cache_hits;
   res.cache_misses = mr.cache_misses;
+  // Arena gauges are recorded by bubble_construct itself (it sees the arena
+  // whether scratch or private); the flow only adds the final buffer count.
+  obs_add(cfg.obs, Counter::kBuffersInserted, res.eval.buffer_count);
   return res;
 }
 

@@ -41,6 +41,11 @@ struct FlowConfig {
   /// For flow III it doubles as MerlinConfig::scratch_arena unless that is
   /// already set.
   SolutionArena* scratch_arena = nullptr;
+  /// Optional observability sink, propagated into every engine the flow
+  /// runs.  Same ownership rule as scratch_arena: one per worker thread,
+  /// never shared across pool workers (the batch engine merges per-worker
+  /// sinks serially afterwards).
+  ObsSink* obs = nullptr;
 };
 
 /// One flow's outcome on one net.

@@ -48,10 +48,15 @@ void collect_group(const SolutionArena& arena, SolNodeId id, FanoutTree& ft,
 }  // namespace
 
 LTTreeResult lttree_optimize(const Net& net, const Order& order,
-                             const BufferLibrary& lib, const LTTreeConfig& cfg,
+                             const BufferLibrary& lib,
+                             const LTTreeConfig& cfg_in,
                              SolutionArena* arena_opt) {
   SolutionArena local_arena;
   SolutionArena& arena = arena_opt ? *arena_opt : local_arena;
+  LTTreeConfig cfg = cfg_in;
+  if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
+  obs_add(cfg.obs, Counter::kLttreeRuns);
+  ScopedTimer obs_timer(cfg.obs, Phase::kLttreeGrouping);
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("lttree_optimize: net has no sinks");
   if (order.size() != n || !Order(order).valid())
@@ -102,7 +107,7 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
       }
     }
     bases.prune(cfg.prune);
-    push_buffered_options(arena, bases, origin, lib, C[j]);
+    push_buffered_options(arena, bases, origin, lib, C[j], 1, cfg.obs);
     C[j].prune(cfg.prune);
   }
 
@@ -170,6 +175,7 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
   res.buffer_area = best->area;
   res.tree.groups.push_back(FanoutGroup{-1, {}, -1});
   collect_group(arena, best->node, res.tree, 0);
+  obs_add(cfg.obs, Counter::kLttreeBuffersInserted, res.tree.buffer_count());
   return res;
 }
 

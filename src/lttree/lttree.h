@@ -39,6 +39,9 @@ struct LTTreeConfig {
   /// load per connection; without it, modern-strength cells would rarely
   /// justify any buffer on pin loads alone.
   double wire_load_per_pin = 0.0;
+  /// Optional observability sink (one per engine run / worker; never shared
+  /// across threads).  Propagated into `prune.obs` when that is unset.
+  ObsSink* obs = nullptr;
 };
 
 /// One node of the abstract (geometry-free) fanout tree.

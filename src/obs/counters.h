@@ -1,0 +1,177 @@
+#pragma once
+// Counter / gauge / phase vocabulary of the observability layer.
+//
+// Every name here is a *contract*: it appears verbatim as a JSON key in the
+// `--stats-json` export, it is documented (in paper terms) in
+// docs/OBSERVABILITY.md, and tools/check_docs.sh fails CI when the two drift
+// apart.  Counters are monotonic and deterministic — for a fixed workload
+// their aggregate totals are identical across thread counts and runs, which
+// is what lets EXPERIMENTS.md cite them as measurements rather than
+// anecdotes (tests/test_obs.cpp enforces this).  Gauges are high-water
+// marks (also deterministic).  Phases are wall-clock buckets and therefore
+// explicitly *not* deterministic; they never participate in differential
+// comparisons.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace merlin {
+
+/// Monotonic event counters.  Order is the JSON export order; names come
+/// from counter_name() below.
+enum class Counter : std::uint16_t {
+  // Curve algebra (Def. 6 pruning; Lemmas 9/10 bound what survives).
+  kCurvePointsPushed,    ///< candidate points entering a prune pass
+  kCurvePointsPruned,    ///< points killed (dominated, quantized or capped)
+  kCurvePointsKept,      ///< points surviving a prune pass
+  kMergeCandidates,      ///< solution pairs formed by merge operations
+  kExtendCandidates,     ///< wire-extension candidates generated
+  kBufferCandidates,     ///< (solution, buffer) candidates generated
+
+  // Sub-problem reuse (paper section III.4, Lemma 7 sharing).
+  kGammaCacheHits,
+  kGammaCacheMisses,
+
+  // Provenance arena (curve/arena.h).
+  kArenaNodesAllocated,  ///< SolNodes allocated (per-run deltas, summed)
+  kArenaNodesCompacted,  ///< nodes reclaimed by mark_compact
+  kArenaCompactions,     ///< mark_compact calls
+
+  // Engine invocations and their work.
+  kLayerCalls,           ///< *PTREE layer-DP calls (BubbleResult::layer_calls)
+  kBubbleRuns,           ///< BUBBLE_CONSTRUCT invocations (Figure 9)
+  kMerlinIterations,     ///< outer-loop iterations (Figure 14; Table 1 "Loops")
+  kPtreeRuns,            ///< ptree_route invocations
+  kLttreeRuns,           ///< lttree_optimize invocations
+  kVanginRuns,           ///< vangin_insert invocations
+
+  // Buffers in extracted structures, by producing engine.
+  kBubbleBuffersInserted,
+  kLttreeBuffersInserted,
+  kVanginBuffersInserted,
+  kBuffersInserted,      ///< total buffers in final per-net trees (flow level)
+
+  // Batch / pool level.
+  kNetsProcessed,
+  kTrivialNets,
+  kPoolTasks,            ///< tasks executed by the thread pool (deterministic)
+
+  kCount,
+};
+
+/// High-water gauges (monotone maxima; deterministic for a fixed workload).
+enum class Gauge : std::uint16_t {
+  kCurvePeakWidth,       ///< widest curve seen entering a prune pass
+  kArenaPeakLiveNodes,   ///< SolutionArena peak live SolNodes
+  kArenaPeakBytes,       ///< peak live-node bytes
+  kGammaPeakSolutions,   ///< most solutions stored in one Gamma table
+  kCachePeakEntries,     ///< largest GammaCache entry count
+  kCount,
+};
+
+/// Wall-clock phase buckets (ScopedTimer keys).  Not deterministic.
+enum class Phase : std::uint16_t {
+  kLttreeGrouping,       ///< LT-Tree fanout grouping DP (flow I phase 1)
+  kPtreeDp,              ///< PTREE fixed-order routing DP
+  kVanginDp,             ///< van Ginneken buffer insertion DP
+  kBubbleConstruct,      ///< one BUBBLE_CONSTRUCT (table build + extraction)
+  kMerlinIteration,      ///< one outer MERLIN loop body (incl. compaction)
+  kBatchReduce,          ///< serial deterministic reduction of a batch run
+  kCount,
+};
+
+inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
+inline constexpr std::size_t kGaugeCount = static_cast<std::size_t>(Gauge::kCount);
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+/// Canonical snake_case name (JSON key / docs anchor) of each counter.
+[[nodiscard]] constexpr const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kCurvePointsPushed: return "curve_points_pushed";
+    case Counter::kCurvePointsPruned: return "curve_points_pruned";
+    case Counter::kCurvePointsKept: return "curve_points_kept";
+    case Counter::kMergeCandidates: return "merge_candidates";
+    case Counter::kExtendCandidates: return "extend_candidates";
+    case Counter::kBufferCandidates: return "buffer_candidates";
+    case Counter::kGammaCacheHits: return "gamma_cache_hits";
+    case Counter::kGammaCacheMisses: return "gamma_cache_misses";
+    case Counter::kArenaNodesAllocated: return "arena_nodes_allocated";
+    case Counter::kArenaNodesCompacted: return "arena_nodes_compacted";
+    case Counter::kArenaCompactions: return "arena_compactions";
+    case Counter::kLayerCalls: return "layer_calls";
+    case Counter::kBubbleRuns: return "bubble_runs";
+    case Counter::kMerlinIterations: return "merlin_iterations";
+    case Counter::kPtreeRuns: return "ptree_runs";
+    case Counter::kLttreeRuns: return "lttree_runs";
+    case Counter::kVanginRuns: return "vangin_runs";
+    case Counter::kBubbleBuffersInserted: return "bubble_buffers_inserted";
+    case Counter::kLttreeBuffersInserted: return "lttree_buffers_inserted";
+    case Counter::kVanginBuffersInserted: return "vangin_buffers_inserted";
+    case Counter::kBuffersInserted: return "buffers_inserted";
+    case Counter::kNetsProcessed: return "nets_processed";
+    case Counter::kTrivialNets: return "trivial_nets";
+    case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kCount: break;
+  }
+  return "unknown_counter";
+}
+
+[[nodiscard]] constexpr const char* gauge_name(Gauge g) {
+  switch (g) {
+    case Gauge::kCurvePeakWidth: return "curve_peak_width";
+    case Gauge::kArenaPeakLiveNodes: return "arena_peak_live_nodes";
+    case Gauge::kArenaPeakBytes: return "arena_peak_bytes";
+    case Gauge::kGammaPeakSolutions: return "gamma_peak_solutions";
+    case Gauge::kCachePeakEntries: return "cache_peak_entries";
+    case Gauge::kCount: break;
+  }
+  return "unknown_gauge";
+}
+
+[[nodiscard]] constexpr const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kLttreeGrouping: return "lttree_grouping";
+    case Phase::kPtreeDp: return "ptree_dp";
+    case Phase::kVanginDp: return "vangin_dp";
+    case Phase::kBubbleConstruct: return "bubble_construct";
+    case Phase::kMerlinIteration: return "merlin_iteration";
+    case Phase::kBatchReduce: return "batch_reduce";
+    case Phase::kCount: break;
+  }
+  return "unknown_phase";
+}
+
+/// The monotonic counter bank.
+struct Counters {
+  std::array<std::uint64_t, kCounterCount> v{};
+
+  void add(Counter c, std::uint64_t n = 1) { v[static_cast<std::size_t>(c)] += n; }
+  [[nodiscard]] std::uint64_t get(Counter c) const {
+    return v[static_cast<std::size_t>(c)];
+  }
+  void merge(const Counters& o) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) v[i] += o.v[i];
+  }
+  friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+/// The high-water gauge bank.
+struct Gauges {
+  std::array<std::uint64_t, kGaugeCount> v{};
+
+  void maximize(Gauge g, std::uint64_t x) {
+    auto& slot = v[static_cast<std::size_t>(g)];
+    if (x > slot) slot = x;
+  }
+  [[nodiscard]] std::uint64_t get(Gauge g) const {
+    return v[static_cast<std::size_t>(g)];
+  }
+  void merge(const Gauges& o) {
+    for (std::size_t i = 0; i < kGaugeCount; ++i)
+      if (o.v[i] > v[i]) v[i] = o.v[i];
+  }
+  friend bool operator==(const Gauges&, const Gauges&) = default;
+};
+
+}  // namespace merlin

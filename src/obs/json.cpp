@@ -1,0 +1,349 @@
+#include "obs/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace merlin {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string fmt_double(double x) {
+  if (!std::isfinite(x)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", x);
+  return buf;
+}
+
+/// Percentile of a sorted sample by nearest-rank (p in [0, 100]).
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+class Writer {
+ public:
+  void key(const char* k) {
+    comma();
+    append_escaped(out_, k);
+    out_.push_back(':');
+    fresh_ = true;
+  }
+  void begin_obj() { comma(); out_.push_back('{'); fresh_ = true; }
+  void end_obj() { out_.push_back('}'); fresh_ = false; }
+  void begin_arr() { comma(); out_.push_back('['); fresh_ = true; }
+  void end_arr() { out_.push_back(']'); fresh_ = false; }
+  void num(std::uint64_t v) { comma(); out_ += std::to_string(v); fresh_ = false; }
+  void num(double v) { comma(); out_ += fmt_double(v); fresh_ = false; }
+  void str(const char* v) { comma(); append_escaped(out_, v); fresh_ = false; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty()) out_.push_back(',');
+    fresh_ = false;
+  }
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt) {
+  Writer w;
+  w.begin_obj();
+  w.key("schema"); w.str(kStatsSchemaName);
+  w.key("schema_version"); w.num(static_cast<std::uint64_t>(kStatsSchemaVersion));
+
+  w.key("counters");
+  w.begin_obj();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    auto c = static_cast<Counter>(i);
+    w.key(counter_name(c));
+    w.num(sink.counters.get(c));
+  }
+  w.end_obj();
+
+  w.key("gauges");
+  w.begin_obj();
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    auto g = static_cast<Gauge>(i);
+    w.key(gauge_name(g));
+    w.num(sink.gauges.get(g));
+  }
+  w.end_obj();
+
+  w.key("phases");
+  w.begin_obj();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    auto p = static_cast<Phase>(i);
+    w.key(phase_name(p));
+    w.begin_obj();
+    w.key("calls"); w.num(sink.phase_calls(p));
+    w.key("total_ns"); w.num(sink.phase_ns(p));
+    w.end_obj();
+  }
+  w.end_obj();
+
+  w.key("layers");
+  w.begin_arr();
+  for (std::size_t l = 0; l < sink.layers().size(); ++l) {
+    const LayerStats& s = sink.layers()[l];
+    if (s.calls == 0 && s.pushed == 0) continue;
+    w.begin_obj();
+    w.key("layer"); w.num(static_cast<std::uint64_t>(l));
+    w.key("calls"); w.num(s.calls);
+    w.key("pushed"); w.num(s.pushed);
+    w.key("pruned"); w.num(s.pruned);
+    w.key("kept"); w.num(s.kept);
+    w.end_obj();
+  }
+  w.end_arr();
+
+  w.key("nets");
+  w.begin_arr();
+  for (const TraceRecord& t : sink.traces()) {
+    w.begin_obj();
+    w.key("net_id"); w.num(static_cast<std::uint64_t>(t.net_id));
+    w.key("sinks"); w.num(static_cast<std::uint64_t>(t.sinks));
+    w.key("wall_us"); w.num(t.wall_us);
+    w.key("peak_curve_width"); w.num(t.peak_curve_width);
+    w.key("merlin_loops"); w.num(static_cast<std::uint64_t>(t.merlin_loops));
+    w.key("buffers"); w.num(static_cast<std::uint64_t>(t.buffers));
+    w.end_obj();
+  }
+  w.end_arr();
+
+  {
+    std::vector<std::uint64_t> lat;
+    lat.reserve(sink.traces().size());
+    for (const TraceRecord& t : sink.traces()) lat.push_back(t.wall_us);
+    std::sort(lat.begin(), lat.end());
+    w.key("latency_us");
+    w.begin_obj();
+    w.key("count"); w.num(static_cast<std::uint64_t>(lat.size()));
+    w.key("p50"); w.num(percentile(lat, 50));
+    w.key("p90"); w.num(percentile(lat, 90));
+    w.key("p99"); w.num(percentile(lat, 99));
+    w.key("max"); w.num(lat.empty() ? 0 : lat.back());
+    w.end_obj();
+  }
+
+  w.key("runtime");
+  w.begin_obj();
+  w.key("threads"); w.num(static_cast<std::uint64_t>(rt.threads));
+  w.key("steals"); w.num(rt.steals);
+  w.key("wall_ms"); w.num(rt.wall_ms);
+  w.key("worker_tasks");
+  w.begin_arr();
+  for (std::uint64_t t : rt.worker_tasks) w.num(t);
+  w.end_arr();
+  w.end_obj();
+
+  w.end_obj();
+  return w.take();
+}
+
+// -- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    std::ostringstream os;
+    os << "json_parse: " << what << " at offset " << pos_;
+    throw std::invalid_argument(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[key] = parse_value();
+      skip_ws();
+      char c = peek();
+      if (c == ',') { ++pos_; continue; }
+      if (c == '}') { ++pos_; break; }
+      fail("expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') { ++pos_; continue; }
+      if (c == ']') { ++pos_; break; }
+      fail("expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace merlin

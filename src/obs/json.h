@@ -1,0 +1,70 @@
+#pragma once
+// Schema-versioned JSON export of an ObsSink, plus the minimal parser used
+// to validate it (tests round-trip the export; merlin_cli re-parses before
+// writing --stats-json output).  No third-party JSON dependency on purpose.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace merlin {
+
+/// Schema identity of the export.  Bump kStatsSchemaVersion on any breaking
+/// change to the JSON layout and document the migration in
+/// docs/OBSERVABILITY.md.
+inline constexpr const char* kStatsSchemaName = "merlin.stats";
+inline constexpr int kStatsSchemaVersion = 1;
+
+/// Scheduling-dependent run facts.  Kept in a separate "runtime" JSON
+/// section so the deterministic sections (counters/gauges/layers/nets) can
+/// be diffed across thread counts.
+struct RuntimeInfo {
+  std::size_t threads = 1;
+  std::uint64_t steals = 0;
+  double wall_ms = 0.0;
+  std::vector<std::uint64_t> worker_tasks;  ///< tasks executed per worker
+};
+
+/// Render the sink (plus optional runtime facts) as a JSON document:
+/// schema/version, counters, gauges, phases, layers, nets (trace rows),
+/// latency_us percentiles over the trace wall times, runtime.
+[[nodiscard]] std::string stats_to_json(const ObsSink& sink,
+                                        const RuntimeInfo& rt = {});
+
+// -- minimal JSON value / parser -------------------------------------------
+
+/// A tiny JSON document model: just enough to round-trip stats_to_json.
+/// Numbers are stored as double (stats values are counters and timings,
+/// all exactly representable well past any realistic magnitude here).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;  // ordered: deterministic dumps
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) != 0;
+  }
+  /// Object member access; throws std::out_of_range on missing key.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    return object.at(key);
+  }
+};
+
+/// Parse a JSON document.  Throws std::invalid_argument on malformed input
+/// (including trailing garbage).  Supports the full JSON grammar minus
+/// \uXXXX escapes (which the exporter never emits).
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace merlin

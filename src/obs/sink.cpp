@@ -1,0 +1,35 @@
+#include "obs/sink.h"
+
+namespace merlin {
+
+void ObsSink::merge_from(const ObsSink& o) {
+  counters.merge(o.counters);
+  gauges.merge(o.gauges);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_ns_[i] += o.phase_ns_[i];
+    phase_calls_[i] += o.phase_calls_[i];
+  }
+  if (o.layers_.size() > layers_.size()) layers_.resize(o.layers_.size());
+  for (std::size_t i = 0; i < o.layers_.size(); ++i) {
+    layers_[i].calls += o.layers_[i].calls;
+    layers_[i].pushed += o.layers_[i].pushed;
+    layers_[i].pruned += o.layers_[i].pruned;
+    layers_[i].kept += o.layers_[i].kept;
+  }
+  for (const TraceRecord& t : o.traces_) {
+    if (traces_.size() >= trace_capacity_) break;
+    traces_.push_back(t);
+  }
+}
+
+void ObsSink::clear() {
+  counters = Counters{};
+  gauges = Gauges{};
+  phase_ns_.fill(0);
+  phase_calls_.fill(0);
+  layers_.clear();
+  traces_.clear();
+  net_peak_curve_width_ = 0;
+}
+
+}  // namespace merlin

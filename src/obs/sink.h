@@ -1,0 +1,180 @@
+#pragma once
+// ObsSink — the per-Workspace collection point of the observability layer.
+//
+// Ownership rule: one ObsSink per worker (the batch engine allocates one per
+// pool worker, exactly like its per-worker GammaCache and SolutionArena) or
+// one per single-threaded engine run.  A sink is deliberately NOT
+// thread-safe — it must never be shared across pool workers; per-worker
+// sinks are merged serially after the pool drains (merge_from), which keeps
+// the aggregate deterministic.
+//
+// Every recording entry point is null-safe (`obs_add(nullptr, ...)` is a
+// no-op), and when the library is configured with -DMERLIN_OBS=OFF the
+// inline helpers compile to nothing (kObsEnabled == false), so engine code
+// carries no #ifdefs and no disabled-mode overhead.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace merlin {
+
+#if defined(MERLIN_OBS_DISABLED)
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// One per-net observation row, collected by BatchRunner.
+/// All fields except wall_us are deterministic (scheduling-independent);
+/// differential tests compare everything but wall_us.
+struct TraceRecord {
+  std::size_t net_id = 0;
+  std::size_t sinks = 0;            ///< fanout of the net
+  std::uint64_t wall_us = 0;        ///< per-net wall time (NOT deterministic)
+  std::uint64_t peak_curve_width = 0;  ///< widest curve while routing this net
+  std::size_t merlin_loops = 0;     ///< outer-loop iterations (0 for flows I/II)
+  std::size_t buffers = 0;          ///< buffers in the final tree
+};
+
+/// Per-DP-layer pruning statistics (BUBBLE_CONSTRUCT's L = 2..n loop).
+/// Index 0 is layer 0 (unused); the vector grows on demand.
+struct LayerStats {
+  std::uint64_t calls = 0;   ///< (L, E, R) group prunes at this layer
+  std::uint64_t pushed = 0;  ///< points entering the layer's prunes
+  std::uint64_t pruned = 0;  ///< points killed
+  std::uint64_t kept = 0;    ///< points surviving
+  friend bool operator==(const LayerStats&, const LayerStats&) = default;
+};
+
+class ObsSink {
+ public:
+  /// Maximum trace rows retained (oldest-first truncation on merge;
+  /// per-sink recording stops at capacity).
+  static constexpr std::size_t kDefaultTraceCapacity = 65536;
+
+  Counters counters;
+  Gauges gauges;
+
+  // -- counters / gauges ----------------------------------------------------
+  void add(Counter c, std::uint64_t n = 1) { counters.add(c, n); }
+  void maximize(Gauge g, std::uint64_t x) {
+    gauges.maximize(g, x);
+    if (g == Gauge::kCurvePeakWidth && x > net_peak_curve_width_)
+      net_peak_curve_width_ = x;
+  }
+
+  // -- per-layer pruning ----------------------------------------------------
+  void record_layer(std::size_t layer, std::uint64_t pushed,
+                    std::uint64_t pruned, std::uint64_t kept) {
+    if (layer >= layers_.size()) layers_.resize(layer + 1);
+    LayerStats& s = layers_[layer];
+    ++s.calls;
+    s.pushed += pushed;
+    s.pruned += pruned;
+    s.kept += kept;
+  }
+  [[nodiscard]] const std::vector<LayerStats>& layers() const { return layers_; }
+
+  // -- phase timers ---------------------------------------------------------
+  void add_phase(Phase p, std::uint64_t ns) {
+    phase_ns_[static_cast<std::size_t>(p)] += ns;
+    ++phase_calls_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t phase_ns(Phase p) const {
+    return phase_ns_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::uint64_t phase_calls(Phase p) const {
+    return phase_calls_[static_cast<std::size_t>(p)];
+  }
+
+  // -- per-net traces -------------------------------------------------------
+  /// Reset the net-scoped gauge window (call before routing a net).
+  void begin_net() { net_peak_curve_width_ = 0; }
+  /// Peak curve width observed since the last begin_net().
+  [[nodiscard]] std::uint64_t net_peak_curve_width() const {
+    return net_peak_curve_width_;
+  }
+  void record_trace(const TraceRecord& t) {
+    if (traces_.size() < trace_capacity_) traces_.push_back(t);
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& traces() const { return traces_; }
+  [[nodiscard]] std::vector<TraceRecord>& traces() { return traces_; }
+  void set_trace_capacity(std::size_t cap) { trace_capacity_ = cap; }
+  [[nodiscard]] std::size_t trace_capacity() const { return trace_capacity_; }
+
+  // -- lifecycle ------------------------------------------------------------
+  /// Fold another sink into this one: counters sum, gauges max, phases sum,
+  /// layers add elementwise, traces append (capacity-capped).  Serial use
+  /// only — the caller sequences merges (BatchRunner merges worker sinks in
+  /// worker order after wait_idle()).
+  void merge_from(const ObsSink& o);
+  void clear();
+
+ private:
+  std::array<std::uint64_t, kPhaseCount> phase_ns_{};
+  std::array<std::uint64_t, kPhaseCount> phase_calls_{};
+  std::vector<LayerStats> layers_;
+  std::vector<TraceRecord> traces_;
+  std::size_t trace_capacity_ = kDefaultTraceCapacity;
+  std::uint64_t net_peak_curve_width_ = 0;
+};
+
+// -- null-safe recording helpers (the only API engine code uses) ------------
+
+inline void obs_add(ObsSink* s, Counter c, std::uint64_t n = 1) {
+  if constexpr (kObsEnabled) {
+    if (s) s->add(c, n);
+  } else {
+    (void)s; (void)c; (void)n;
+  }
+}
+
+inline void obs_gauge(ObsSink* s, Gauge g, std::uint64_t x) {
+  if constexpr (kObsEnabled) {
+    if (s) s->maximize(g, x);
+  } else {
+    (void)s; (void)g; (void)x;
+  }
+}
+
+inline void obs_layer(ObsSink* s, std::size_t layer, std::uint64_t pushed,
+                      std::uint64_t pruned, std::uint64_t kept) {
+  if constexpr (kObsEnabled) {
+    if (s) s->record_layer(layer, pushed, pruned, kept);
+  } else {
+    (void)s; (void)layer; (void)pushed; (void)pruned; (void)kept;
+  }
+}
+
+/// RAII phase timer: charges the enclosed scope's wall time to one Phase
+/// bucket of the sink.  Null sink (or obs-off build) → does nothing.
+class ScopedTimer {
+ public:
+  ScopedTimer(ObsSink* sink, Phase phase) : sink_(sink), phase_(phase) {
+    if constexpr (kObsEnabled) {
+      if (sink_) start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if constexpr (kObsEnabled) {
+      if (sink_) {
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+        sink_->add_phase(phase_, static_cast<std::uint64_t>(ns));
+      }
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ObsSink* sink_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace merlin

@@ -36,6 +36,9 @@ PTreeResult ptree_route(const Net& net, const Order& order,
   PTreeConfig cfg = cfg_in;
   if (cfg.prune.ref_res == 0.0)
     cfg.prune.ref_res = net.driver.delay.drive_res();
+  if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
+  obs_add(cfg.obs, Counter::kPtreeRuns);
+  ScopedTimer obs_timer(cfg.obs, Phase::kPtreeDp);
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("ptree_route: net has no sinks");
   if (order.size() != n || !Order(order).valid())

@@ -30,6 +30,9 @@ struct PTreeConfig {
   /// Wire width multipliers to consider per wire ([LCLH96]'s simultaneous
   /// wire sizing).  Empty = default 1x width only.
   std::vector<double> wire_widths{};
+  /// Optional observability sink (one per engine run / worker; never shared
+  /// across threads).  Propagated into `prune.obs` when that is unset.
+  ObsSink* obs = nullptr;
 };
 
 /// Outcome of a PTREE run.

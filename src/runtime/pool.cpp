@@ -19,6 +19,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0)
     n_threads = std::max(1u, std::thread::hardware_concurrency());
   queues_.resize(n_threads);
+  executed_.assign(n_threads, 0);
   workers_.reserve(n_threads);
   for (std::size_t wi = 0; wi < n_threads; ++wi)
     workers_.emplace_back([this, wi] { worker_loop(wi); });
@@ -63,10 +64,16 @@ std::size_t ThreadPool::steal_count() const {
   return steals_;
 }
 
+std::vector<std::uint64_t> ThreadPool::executed_counts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return executed_;
+}
+
 bool ThreadPool::pop_task(std::size_t wi, std::packaged_task<void()>& out) {
   if (!queues_[wi].empty()) {  // own work: newest first (LIFO)
     out = std::move(queues_[wi].back());
     queues_[wi].pop_back();
+    ++executed_[wi];
     return true;
   }
   // Steal the oldest task of the longest other queue.
@@ -80,6 +87,7 @@ bool ThreadPool::pop_task(std::size_t wi, std::packaged_task<void()>& out) {
   out = std::move(queues_[victim].front());
   queues_[victim].pop_front();
   ++steals_;
+  ++executed_[wi];
   return true;
 }
 

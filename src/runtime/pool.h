@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -61,6 +62,12 @@ class ThreadPool {
   /// Purely informational (load-balance observability).
   [[nodiscard]] std::size_t steal_count() const;
 
+  /// Tasks executed so far, per worker.  Like steal_count this is a
+  /// scheduling fact: the per-worker split varies run to run (only the sum
+  /// is stable), so it belongs in the non-deterministic `runtime` section
+  /// of any stats export, never in differential comparisons.
+  [[nodiscard]] std::vector<std::uint64_t> executed_counts() const;
+
  private:
   void worker_loop(std::size_t wi);
 
@@ -76,6 +83,7 @@ class ThreadPool {
   std::size_t next_queue_ = 0;  ///< round-robin submit cursor
   std::size_t in_flight_ = 0;   ///< queued + currently running tasks
   std::size_t steals_ = 0;
+  std::vector<std::uint64_t> executed_;  ///< tasks run, per worker
   bool stop_ = false;
 };
 

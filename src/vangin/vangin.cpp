@@ -29,7 +29,7 @@ SolutionCurve with_buffer_options(SolutionArena& arena, const SolutionCurve& cur
                                   const PruneConfig& prune) {
   SolutionCurve out;
   for (const Solution& s : cur) out.push(s);
-  push_buffered_options(arena, cur, at, lib, out);
+  push_buffered_options(arena, cur, at, lib, out, 1, prune.obs);
   out.prune(prune);
   return out;
 }
@@ -45,6 +45,9 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
   VanGinnekenConfig cfg = cfg_in;
   if (cfg.prune.ref_res == 0.0)
     cfg.prune.ref_res = net.driver.delay.drive_res();
+  if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
+  obs_add(cfg.obs, Counter::kVanginRuns);
+  ScopedTimer obs_timer(cfg.obs, Phase::kVanginDp);
   if (unbuffered.empty()) throw std::invalid_argument("vangin_insert: empty tree");
   const auto& nodes = unbuffered.nodes();
 
@@ -126,6 +129,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
   if (best == nullptr) throw std::logic_error("vangin_insert: empty final curve");
   res.chosen = *best;
   res.tree = build_routing_tree(net, arena, best->node);
+  obs_add(cfg.obs, Counter::kVanginBuffersInserted, res.tree.buffer_count());
   return res;
 }
 

@@ -32,6 +32,9 @@ struct VanGinnekenConfig {
   /// Wire width multipliers to consider per segment (simultaneous wire
   /// sizing).  Empty = default 1x width only.
   std::vector<double> wire_widths{};
+  /// Optional observability sink (one per engine run / worker; never shared
+  /// across threads).  Propagated into `prune.obs` when that is unset.
+  ObsSink* obs = nullptr;
 };
 
 /// Result of buffer insertion.

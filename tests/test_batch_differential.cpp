@@ -61,7 +61,7 @@ TEST(BatchDifferential, SerialVsParallelBitIdenticalAcrossFlows) {
     const Circuit ckt = random_circuit(i, lib);
     const auto flow = static_cast<FlowKind>(1 + i % 3);
     const BatchResult serial = run_batch(ckt, lib, flow, 1);
-    ASSERT_GT(serial.stats.net_count, 0u);
+    ASSERT_GT(serial.stats.det.net_count, 0u);
     for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
       const BatchResult parallel = run_batch(ckt, lib, flow, threads);
       EXPECT_EQ(parallel.stats.threads_used, threads);

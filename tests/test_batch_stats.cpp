@@ -52,8 +52,8 @@ TEST(BatchStats, CountsAndOrderingMatchPerNetResults) {
   const Circuit ckt = small_circuit(lib);
   const BatchResult r = run(ckt, lib, FlowKind::kFlow3);
 
-  EXPECT_EQ(r.stats.net_count, r.nets.size());
-  EXPECT_EQ(r.stats.net_count, extract_circuit_nets(ckt, lib).size());
+  EXPECT_EQ(r.stats.det.net_count, r.nets.size());
+  EXPECT_EQ(r.stats.det.net_count, extract_circuit_nets(ckt, lib).size());
   EXPECT_EQ(r.stats.threads_used, 2u);
 
   std::size_t trivial = 0;
@@ -61,7 +61,7 @@ TEST(BatchStats, CountsAndOrderingMatchPerNetResults) {
     if (i > 0) EXPECT_LT(r.nets[i - 1].net_id, r.nets[i].net_id);  // sorted
     if (r.nets[i].trivial) ++trivial;
   }
-  EXPECT_EQ(r.stats.trivial_nets, trivial);
+  EXPECT_EQ(r.stats.det.trivial_nets, trivial);
 }
 
 TEST(BatchStats, WallTimeAggregatesAreConsistent) {
@@ -77,7 +77,7 @@ TEST(BatchStats, WallTimeAggregatesAreConsistent) {
   EXPECT_DOUBLE_EQ(r.stats.total_net_ms, total);
   EXPECT_DOUBLE_EQ(r.stats.max_net_ms, max_ms);
   EXPECT_NEAR(r.stats.mean_net_ms,
-              total / static_cast<double>(r.stats.net_count), 1e-12);
+              total / static_cast<double>(r.stats.det.net_count), 1e-12);
   EXPECT_GE(r.stats.max_net_ms, r.stats.mean_net_ms);
   EXPECT_GE(r.stats.wall_ms, 0.0);
 }
@@ -94,10 +94,10 @@ TEST(BatchStats, CacheAndBufferTotalsSumPerNetFields) {
     buffers += n.result.eval.buffer_count;
     area += n.result.eval.buffer_area;
   }
-  EXPECT_EQ(r.stats.cache_hits, hits);
-  EXPECT_EQ(r.stats.cache_misses, misses);
-  EXPECT_EQ(r.stats.buffers_inserted, buffers);
-  EXPECT_DOUBLE_EQ(r.stats.buffer_area, area);
+  EXPECT_EQ(r.stats.det.cache_hits, hits);
+  EXPECT_EQ(r.stats.det.cache_misses, misses);
+  EXPECT_EQ(r.stats.det.buffers_inserted, buffers);
+  EXPECT_DOUBLE_EQ(r.stats.det.buffer_area, area);
   // Flow III with subproblem reuse on a multi-net circuit touches the cache.
   EXPECT_GT(hits + misses, 0u);
 }
@@ -107,18 +107,18 @@ TEST(BatchStats, CircuitMergeMatchesStats) {
   const Circuit ckt = small_circuit(lib);
   const BatchResult r = run(ckt, lib, FlowKind::kFlow2);
 
-  EXPECT_EQ(r.circuit.nets_routed, r.stats.net_count);
-  EXPECT_EQ(r.circuit.buffers_inserted, r.stats.buffers_inserted);
+  EXPECT_EQ(r.circuit.nets_routed, r.stats.det.net_count);
+  EXPECT_EQ(r.circuit.buffers_inserted, r.stats.det.buffers_inserted);
   // Circuit area = inserted buffer area + gate area (trivial nets add none).
-  EXPECT_NEAR(r.circuit.area, r.stats.buffer_area + ckt.gate_area(lib), 1e-9);
+  EXPECT_NEAR(r.circuit.area, r.stats.det.buffer_area + ckt.gate_area(lib), 1e-9);
   EXPECT_GT(r.circuit.delay_ps, 0.0);
 }
 
 TEST(BatchStats, FlowsWithoutCacheReportZeroTotals) {
   const BufferLibrary lib = make_standard_library();
   const BatchResult r = run(small_circuit(lib), lib, FlowKind::kFlow1);
-  EXPECT_EQ(r.stats.cache_hits, 0u);
-  EXPECT_EQ(r.stats.cache_misses, 0u);
+  EXPECT_EQ(r.stats.det.cache_hits, 0u);
+  EXPECT_EQ(r.stats.det.cache_misses, 0u);
 }
 
 TEST(BatchStats, WorkerExceptionsPropagateToTheCaller) {
@@ -137,7 +137,7 @@ TEST(BatchStats, ToStringMentionsTheHeadlineNumbers) {
   const BufferLibrary lib = make_standard_library();
   const BatchResult r = run(small_circuit(lib), lib, FlowKind::kFlow3);
   const std::string s = r.stats.to_string();
-  EXPECT_NE(s.find("nets=" + std::to_string(r.stats.net_count)), std::string::npos);
+  EXPECT_NE(s.find("nets=" + std::to_string(r.stats.det.net_count)), std::string::npos);
   EXPECT_NE(s.find("threads=2"), std::string::npos);
   EXPECT_NE(s.find("cache"), std::string::npos);
 }

@@ -1,0 +1,319 @@
+// The observability layer's contracts: counters are monotone and engine
+// recording is purely additive (attaching a sink never changes results);
+// batch aggregation is scheduling-independent (counters, gauges, and trace
+// rows — minus wall times — identical across thread counts); the JSON
+// export round-trips through the bundled parser; and with MERLIN_OBS=OFF
+// the recording helpers compile to nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buflib/library.h"
+#include "flow/batch.h"
+#include "flow/circuit.h"
+#include "flow/flows.h"
+#include "net/generator.h"
+#include "obs/json.h"
+#include "obs/sink.h"
+
+namespace merlin {
+namespace {
+
+FlowConfig fast_cfg() {
+  FlowConfig cfg;
+  cfg.candidates.policy = CandidatePolicy::kReducedHanan;
+  cfg.candidates.budget_factor = 1.5;
+  cfg.candidates.max_candidates = 12;
+  cfg.merlin.bubble.alpha = 3;
+  cfg.merlin.bubble.inner_prune.max_solutions = 3;
+  cfg.merlin.bubble.group_prune.max_solutions = 4;
+  cfg.merlin.bubble.buffer_stride = 4;
+  cfg.merlin.max_iterations = 2;
+  cfg.engine_prune.max_solutions = 4;
+  return cfg;
+}
+
+Net test_net(std::size_t n, std::uint64_t seed) {
+  NetSpec spec;
+  spec.n_sinks = n;
+  spec.seed = seed;
+  return make_random_net(spec, make_standard_library());
+}
+
+Circuit test_circuit(std::uint64_t seed) {
+  CircuitSpec spec;
+  spec.name = "obs" + std::to_string(seed);
+  spec.n_gates = 20;
+  spec.n_primary_inputs = 4;
+  spec.max_fanout = 7;
+  spec.seed = seed;
+  return make_random_circuit(spec, make_standard_library());
+}
+
+BatchResult run_batch(const Circuit& ckt, const BufferLibrary& lib,
+                      std::size_t threads, ObsSink* sink) {
+  BatchOptions opts;
+  opts.threads = threads;
+  opts.flow = FlowKind::kFlow3;
+  opts.scaled_config = false;
+  opts.config = fast_cfg();
+  opts.obs = sink;
+  return BatchRunner(lib, opts).run(ckt);
+}
+
+TEST(Counters, AddAndMergeAreElementwiseSums) {
+  Counters a, b;
+  a.add(Counter::kCurvePointsPushed, 5);
+  a.add(Counter::kCurvePointsPushed, 2);
+  a.add(Counter::kGammaCacheHits);
+  b.add(Counter::kCurvePointsPushed, 3);
+  b.add(Counter::kBuffersInserted, 4);
+  a.merge(b);
+  EXPECT_EQ(a.get(Counter::kCurvePointsPushed), 10u);
+  EXPECT_EQ(a.get(Counter::kGammaCacheHits), 1u);
+  EXPECT_EQ(a.get(Counter::kBuffersInserted), 4u);
+}
+
+TEST(Gauges, MaximizeAndMergeKeepHighWater) {
+  Gauges a, b;
+  a.maximize(Gauge::kCurvePeakWidth, 7);
+  a.maximize(Gauge::kCurvePeakWidth, 3);  // lower: no effect
+  b.maximize(Gauge::kCurvePeakWidth, 11);
+  b.maximize(Gauge::kArenaPeakBytes, 100);
+  a.merge(b);
+  EXPECT_EQ(a.get(Gauge::kCurvePeakWidth), 11u);
+  EXPECT_EQ(a.get(Gauge::kArenaPeakBytes), 100u);
+}
+
+TEST(Names, EveryEnumeratorHasAUniqueSnakeCaseName) {
+  std::vector<std::string> seen;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    seen.emplace_back(counter_name(static_cast<Counter>(i)));
+  for (std::size_t i = 0; i < kGaugeCount; ++i)
+    seen.emplace_back(gauge_name(static_cast<Gauge>(i)));
+  for (std::size_t i = 0; i < kPhaseCount; ++i)
+    seen.emplace_back(phase_name(static_cast<Phase>(i)));
+  for (const std::string& n : seen) {
+    EXPECT_FALSE(n.empty());
+    for (char c : n)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << n;
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "duplicate observable name";
+}
+
+TEST(NullSink, HelpersAcceptNullAndFlowsRunWithoutASink) {
+  obs_add(nullptr, Counter::kCurvePointsPushed, 3);
+  obs_gauge(nullptr, Gauge::kCurvePeakWidth, 9);
+  obs_layer(nullptr, 2, 10, 4, 6);
+  const BufferLibrary lib = make_standard_library();
+  const Net net = test_net(5, 3);
+  const FlowResult r = run_flow3(net, lib, fast_cfg());  // cfg.obs == nullptr
+  EXPECT_GT(r.eval.table_delay(net), 0.0);
+}
+
+TEST(NullSink, AttachingASinkDoesNotChangeResults) {
+  // Observability is read-only: the obs-on and obs-off runs of the same net
+  // must be bit-identical (the MERLIN_OBS=OFF build extends this to the
+  // compiled-out case — CI runs this whole suite both ways).
+  const BufferLibrary lib = make_standard_library();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Net net = test_net(6 + seed, seed);
+    FlowConfig plain = fast_cfg();
+    FlowConfig observed = fast_cfg();
+    ObsSink sink;
+    observed.obs = &sink;
+    for (int flow = 1; flow <= 3; ++flow) {
+      FlowResult a, b;
+      switch (flow) {
+        case 1: a = run_flow1(net, lib, plain); b = run_flow1(net, lib, observed); break;
+        case 2: a = run_flow2(net, lib, plain); b = run_flow2(net, lib, observed); break;
+        default: a = run_flow3(net, lib, plain); b = run_flow3(net, lib, observed); break;
+      }
+      EXPECT_TRUE(flow_results_identical(a, b)) << "flow " << flow;
+    }
+  }
+}
+
+TEST(Recording, CountersAreMonotoneAcrossRuns) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with MERLIN_OBS=OFF";
+  const BufferLibrary lib = make_standard_library();
+  ObsSink sink;
+  FlowConfig cfg = fast_cfg();
+  cfg.obs = &sink;
+  Counters prev;  // all zero
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    run_flow3(test_net(6, seed), lib, cfg);
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      const auto c = static_cast<Counter>(i);
+      EXPECT_GE(sink.counters.get(c), prev.get(c)) << counter_name(c);
+    }
+    prev = sink.counters;
+  }
+  EXPECT_GT(sink.counters.get(Counter::kCurvePointsPushed), 0u);
+  EXPECT_GT(sink.counters.get(Counter::kBubbleRuns), 0u);
+  EXPECT_GT(sink.phase_calls(Phase::kBubbleConstruct), 0u);
+}
+
+TEST(Recording, CurveAccountingBalances) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with MERLIN_OBS=OFF";
+  const BufferLibrary lib = make_standard_library();
+  ObsSink sink;
+  FlowConfig cfg = fast_cfg();
+  cfg.obs = &sink;
+  run_flow3(test_net(8, 11), lib, cfg);
+  const Counters& c = sink.counters;
+  // Every point entering a prune either survives it or is pruned.
+  EXPECT_EQ(c.get(Counter::kCurvePointsPushed),
+            c.get(Counter::kCurvePointsPruned) + c.get(Counter::kCurvePointsKept));
+  EXPECT_GE(sink.gauges.get(Gauge::kCurvePeakWidth), 1u);
+}
+
+TEST(Batch, AggregateObsIsThreadCountInvariant) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with MERLIN_OBS=OFF";
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = test_circuit(42);
+  ObsSink s1, s4, s8;
+  const BatchResult r1 = run_batch(ckt, lib, 1, &s1);
+  const BatchResult r4 = run_batch(ckt, lib, 4, &s4);
+  const BatchResult r8 = run_batch(ckt, lib, 8, &s8);
+  EXPECT_TRUE(batch_results_identical(r1, r4));
+  EXPECT_TRUE(batch_results_identical(r1, r8));
+  EXPECT_TRUE(s1.counters == s4.counters);
+  EXPECT_TRUE(s1.counters == s8.counters);
+  EXPECT_TRUE(s1.gauges == s4.gauges);
+  EXPECT_TRUE(s1.gauges == s8.gauges);
+  EXPECT_EQ(s1.layers().size(), s8.layers().size());
+  for (std::size_t i = 0; i < s1.layers().size(); ++i)
+    EXPECT_TRUE(s1.layers()[i] == s8.layers()[i]) << "layer " << i;
+  // Trace rows: same nets in the same (net-id) order; only wall_us may vary.
+  ASSERT_EQ(s1.traces().size(), s8.traces().size());
+  for (std::size_t i = 0; i < s1.traces().size(); ++i) {
+    const TraceRecord &a = s1.traces()[i], &b = s8.traces()[i];
+    EXPECT_EQ(a.net_id, b.net_id);
+    EXPECT_EQ(a.sinks, b.sinks);
+    EXPECT_EQ(a.peak_curve_width, b.peak_curve_width);
+    EXPECT_EQ(a.merlin_loops, b.merlin_loops);
+    EXPECT_EQ(a.buffers, b.buffers);
+    if (i > 0) EXPECT_LT(s1.traces()[i - 1].net_id, a.net_id);
+  }
+  EXPECT_EQ(s1.traces().size(),
+            s1.counters.get(Counter::kNetsProcessed));
+}
+
+TEST(Batch, TraceCapacityCapsDeterministically) {
+  if (!kObsEnabled) GTEST_SKIP() << "built with MERLIN_OBS=OFF";
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = test_circuit(43);
+  ObsSink full, capped;
+  capped.set_trace_capacity(3);
+  run_batch(ckt, lib, 1, &full);
+  run_batch(ckt, lib, 4, &capped);
+  ASSERT_GT(full.traces().size(), 3u);
+  ASSERT_EQ(capped.traces().size(), 3u);
+  // The cap keeps the lowest net ids — a prefix of the full sorted list —
+  // regardless of which workers ran which nets.
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(capped.traces()[i].net_id, full.traces()[i].net_id);
+  // Counters are unaffected by the trace cap.
+  EXPECT_TRUE(capped.counters == full.counters);
+}
+
+TEST(Json, ExportRoundTripsThroughTheParser) {
+  ObsSink sink;
+  sink.add(Counter::kCurvePointsPushed, 120);
+  sink.add(Counter::kCurvePointsPruned, 45);
+  sink.add(Counter::kGammaCacheHits, 7);
+  sink.maximize(Gauge::kCurvePeakWidth, 33);
+  sink.add_phase(Phase::kBubbleConstruct, 1500);
+  sink.record_layer(2, 100, 40, 60);
+  sink.record_trace(TraceRecord{4, 9, 250, 33, 2, 3});
+  sink.record_trace(TraceRecord{7, 5, 90, 12, 1, 1});
+  RuntimeInfo rt;
+  rt.threads = 4;
+  rt.steals = 2;
+  rt.wall_ms = 12.5;
+  rt.worker_tasks = {3, 2, 2, 2};
+
+  const std::string json = stats_to_json(sink, rt);
+  const JsonValue doc = json_parse(json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").string, kStatsSchemaName);
+  EXPECT_EQ(doc.at("schema_version").number, kStatsSchemaVersion);
+
+  const JsonValue& counters = doc.at("counters");
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    ASSERT_TRUE(counters.has(counter_name(c))) << counter_name(c);
+    EXPECT_EQ(counters.at(counter_name(c)).number,
+              static_cast<double>(sink.counters.get(c)));
+  }
+  EXPECT_EQ(doc.at("gauges").at("curve_peak_width").number, 33.0);
+  EXPECT_EQ(doc.at("phases").at("bubble_construct").at("total_ns").number, 1500.0);
+  ASSERT_EQ(doc.at("nets").array.size(), 2u);
+  EXPECT_EQ(doc.at("nets").array[0].at("net_id").number, 4.0);
+  EXPECT_EQ(doc.at("nets").array[1].at("wall_us").number, 90.0);
+  EXPECT_EQ(doc.at("latency_us").at("count").number, 2.0);
+  EXPECT_EQ(doc.at("runtime").at("threads").number, 4.0);
+  ASSERT_EQ(doc.at("runtime").at("worker_tasks").array.size(), 4u);
+
+  const JsonValue& layers = doc.at("layers");
+  ASSERT_EQ(layers.array.size(), 1u);
+  EXPECT_EQ(layers.array[0].at("layer").number, 2.0);
+  EXPECT_EQ(layers.array[0].at("pushed").number, 100.0);
+}
+
+TEST(Json, ParserHandlesEscapesNestingAndErrors) {
+  const JsonValue v = json_parse(R"({"a": [1, -2.5, true, null, "x\"y"], "b": {"c": 1e3}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.at("a").array.size(), 5u);
+  EXPECT_EQ(v.at("a").array[1].number, -2.5);
+  EXPECT_EQ(v.at("a").array[2].kind, JsonValue::Kind::kBool);
+  EXPECT_EQ(v.at("a").array[4].string, "x\"y");
+  EXPECT_EQ(v.at("b").at("c").number, 1000.0);
+  EXPECT_THROW(json_parse("{"), std::invalid_argument);
+  EXPECT_THROW(json_parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(json_parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(json_parse("nope"), std::invalid_argument);
+}
+
+TEST(Sink, MergeFromSumsCountersAndPhasesAndKeepsGaugeMaxima) {
+  ObsSink a, b;
+  a.add(Counter::kBuffersInserted, 2);
+  a.maximize(Gauge::kCurvePeakWidth, 5);
+  a.add_phase(Phase::kPtreeDp, 100);
+  a.record_layer(2, 10, 4, 6);
+  b.add(Counter::kBuffersInserted, 3);
+  b.maximize(Gauge::kCurvePeakWidth, 9);
+  b.add_phase(Phase::kPtreeDp, 50);
+  b.record_layer(2, 20, 8, 12);
+  b.record_layer(3, 5, 1, 4);
+  a.merge_from(b);
+  EXPECT_EQ(a.counters.get(Counter::kBuffersInserted), 5u);
+  EXPECT_EQ(a.gauges.get(Gauge::kCurvePeakWidth), 9u);
+  EXPECT_EQ(a.phase_ns(Phase::kPtreeDp), 150u);
+  EXPECT_EQ(a.phase_calls(Phase::kPtreeDp), 2u);
+  ASSERT_GE(a.layers().size(), 4u);
+  EXPECT_EQ(a.layers()[2].pushed, 30u);
+  EXPECT_EQ(a.layers()[3].kept, 4u);
+}
+
+TEST(Sink, ScopedTimerChargesItsPhase) {
+  ObsSink sink;
+  { ScopedTimer t(&sink, Phase::kBatchReduce); }
+  if (kObsEnabled) {
+    EXPECT_EQ(sink.phase_calls(Phase::kBatchReduce), 1u);
+  } else {
+    EXPECT_EQ(sink.phase_calls(Phase::kBatchReduce), 0u);
+  }
+  { ScopedTimer t(nullptr, Phase::kBatchReduce); }  // null sink: no-op
+}
+
+}  // namespace
+}  // namespace merlin

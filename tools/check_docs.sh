@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs gate, run by CI (and by hand: tools/check_docs.sh [repo-root]).
+#
+#   1. Every intra-repo markdown link ([text](path) where path is not a URL
+#      or a pure #anchor) must resolve to an existing file or directory.
+#   2. Every snake_case name rendered as a `| `name`` table row in
+#      docs/OBSERVABILITY.md must exist verbatim in src/obs/counters.h —
+#      stale counter/gauge/phase names in the doc fail the build.  (The
+#      reverse direction — every name in counters.h is documented — is
+#      enforced by tests/test_docs.cpp.)
+#
+# Exits non-zero with one line per violation.
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+violations=0
+
+# --- 1. intra-repo markdown links ------------------------------------------
+while IFS= read -r md; do
+  base="$(dirname "$md")"
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      *" "*) continue ;;            # not a link: code like [&](const Net& n)
+    esac
+    target="${target%%#*}"          # strip in-file anchors
+    [ -z "$target" ] && continue
+    if [ ! -e "$base/$target" ] && [ ! -e "./$target" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      violations=$((violations + 1))
+    fi
+  done < <(awk '/^```/{fence=!fence; next} !fence' "$md" |
+           grep -oE '\]\([^)]+\)' | sed -E 's/^\]\((.*)\)$/\1/' | grep -v '^#' || true)
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*' \
+                -not -path './related/*' | sort)
+
+# --- 2. observable names referenced by the doc exist in the source ---------
+doc="docs/OBSERVABILITY.md"
+hdr="src/obs/counters.h"
+if [ -f "$doc" ] && [ -f "$hdr" ]; then
+  while IFS= read -r name; do
+    if ! grep -q "\"$name\"" "$hdr"; then
+      echo "STALE NAME: $doc documents \`$name\` but $hdr does not define it"
+      violations=$((violations + 1))
+    fi
+  done < <(grep -oE '^\| `[a-z][a-z0-9_]*`' "$doc" | sed -E 's/^\| `([a-z0-9_]+)`$/\1/' | sort -u)
+else
+  echo "MISSING: $doc or $hdr"
+  violations=$((violations + 1))
+fi
+
+if [ "$violations" -ne 0 ]; then
+  echo "check_docs: $violations violation(s)"
+  exit 1
+fi
+echo "check_docs: OK"

@@ -12,11 +12,14 @@
 //     --circuit G SEED    circuit mode: generate a random G-gate circuit and
 //                         run the chosen flow on every net (batch engine)
 //     --threads N         circuit mode: worker threads (0 = all cores)
+//     --stats-json FILE   write observability stats (counters, per-net
+//                         traces, latency percentiles) as JSON to FILE
 //
 // Exit code 0 on success; prints a one-line summary to stdout.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "buflib/library.h"
@@ -26,6 +29,7 @@
 #include "io/netfile.h"
 #include "io/svg.h"
 #include "net/generator.h"
+#include "obs/json.h"
 #include "tree/evaluate.h"
 
 namespace {
@@ -34,9 +38,19 @@ namespace {
   std::fprintf(stderr,
                "usage: merlin_cli <net-file>|--random N SEED [--flow 1|2|3] "
                "[--alpha N] [--area-limit A] [--req-target T] "
-               "[--candidates K] [--svg FILE] [--print-tree]\n"
-               "       merlin_cli --circuit G SEED [--flow 1|2|3] [--threads N]\n");
+               "[--candidates K] [--svg FILE] [--print-tree] "
+               "[--stats-json FILE]\n"
+               "       merlin_cli --circuit G SEED [--flow 1|2|3] [--threads N] "
+               "[--stats-json FILE]\n");
   std::exit(2);
+}
+
+/// Writes `json` to `path`; throws std::runtime_error on I/O failure.
+void write_stats_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << json << '\n';
+  if (!out) throw std::runtime_error("failed writing " + path);
 }
 
 }  // namespace
@@ -57,6 +71,7 @@ int main(int argc, char** argv) {
   std::size_t circuit_gates = 0;
   std::uint64_t circuit_seed = 1;
   std::size_t threads = 1;
+  std::string stats_json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -94,6 +109,9 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       need(1);
       threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--stats-json") {
+      need(1);
+      stats_json_path = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -115,15 +133,26 @@ int main(int argc, char** argv) {
       spec.seed = circuit_seed;
       const Circuit ckt = make_random_circuit(spec, lib);
 
+      ObsSink sink;
       BatchOptions opts;
       opts.threads = threads;
       opts.flow = static_cast<FlowKind>(flow);
+      if (!stats_json_path.empty()) opts.obs = &sink;
       const BatchResult r = BatchRunner(lib, opts).run(ckt);
       std::printf("circuit=%s gates=%zu flow=%d  delay=%.1fps area=%.1f "
                   "construct=%.0fms\n",
                   ckt.name.c_str(), ckt.gates.size(), flow, r.circuit.delay_ps,
                   r.circuit.area, r.circuit.runtime_ms);
       std::printf("batch: %s\n", r.stats.to_string().c_str());
+      if (!stats_json_path.empty()) {
+        RuntimeInfo rt;
+        rt.threads = r.stats.threads_used;
+        rt.steals = r.stats.steals;
+        rt.wall_ms = r.stats.wall_ms;
+        rt.worker_tasks = r.stats.worker_tasks;
+        write_stats_file(stats_json_path, stats_to_json(sink, rt));
+        std::printf("wrote %s\n", stats_json_path.c_str());
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "merlin_cli: %s\n", e.what());
       return 1;
@@ -143,7 +172,9 @@ int main(int argc, char** argv) {
       net = read_net_file(net_path);
     }
 
+    ObsSink sink;
     FlowConfig cfg = scaled_flow_config(net.fanout());
+    if (!stats_json_path.empty()) cfg.obs = &sink;
     cfg.merlin.bubble.alpha = alpha;
     if (max_candidates > 0) cfg.candidates.max_candidates = max_candidates;
     if (area_limit >= 0.0) {
@@ -169,6 +200,23 @@ int main(int argc, char** argv) {
         r.eval.table_delay(net), r.eval.buffer_area, r.eval.buffer_count,
         r.eval.wirelength, r.runtime_ms,
         flow == 3 ? (" loops=" + std::to_string(r.merlin_loops)).c_str() : "");
+
+    if (!stats_json_path.empty()) {
+      // Single-net runs get one trace row; the flow's own recording already
+      // filled the counters/gauges/phases while it ran.
+      sink.add(Counter::kNetsProcessed);
+      TraceRecord t;
+      t.sinks = net.fanout();
+      t.wall_us = static_cast<std::uint64_t>(r.runtime_ms * 1000.0);
+      t.peak_curve_width = sink.net_peak_curve_width();
+      t.merlin_loops = r.merlin_loops;
+      t.buffers = r.eval.buffer_count;
+      sink.record_trace(t);
+      RuntimeInfo rt;
+      rt.wall_ms = r.runtime_ms;
+      write_stats_file(stats_json_path, stats_to_json(sink, rt));
+      std::printf("wrote %s\n", stats_json_path.c_str());
+    }
 
     if (print_tree) std::printf("%s", r.tree.to_string(net, lib).c_str());
     if (!svg_path.empty()) {
