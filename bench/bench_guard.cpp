@@ -1,0 +1,159 @@
+// Guard overhead exhibit: wall-clock cost of running the batch engine with a
+// NetGuard armed (generous, never-tripping budgets) versus no guard at all,
+// plus a differential check that the untripped guard changed nothing.
+//
+//   bench_guard [--quick] [--smoke] [--gates N] [--seed S] [--reps R]
+//               [--json FILE]
+//
+// The guard's checkpoints are a pointer test plus an add at DP layer
+// boundaries, so the target overhead is < 2 % (docs/ROBUSTNESS.md).  Wall
+// clocks on shared CI runners are noisy, so each configuration runs R times
+// and the *minimum* wall time is compared.  --smoke exits non-zero if an
+// untripped guard changes any scheduling-independent result (hard failure)
+// or the measured overhead exceeds 25 % (a generous noise-tolerant CI bound;
+// the recorded JSON tracks the real number against the 2 % target).
+// --json writes the machine-readable baseline (see BENCH_GUARD.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "buflib/library.h"
+#include "flow/batch.h"
+#include "flow/circuit.h"
+#include "flow/report.h"
+
+namespace {
+
+struct Measured {
+  double min_wall_ms = 0.0;
+  merlin::BatchResult result;
+};
+
+Measured run_batch(const merlin::BufferLibrary& lib, const merlin::Circuit& ckt,
+                   const merlin::BatchOptions& opts, std::size_t reps) {
+  Measured m;
+  for (std::size_t i = 0; i < reps; ++i) {
+    merlin::BatchResult r = merlin::BatchRunner(lib, opts).run(ckt);
+    if (i == 0 || r.stats.wall_ms < m.min_wall_ms) m.min_wall_ms = r.stats.wall_ms;
+    if (i == 0) m.result = std::move(r);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merlin;
+
+  std::size_t n_gates = 90;
+  std::uint64_t seed = 7;
+  std::size_t reps = 5;
+  bool quick = false;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--gates") == 0 && i + 1 < argc)
+      n_gates = std::strtoul(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::strtoul(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+  if (quick || smoke) {
+    n_gates = std::min<std::size_t>(n_gates, 40);
+    reps = std::min<std::size_t>(reps, 3);
+  }
+  if (reps == 0) reps = 1;
+
+  const BufferLibrary lib = make_standard_library();
+  CircuitSpec spec;
+  spec.name = "guard" + std::to_string(n_gates);
+  spec.n_gates = n_gates;
+  spec.seed = seed;
+  const Circuit ckt = make_random_circuit(spec, lib);
+
+  BatchOptions off;
+  off.threads = 1;  // single-threaded: no scheduling noise in the comparison
+  off.flow = FlowKind::kFlow3;
+
+  BatchOptions on = off;
+  on.guard.step_budget = std::uint64_t{1} << 40;   // armed, never trips
+  on.guard.arena_node_cap = ~std::uint32_t{0};
+
+  std::printf("bench_guard: circuit %s, %zu gates, %zu nets, flow 3, "
+              "%zu reps (min wall)\n\n",
+              ckt.name.c_str(), ckt.gates.size(),
+              extract_circuit_nets(ckt, lib).size(), reps);
+
+  const Measured base = run_batch(lib, ckt, off, reps);
+  const Measured guarded = run_batch(lib, ckt, on, reps);
+
+  const bool identical = batch_results_identical(base.result, guarded.result);
+  const double overhead_pct =
+      base.min_wall_ms > 0.0
+          ? 100.0 * (guarded.min_wall_ms - base.min_wall_ms) / base.min_wall_ms
+          : 0.0;
+
+  TextTable table({"config", "wall_ms", "overhead", "nets_ok", "identical"});
+  table.begin_row();
+  table.cell(std::string("no guard"));
+  table.cell(base.min_wall_ms, 2);
+  table.cell(std::string("-"));
+  table.cell(base.result.stats.det.nets_ok);
+  table.cell(std::string("-"));
+  table.begin_row();
+  table.cell(std::string("guard armed"));
+  table.cell(guarded.min_wall_ms, 2);
+  table.cell(overhead_pct, 2);
+  table.cell(guarded.result.stats.det.nets_ok);
+  table.cell(std::string(identical ? "yes" : "NO"));
+  std::printf("%s\n", table.render().c_str());
+  std::printf("target < 2%% overhead; an untripped guard must be invisible "
+              "in every\nscheduling-independent field.\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema\": \"merlin.bench_guard\",\n"
+                  "  \"version\": 1,\n"
+                  "  \"gates\": %zu,\n"
+                  "  \"nets\": %zu,\n"
+                  "  \"seed\": %llu,\n"
+                  "  \"reps\": %zu,\n"
+                  "  \"wall_ms_no_guard\": %.3f,\n"
+                  "  \"wall_ms_guard\": %.3f,\n"
+                  "  \"overhead_pct\": %.3f,\n"
+                  "  \"overhead_target_pct\": 2.0,\n"
+                  "  \"identical\": %s\n"
+                  "}\n",
+                  ckt.gates.size(), base.result.nets.size(),
+                  static_cast<unsigned long long>(seed), reps,
+                  base.min_wall_ms, guarded.min_wall_ms, overhead_pct,
+                  identical ? "true" : "false");
+    out << buf;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) {
+    if (!identical) {
+      std::fprintf(stderr, "bench_guard: FAIL - untripped guard changed results\n");
+      return 1;
+    }
+    if (overhead_pct > 25.0) {
+      std::fprintf(stderr, "bench_guard: FAIL - overhead %.2f%% > 25%% smoke bound\n",
+                   overhead_pct);
+      return 1;
+    }
+  }
+  return identical ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/grouping.h"
+#include "runtime/guard.h"
 
 namespace merlin {
 
@@ -166,6 +167,10 @@ void layer_ptree(Workspace& ws, const std::vector<Terminal>& seq,
   LayerTable& table = ws.layer_scratch;
   table.prepare(w, k);
   ++ws.layer_calls;
+  // One DP step per layer call, weighted by its (terminals x candidates)
+  // state count — the dominant cost unit of the whole construction.
+  guard_step(ws.cfg.guard, w * k);
+  guard_point(ws.cfg.guard, FaultSite::kBubbleLayer);
 
   // Base cases.
   for (std::size_t t = 0; t < w; ++t) {
@@ -444,6 +449,13 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
         if (!Omega.valid(n)) continue;
         // The whole-net group must cover every sink from a chi_0 span.
         if (L == n && (E != Chi::kChi0 || R != n - 1)) continue;
+
+        // Group-state boundary: check the arena soft cap here (the live-node
+        // count at this point is a pure function of net + config, so the cap
+        // trips deterministically) and offer the group fault site.
+        guard_arena(cfg.guard, static_cast<std::uint32_t>(
+                                   std::min<std::size_t>(arena.size(), kNullSol)));
+        guard_point(cfg.guard, FaultSite::kBubbleGroup);
 
         // Section III.4 sub-problem reuse: a group's stored curves are a
         // function of (structure, ordered member sinks) only, so runs over

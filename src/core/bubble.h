@@ -38,6 +38,8 @@
 
 namespace merlin {
 
+class NetGuard;  // runtime/guard.h
+
 /// Which variant of the problem to solve (paper section III.1).
 enum class ObjectiveMode {
   kMaxReqTime,  ///< variant I: maximize driver required time s.t. area limit
@@ -105,6 +107,12 @@ struct BubbleConfig {
   /// across threads).  Propagated into `inner_prune.obs` / `group_prune.obs`
   /// when those are unset.
   ObsSink* obs = nullptr;
+
+  /// Optional per-net execution guard (runtime/guard.h): charged per *P_Tree
+  /// layer call (weighted by group width) and per (l, e, r) group state, with
+  /// the arena live-node count checked at group boundaries.  Budget trips
+  /// raise BudgetExceeded out of bubble_construct.  Null = unguarded.
+  NetGuard* guard = nullptr;
 };
 
 /// Cross-iteration sub-problem cache (paper section III.4): the

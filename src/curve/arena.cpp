@@ -19,6 +19,11 @@ const SolNode& SolutionArena::at(SolNodeId id) const {
 SolNodeId SolutionArena::emplace(SolNode n) {
   if (size_ >= kNullSol)
     throw std::length_error("SolutionArena: node count exceeds 32-bit handles");
+  if (fault_armed_) {
+    if (fault_grants_ == 0)
+      throw std::length_error("SolutionArena: injected allocation failure");
+    --fault_grants_;
+  }
   const std::size_t slab = size_ >> kSlabShift;
   if (slab == slabs_.size())
     slabs_.push_back(std::make_unique<SolNode[]>(kSlabSize));

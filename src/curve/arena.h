@@ -107,6 +107,21 @@ class SolutionArena {
 
   [[nodiscard]] Stats stats() const;
 
+  // -- fault injection hook --------------------------------------------------
+
+  /// Arms an injected allocation failure: the arena grants `grants` more
+  /// allocations, then the next emplace throws std::length_error exactly as
+  /// a genuine 32-bit handle overflow would (same type, so callers cannot
+  /// special-case the drill).  The batch runner arms this per construction
+  /// attempt — a per-net countdown, never a lifetime count, so the trip
+  /// point is independent of which nets this worker's arena served before.
+  void set_alloc_fault(std::uint64_t grants) {
+    fault_armed_ = true;
+    fault_grants_ = grants;
+  }
+  /// Disarms the injected failure (end of the guarded attempt).
+  void clear_alloc_fault() { fault_armed_ = false; }
+
  private:
   SolNodeId emplace(SolNode n);
   [[nodiscard]] SolNode& slot(SolNodeId id) {
@@ -116,6 +131,8 @@ class SolutionArena {
   std::vector<std::unique_ptr<SolNode[]>> slabs_;
   std::size_t size_ = 0;       // nodes currently live (bump pointer)
   Stats stats_;                // live_nodes/reserved_bytes filled by stats()
+  bool fault_armed_ = false;   // injected allocation failure (set_alloc_fault)
+  std::uint64_t fault_grants_ = 0;
 };
 
 }  // namespace merlin

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <exception>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -40,6 +42,20 @@ bool evals_identical(const EvalResult& a, const EvalResult& b) {
          a.driver_req_time == b.driver_req_time &&
          a.buffer_area == b.buffer_area && a.wirelength == b.wirelength &&
          a.buffer_count == b.buffer_count;
+}
+
+/// How one failed construction attempt is classified.
+NetStatus classify_failure(const std::exception& e) {
+  if (dynamic_cast<const DeadlineExceeded*>(&e)) return NetStatus::kDeadline;
+  if (dynamic_cast<const BudgetExceeded*>(&e)) return NetStatus::kOverBudget;
+  return NetStatus::kFailed;
+}
+
+/// True when an exception is an injected fault (throw site or armed arena),
+/// so the chaos harness can account for every firing in kFaultsInjected.
+bool is_injected(const std::exception& e) {
+  return dynamic_cast<const FaultInjected*>(&e) != nullptr ||
+         std::strstr(e.what(), "injected") != nullptr;
 }
 
 }  // namespace
@@ -105,6 +121,13 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     }
     ThreadPool pool(n_threads);
 
+    // Fault isolation state.  Workers catch per-net failures into their
+    // slot; `errors[i]` keeps the original exception (type intact) so the
+    // abort policy can rethrow the lowest-net-id failure after the join.
+    const FaultInjector* inject =
+        opts_.inject ? opts_.inject : FaultInjector::from_env();
+    std::vector<std::exception_ptr> errors(jobs.size());
+
     std::vector<std::future<void>> done;
     done.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -112,25 +135,82 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
         const CircuitNet& job = jobs[i];
         BatchNetResult& slot = out.nets[i];  // exclusive to this task
         ObsSink* sink = sinks.empty() ? nullptr : &sinks[pool.worker_index()];
+        SolutionArena& arena = arenas[pool.worker_index()];
         if (sink) sink->begin_net();
         const auto tj = Clock::now();
         slot.net_id = job.driver_gate;
         slot.trivial = job.trivial();
-        if (job.trivial()) {
-          slot.result.tree = trivial_net_tree(job.net);
-          slot.result.eval = evaluate_tree(job.net, slot.result.tree, lib_);
-        } else if (opts_.custom_flow) {
-          Rng rng(batch_net_seed(opts_.seed, job.driver_gate));
-          slot.result = opts_.custom_flow(job.net, lib_, rng);
-        } else {
-          FlowConfig cfg = opts_.scaled_config
-                               ? scaled_flow_config(job.net.fanout())
-                               : opts_.config;
+
+        // One guarded construction attempt.  Fresh NetGuard per attempt
+        // (budgets reset across ladder rungs); arena-allocation faults are
+        // armed on the worker arena for exactly the attempt's duration.
+        // Returns true on success; on failure classifies the attempt into
+        // the slot (first failure wins the status/error) and keeps the
+        // original exception for the abort policy.
+        const bool guarded = opts_.guard.enabled() || inject != nullptr;
+        const auto attempt = [&](const std::function<void(NetGuard*)>& body) {
+          NetGuard guard(job.driver_gate, opts_.guard, inject);
+          NetGuard* g = guarded ? &guard : nullptr;
+          if (inject != nullptr && inject->plan().kind == FaultKind::kArenaAlloc &&
+              inject->should_fire(job.driver_gate, FaultSite::kArenaAlloc))
+            arena.set_alloc_fault(inject->plan().arena_fail_after);
+          bool ok = false;
+          try {
+            guard_point(g, FaultSite::kBatchNet);
+            body(g);
+            ok = true;
+          } catch (const std::exception& e) {
+            const NetStatus fail = classify_failure(e);
+            if (fail == NetStatus::kOverBudget) {
+              ++slot.budget_trips;
+              obs_add(sink, Counter::kBudgetTrips);
+            } else if (fail == NetStatus::kDeadline) {
+              obs_add(sink, Counter::kDeadlineTrips);
+            }
+            // FaultInjected throws were already tallied by the guard's
+            // fault_point (flushed below); only the armed-arena failure — a
+            // plain length_error that never passes through a fault site —
+            // needs counting here.
+            if (is_injected(e) &&
+                dynamic_cast<const FaultInjected*>(&e) == nullptr)
+              obs_add(sink, Counter::kFaultsInjected);
+            if (slot.error.empty()) {
+              slot.status = fail;
+              slot.error = e.what();
+              errors[i] = std::current_exception();
+            }
+          }
+          arena.clear_alloc_fault();
+          if (g != nullptr) {
+            obs_add(sink, Counter::kGuardSteps, guard.steps());
+            obs_gauge(sink, Gauge::kGuardPeakNetSteps, guard.steps());
+            // kSlow firings charge the guard without throwing; count them.
+            obs_add(sink, Counter::kFaultsInjected, guard.injected_fired());
+          }
+          return ok;
+        };
+
+        const auto run_configured = [&](NetGuard* g, const FlowConfig* cfg_override,
+                                        FlowKind flow) {
+          if (opts_.custom_flow != nullptr && cfg_override == nullptr) {
+            // Custom constructors carry no FlowConfig, so the guard cannot
+            // reach their inner loops; only the batch.net fault site and the
+            // wall-clock deadline apply.
+            Rng rng(batch_net_seed(opts_.seed, job.driver_gate));
+            slot.result = opts_.custom_flow(job.net, lib_, rng);
+            return;
+          }
+          FlowConfig cfg = cfg_override != nullptr
+                               ? *cfg_override
+                               : (opts_.scaled_config
+                                      ? scaled_flow_config(job.net.fanout())
+                                      : opts_.config);
           // Worker-local scratch arena: every flow's provenance goes into
           // it (reset per net), reusing slab capacity from net to net.
-          cfg.scratch_arena = &arenas[pool.worker_index()];
+          cfg.scratch_arena = &arena;
           cfg.obs = sink;
-          switch (opts_.flow) {
+          cfg.guard = g;
+          switch (flow) {
             case FlowKind::kFlow1: slot.result = run_flow1(job.net, lib_, cfg); break;
             case FlowKind::kFlow2: slot.result = run_flow2(job.net, lib_, cfg); break;
             case FlowKind::kFlow3:
@@ -140,8 +220,74 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
               slot.result = run_flow3(job.net, lib_, cfg);
               break;
           }
+        };
+
+        // The [Gi90]-style guaranteed-feasible terminal rung: an unbuffered
+        // star needs no DP, no arena and no guard, so it cannot fail — the
+        // batch always ends with a legal tree for every net.
+        const auto star_fallback = [&] {
+          slot.result = FlowResult{};
+          slot.result.tree = star_net_tree(job.net);
+          slot.result.eval = evaluate_tree(job.net, slot.result.tree, lib_);
+        };
+
+        if (job.trivial()) {
+          // Trivial two-pin nets bypass the optimizer, the guard and the
+          // injector entirely: there is nothing to bound or degrade.
+          slot.result.tree = trivial_net_tree(job.net);
+          slot.result.eval = evaluate_tree(job.net, slot.result.tree, lib_);
+        } else if (!attempt([&](NetGuard* g) {
+                     run_configured(g, nullptr, opts_.flow);
+                   })) {
+          switch (opts_.fail_policy) {
+            case FailPolicy::kAbort:
+              // No fallback; the original exception propagates after every
+              // future is joined (see below).  Every other net still runs,
+              // so the set of failures — and hence the exception chosen —
+              // is deterministic.
+              break;
+            case FailPolicy::kSkip:
+              // Keep the failure classification; the star stand-in keeps
+              // the circuit STA well-defined over every net.
+              star_fallback();
+              break;
+            case FailPolicy::kDegrade: {
+              // Rung 1: same flow, strictly cheaper configuration.
+              // Rung 2: tightened Flow I (skipped when the configured flow
+              //         already is Flow I, or for custom constructors).
+              // Rung 3: the star tree (cannot fail).
+              bool rescued = false;
+              if (opts_.custom_flow == nullptr) {
+                const FlowConfig base = opts_.scaled_config
+                                            ? scaled_flow_config(job.net.fanout())
+                                            : opts_.config;
+                const FlowConfig tight = tightened_flow_config(base);
+                ++slot.attempts;
+                rescued = attempt([&](NetGuard* g) {
+                  run_configured(g, &tight, opts_.flow);
+                });
+                if (!rescued && opts_.flow != FlowKind::kFlow1) {
+                  ++slot.attempts;
+                  rescued = attempt([&](NetGuard* g) {
+                    run_configured(g, &tight, FlowKind::kFlow1);
+                  });
+                }
+              }
+              if (!rescued) {
+                ++slot.attempts;
+                star_fallback();
+              }
+              slot.status = NetStatus::kDegraded;
+              errors[i] = nullptr;  // rescued: nothing to rethrow
+              break;
+            }
+          }
         }
-        if (ckt)
+
+        const bool has_tree =
+            slot.status == NetStatus::kOk || slot.status == NetStatus::kDegraded ||
+            opts_.fail_policy != FailPolicy::kAbort;
+        if (ckt && has_tree)
           realized[job.driver_gate] =
               sink_path_delays(job.net, slot.result.tree, lib_);
         slot.wall_ms = ms_since(tj);
@@ -155,11 +301,41 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
           t.peak_curve_width = sink->net_peak_curve_width();
           t.merlin_loops = slot.result.merlin_loops;
           t.buffers = slot.result.eval.buffer_count;
+          t.status = slot.status;
           sink->record_trace(t);
         }
       }));
     }
-    for (std::future<void>& f : done) f.get();  // rethrows worker exceptions
+
+    // Join EVERY future before any error can propagate: the old first-throw
+    // rethrow loop abandoned the remaining futures, letting workers outlive
+    // the batch and race its destruction.  Worker lambdas catch per-net
+    // std::exceptions themselves, so only non-std exceptions surface here.
+    std::exception_ptr first_unexpected;
+    for (std::future<void>& f : done) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_unexpected) first_unexpected = std::current_exception();
+      }
+    }
+    if (first_unexpected) std::rethrow_exception(first_unexpected);
+
+    // Abort policy: every net ran, every future joined — now rethrow the
+    // recorded failure with the lowest net id (deterministic regardless of
+    // scheduling; 1-thread and N-thread runs abort on the same net).
+    if (opts_.fail_policy == FailPolicy::kAbort) {
+      const std::exception_ptr* chosen = nullptr;
+      std::uint32_t chosen_id = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!errors[i]) continue;
+        if (chosen == nullptr || jobs[i].driver_gate < chosen_id) {
+          chosen = &errors[i];
+          chosen_id = jobs[i].driver_gate;
+        }
+      }
+      if (chosen != nullptr) std::rethrow_exception(*chosen);
+    }
 
     out.stats.threads_used = pool.size();
     out.stats.steals = pool.steal_count();
@@ -204,9 +380,30 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     st.det.cache_misses += r.result.cache_misses;
     st.det.buffers_inserted += r.result.eval.buffer_count;
     st.det.buffer_area += r.result.eval.buffer_area;
+    // Per-status outcome accounting — every net lands in exactly one bucket,
+    // so the five counts always sum to net_count (the chaos-harness checks
+    // rely on that).  Recorded into the aggregate sink here, serially, so
+    // the obs counters match the det stats exactly.
+    switch (r.status) {
+      case NetStatus::kOk: ++st.det.nets_ok; break;
+      case NetStatus::kDegraded: ++st.det.nets_degraded; break;
+      case NetStatus::kFailed: ++st.det.nets_failed; break;
+      case NetStatus::kOverBudget: ++st.det.nets_over_budget; break;
+      case NetStatus::kDeadline: ++st.det.nets_deadline; break;
+    }
+    st.det.retries += r.attempts - 1;
+    st.det.budget_trips += r.budget_trips;
   }
   if (st.det.net_count > 0)
     st.mean_net_ms = st.total_net_ms / static_cast<double>(st.det.net_count);
+  if (opts_.obs != nullptr) {
+    obs_add(opts_.obs, Counter::kNetsOk, st.det.nets_ok);
+    obs_add(opts_.obs, Counter::kNetsDegraded, st.det.nets_degraded);
+    obs_add(opts_.obs, Counter::kNetsFailed, st.det.nets_failed);
+    obs_add(opts_.obs, Counter::kNetsOverBudget, st.det.nets_over_budget);
+    obs_add(opts_.obs, Counter::kNetsDeadline, st.det.nets_deadline);
+    obs_add(opts_.obs, Counter::kNetRetries, st.det.retries);
+  }
 
   if (ckt) {
     CircuitFlowResult& cr = out.circuit;
@@ -224,14 +421,18 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
 }
 
 std::string BatchStats::to_string() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "nets=%zu (trivial=%zu) threads=%zu steals=%zu wall=%.1fms "
                 "net_ms[total=%.1f mean=%.2f max=%.2f] cache[hit=%zu miss=%zu] "
-                "buffers=%zu area=%.1f",
+                "buffers=%zu area=%.1f status[ok=%zu degraded=%zu failed=%zu "
+                "over_budget=%zu deadline=%zu] retries=%zu budget_trips=%zu",
                 det.net_count, det.trivial_nets, threads_used, steals, wall_ms,
                 total_net_ms, mean_net_ms, max_net_ms, det.cache_hits,
-                det.cache_misses, det.buffers_inserted, det.buffer_area);
+                det.cache_misses, det.buffers_inserted, det.buffer_area,
+                det.nets_ok, det.nets_degraded, det.nets_failed,
+                det.nets_over_budget, det.nets_deadline, det.retries,
+                det.budget_trips);
   return buf;
 }
 
@@ -247,6 +448,8 @@ bool batch_results_identical(const BatchResult& a, const BatchResult& b) {
     const BatchNetResult& x = a.nets[i];
     const BatchNetResult& y = b.nets[i];
     if (x.net_id != y.net_id || x.trivial != y.trivial ||
+        x.status != y.status || x.attempts != y.attempts ||
+        x.budget_trips != y.budget_trips || x.error != y.error ||
         !flow_results_identical(x.result, y.result))
       return false;
   }

@@ -31,6 +31,7 @@
 #include "flow/circuit.h"
 #include "flow/flows.h"
 #include "net/rng.h"
+#include "runtime/guard.h"
 
 namespace merlin {
 
@@ -46,6 +47,33 @@ std::uint64_t batch_net_seed(std::uint64_t base_seed, std::uint32_t net_id);
 /// simply ignore it.
 using SeededNetFlow =
     std::function<FlowResult(const Net&, const BufferLibrary&, Rng&)>;
+
+/// What the batch does when a net's construction fails (throws, trips its
+/// budget, or exhausts its arena).  See docs/ROBUSTNESS.md for the full
+/// policy table.
+enum class FailPolicy : std::uint8_t {
+  /// Record the failure, let every other in-flight net finish (all futures
+  /// are joined), then rethrow the failed net with the lowest id — a
+  /// deterministic abort for callers that want fail-fast semantics.
+  kAbort,
+  /// Classify the net (failed / over_budget / deadline), give it a star
+  /// fallback tree so the circuit STA stays well-defined, and continue.
+  kSkip,
+  /// Walk the degradation ladder: retry with a tightened config, then
+  /// Flow I (tightened), then the star tree.  The net ends `degraded` (or
+  /// `ok` if the first attempt succeeded).  The terminal rung cannot fail,
+  /// so the batch always completes.  The default.
+  kDegrade,
+};
+
+[[nodiscard]] constexpr const char* fail_policy_name(FailPolicy p) {
+  switch (p) {
+    case FailPolicy::kAbort: return "abort";
+    case FailPolicy::kSkip: return "skip";
+    case FailPolicy::kDegrade: return "degrade";
+  }
+  return "unknown";
+}
 
 /// Batch execution knobs.
 struct BatchOptions {
@@ -72,6 +100,21 @@ struct BatchOptions {
   /// trace_capacity() — so everything except wall times and the `runtime`
   /// facts is identical across thread counts.
   ObsSink* obs = nullptr;
+
+  /// Per-net execution limits (all disabled by default).  The step and
+  /// arena caps are deterministic; deadline_ms is wall-clock and forfeits
+  /// the 1-vs-N-thread identity (docs/ROBUSTNESS.md).
+  GuardConfig guard{};
+
+  /// What to do when a net's construction fails; see FailPolicy.
+  FailPolicy fail_policy = FailPolicy::kDegrade;
+
+  /// Optional deterministic fault injector (chaos testing; default off).
+  /// When null, the process-wide MERLIN_INJECT injector (if the environment
+  /// variable is set) is used instead, so an unmodified test suite can run
+  /// under injection.  Decisions are pure functions of (seed, net id, site)
+  /// — thread-count-independent by construction.
+  const FaultInjector* inject = nullptr;
 };
 
 /// Outcome of one net of the batch.
@@ -80,6 +123,16 @@ struct BatchNetResult {
   bool trivial = false;      ///< two-pin net routed as a direct wire
   FlowResult result;
   double wall_ms = 0.0;  ///< job wall time as scheduled (not deterministic)
+
+  /// Terminal classification (deterministic under step budgets).
+  NetStatus status = NetStatus::kOk;
+  /// Construction attempts consumed (1 = first try succeeded; each further
+  /// degradation-ladder rung adds one).
+  std::uint32_t attempts = 1;
+  /// BudgetExceeded trips across this net's attempts (deterministic).
+  std::uint32_t budget_trips = 0;
+  /// First failure's message (empty for status == ok).
+  std::string error;
 };
 
 /// The scheduling-independent aggregates of a batch run.  A substruct so
@@ -95,6 +148,16 @@ struct BatchStatsDet {
   std::size_t cache_misses = 0;
   std::size_t buffers_inserted = 0;
   double buffer_area = 0.0;
+
+  // Robustness outcome counts (deterministic under step budgets; a run with
+  // a wall-clock deadline enabled forfeits the identity — docs/ROBUSTNESS.md).
+  std::size_t nets_ok = 0;
+  std::size_t nets_degraded = 0;
+  std::size_t nets_failed = 0;
+  std::size_t nets_over_budget = 0;
+  std::size_t nets_deadline = 0;
+  std::size_t retries = 0;       ///< ladder rungs attempted beyond the first
+  std::size_t budget_trips = 0;  ///< BudgetExceeded raised across all attempts
   friend bool operator==(const BatchStatsDet&, const BatchStatsDet&) = default;
 };
 
@@ -127,6 +190,13 @@ struct BatchResult {
 };
 
 /// Shards nets across a thread pool and merges deterministically.
+///
+/// Fault isolation: a net whose construction throws, trips its budget, or
+/// exhausts its arena is handled per BatchOptions::fail_policy — by default
+/// the degradation ladder rescues it and the batch always completes with a
+/// valid circuit STA.  Only FailPolicy::kAbort rethrows (deterministically:
+/// every net still runs, every future is joined, and the failure with the
+/// lowest net id propagates).
 class BatchRunner {
  public:
   BatchRunner(const BufferLibrary& lib, BatchOptions opts = {});

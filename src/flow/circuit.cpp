@@ -198,6 +198,17 @@ RoutingTree trivial_net_tree(const Net& net) {
   return tree;
 }
 
+RoutingTree star_net_tree(const Net& net) {
+  if (net.fanout() == 0)
+    throw std::invalid_argument("star_net_tree: net has no sinks");
+  RoutingTree tree;
+  tree.add_node(NodeKind::kSource, net.source, -1, 0);
+  for (std::size_t s = 0; s < net.fanout(); ++s)
+    tree.add_node(NodeKind::kSink, net.sinks[s].pos,
+                  static_cast<std::int32_t>(s), 0);
+  return tree;
+}
+
 double circuit_critical_delay(const Circuit& ckt, const BufferLibrary& lib,
                               const std::vector<std::vector<double>>& realized) {
   const std::size_t ng = ckt.gates.size();

@@ -97,6 +97,13 @@ std::vector<CircuitNet> extract_circuit_nets(const Circuit& ckt,
 /// The direct-wire routing tree used for a trivial (single-sink) net.
 RoutingTree trivial_net_tree(const Net& net);
 
+/// The unbuffered star tree: the source drives every sink by a direct wire.
+/// Always legal and always constructible in O(fanout) with no DP, no arena,
+/// and no library use — the terminal rung of the batch engine's degradation
+/// ladder (the [Gi90]-style guaranteed-feasible fallback) when every
+/// optimizing constructor has failed.  Works for any fanout >= 1.
+RoutingTree star_net_tree(const Net& net);
+
 /// Forward arrival-time STA over realized per-net delays.  `realized[g][ci]`
 /// is the delay from gate g's input through its gate and routed net to its
 /// ci-th fanout consumer's input (`sink_path_delays` order); gates with no

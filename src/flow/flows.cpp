@@ -71,6 +71,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
   LTTreeConfig ltcfg;
   ltcfg.prune = cfg.engine_prune;
   ltcfg.obs = cfg.obs;
+  ltcfg.guard = cfg.guard;
   constexpr double kWireloadPessimism = 2.5;
   const double steiner_len_est =
       0.7 * static_cast<double>(net.bbox().half_perimeter()) *
@@ -144,6 +145,7 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
     pcfg.candidates = cfg.candidates;
     pcfg.prune = cfg.engine_prune;
     pcfg.obs = cfg.obs;
+    pcfg.guard = cfg.guard;
     PTreeResult pr = ptree_route(local, tsp_order(local), pcfg, &arena);
 
     RoutedGroup rg;
@@ -179,11 +181,13 @@ FlowResult run_flow2(const Net& net, const BufferLibrary& lib,
   pcfg.candidates = cfg.candidates;
   pcfg.prune = cfg.engine_prune;
   pcfg.obs = cfg.obs;
+  pcfg.guard = cfg.guard;
   PTreeResult pr = ptree_route(net, tsp_order(net), pcfg, &arena);
 
   VanGinnekenConfig vcfg;
   vcfg.prune = cfg.engine_prune;
   vcfg.obs = cfg.obs;
+  vcfg.guard = cfg.guard;
   VanGinnekenResult vg = vangin_insert(net, pr.tree, lib, vcfg, &arena);
 
   FlowResult res;
@@ -201,6 +205,7 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
   mcfg.bubble.candidates = cfg.candidates;
   if (mcfg.scratch_arena == nullptr) mcfg.scratch_arena = cfg.scratch_arena;
   if (mcfg.bubble.obs == nullptr) mcfg.bubble.obs = cfg.obs;
+  if (mcfg.bubble.guard == nullptr) mcfg.bubble.guard = cfg.guard;
   MerlinResult mr = merlin_optimize(net, lib, tsp_order(net), mcfg);
 
   FlowResult res;
@@ -265,6 +270,31 @@ FlowConfig scaled_flow_config(std::size_t n) {
     cfg.merlin.max_iterations = 2;
   }
   cfg.engine_prune.max_solutions = 8;
+  return cfg;
+}
+
+FlowConfig tightened_flow_config(const FlowConfig& in) {
+  FlowConfig cfg = in;  // pointer fields (arena/obs/guard) carried over
+  const auto halve = [](std::size_t v) { return std::max<std::size_t>(1, v / 2); };
+  if (cfg.candidates.max_candidates != 0)
+    cfg.candidates.max_candidates =
+        std::max<std::size_t>(8, cfg.candidates.max_candidates / 2);
+  else
+    cfg.candidates.max_candidates = 16;
+  cfg.candidates.budget_factor = std::min(cfg.candidates.budget_factor, 1.0);
+  cfg.engine_prune.max_solutions = halve(cfg.engine_prune.max_solutions);
+  cfg.merlin.bubble.inner_prune.max_solutions =
+      halve(cfg.merlin.bubble.inner_prune.max_solutions);
+  cfg.merlin.bubble.group_prune.max_solutions =
+      halve(cfg.merlin.bubble.group_prune.max_solutions);
+  cfg.merlin.bubble.buffer_stride =
+      std::max<std::size_t>(cfg.merlin.bubble.buffer_stride * 2, 4);
+  cfg.merlin.bubble.alpha = std::max<std::size_t>(2, cfg.merlin.bubble.alpha - 1);
+  cfg.merlin.bubble.extension_neighbors =
+      cfg.merlin.bubble.extension_neighbors == 0
+          ? 4
+          : std::max<std::size_t>(2, cfg.merlin.bubble.extension_neighbors / 2);
+  cfg.merlin.max_iterations = 1;
   return cfg;
 }
 

@@ -46,6 +46,11 @@ struct FlowConfig {
   /// never shared across pool workers (the batch engine merges per-worker
   /// sinks serially afterwards).
   ObsSink* obs = nullptr;
+  /// Optional per-net execution guard (runtime/guard.h), propagated into
+  /// every engine the flow runs.  The batch engine creates one per
+  /// construction attempt; budget trips raise BudgetExceeded out of the
+  /// run_flow* call.  Null = unguarded.
+  NetGuard* guard = nullptr;
 };
 
 /// One flow's outcome on one net.
@@ -73,6 +78,14 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
 /// A FlowConfig with budgets scaled to the net size so that the Table-1
 /// style experiments finish in laptop time even for the 73-sink net.
 FlowConfig scaled_flow_config(std::size_t n_sinks);
+
+/// A strictly cheaper version of `cfg` for the batch engine's degradation
+/// ladder: candidate budget, per-state curve caps, buffer stride, and
+/// MERLIN iteration count are all tightened, so a net that blew its budget
+/// under `cfg` gets a realistic second chance inside the same budget.
+/// Deterministic (pure function of `cfg`), and pointer fields (arena, obs,
+/// guard) are preserved.
+FlowConfig tightened_flow_config(const FlowConfig& cfg);
 
 /// Integer centroid of a point multiset (flow I places each group's buffer
 /// at its subtree's centroid).  Accumulates and divides in 64-bit, then

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/guard.h"
+
 namespace merlin {
 
 double FanoutTree::buffer_area(const BufferLibrary& lib) const {
@@ -57,6 +59,7 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
   if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
   obs_add(cfg.obs, Counter::kLttreeRuns);
   ScopedTimer obs_timer(cfg.obs, Phase::kLttreeGrouping);
+  guard_point(cfg.guard, FaultSite::kLttreeLevel);
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("lttree_optimize: net has no sinks");
   if (order.size() != n || !Order(order).valid())
@@ -70,6 +73,8 @@ LTTreeResult lttree_optimize(const Net& net, const Order& order,
   std::vector<SolutionCurve> C(n + 1);
 
   for (std::size_t j = 1; j <= n; ++j) {
+    // One DP step per C[j] level, weighted by the j inner positions it scans.
+    guard_step(cfg.guard, j);
     // Unbuffered bases: internal child C[j2] plus direct sinks order[j2..j-1].
     SolutionCurve bases;
     double block_load = 0.0;

@@ -27,6 +27,8 @@
 
 namespace merlin {
 
+class NetGuard;  // runtime/guard.h
+
 /// Tuning knobs for the LTTREE DP.
 struct LTTreeConfig {
   PruneConfig prune{0.0, 0.0, 32};
@@ -42,6 +44,10 @@ struct LTTreeConfig {
   /// Optional observability sink (one per engine run / worker; never shared
   /// across threads).  Propagated into `prune.obs` when that is unset.
   ObsSink* obs = nullptr;
+  /// Optional per-net execution guard (runtime/guard.h): charged one DP step
+  /// per C(j) level; budget trips raise BudgetExceeded out of
+  /// lttree_optimize.  Null = unguarded.
+  NetGuard* guard = nullptr;
 };
 
 /// One node of the abstract (geometry-free) fanout tree.

@@ -57,6 +57,19 @@ enum class Counter : std::uint16_t {
   kTrivialNets,
   kPoolTasks,            ///< tasks executed by the thread pool (deterministic)
 
+  // Robustness layer (runtime/guard.h, flow/batch.h ladder; see
+  // docs/ROBUSTNESS.md).  All deterministic under step budgets.
+  kNetsOk,               ///< nets whose configured flow succeeded first try
+  kNetsDegraded,         ///< nets rescued by a degradation-ladder fallback
+  kNetsFailed,           ///< nets classified failed (skip policy)
+  kNetsOverBudget,       ///< nets classified over_budget (skip policy)
+  kNetsDeadline,         ///< nets classified deadline (skip policy)
+  kNetRetries,           ///< ladder rungs attempted beyond the first
+  kBudgetTrips,          ///< BudgetExceeded raised (step or arena cap)
+  kDeadlineTrips,        ///< DeadlineExceeded raised (non-deterministic cap)
+  kGuardSteps,           ///< DP steps charged to net guards
+  kFaultsInjected,       ///< injected faults that fired (chaos harness)
+
   kCount,
 };
 
@@ -67,6 +80,7 @@ enum class Gauge : std::uint16_t {
   kArenaPeakBytes,       ///< peak live-node bytes
   kGammaPeakSolutions,   ///< most solutions stored in one Gamma table
   kCachePeakEntries,     ///< largest GammaCache entry count
+  kGuardPeakNetSteps,    ///< most DP steps one net's guard charged
   kCount,
 };
 
@@ -112,6 +126,16 @@ inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCoun
     case Counter::kNetsProcessed: return "nets_processed";
     case Counter::kTrivialNets: return "trivial_nets";
     case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kNetsOk: return "nets_ok";
+    case Counter::kNetsDegraded: return "nets_degraded";
+    case Counter::kNetsFailed: return "nets_failed";
+    case Counter::kNetsOverBudget: return "nets_over_budget";
+    case Counter::kNetsDeadline: return "nets_deadline";
+    case Counter::kNetRetries: return "net_retries";
+    case Counter::kBudgetTrips: return "budget_trips";
+    case Counter::kDeadlineTrips: return "deadline_trips";
+    case Counter::kGuardSteps: return "guard_steps";
+    case Counter::kFaultsInjected: return "faults_injected";
     case Counter::kCount: break;
   }
   return "unknown_counter";
@@ -124,6 +148,7 @@ inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCoun
     case Gauge::kArenaPeakBytes: return "arena_peak_bytes";
     case Gauge::kGammaPeakSolutions: return "gamma_peak_solutions";
     case Gauge::kCachePeakEntries: return "cache_peak_entries";
+    case Gauge::kGuardPeakNetSteps: return "guard_peak_net_steps";
     case Gauge::kCount: break;
   }
   return "unknown_gauge";

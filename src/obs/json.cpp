@@ -138,6 +138,7 @@ std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt) {
     w.key("peak_curve_width"); w.num(t.peak_curve_width);
     w.key("merlin_loops"); w.num(static_cast<std::uint64_t>(t.merlin_loops));
     w.key("buffers"); w.num(static_cast<std::uint64_t>(t.buffers));
+    w.key("status"); w.str(net_status_name(t.status));
     w.end_obj();
   }
   w.end_arr();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "runtime/guard.h"
 
 namespace merlin {
 
@@ -37,6 +38,7 @@ struct TraceRecord {
   std::uint64_t peak_curve_width = 0;  ///< widest curve while routing this net
   std::size_t merlin_loops = 0;     ///< outer-loop iterations (0 for flows I/II)
   std::size_t buffers = 0;          ///< buffers in the final tree
+  NetStatus status = NetStatus::kOk;  ///< batch outcome (docs/ROBUSTNESS.md)
 };
 
 /// Per-DP-layer pruning statistics (BUBBLE_CONSTRUCT's L = 2..n loop).

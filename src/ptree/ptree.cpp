@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/guard.h"
+
 namespace merlin {
 
 namespace {
@@ -39,6 +41,7 @@ PTreeResult ptree_route(const Net& net, const Order& order,
   if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
   obs_add(cfg.obs, Counter::kPtreeRuns);
   ScopedTimer obs_timer(cfg.obs, Phase::kPtreeDp);
+  guard_point(cfg.guard, FaultSite::kPtreeRange);
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("ptree_route: net has no sinks");
   if (order.size() != n || !Order(order).valid())
@@ -91,6 +94,9 @@ PTreeResult ptree_route(const Net& net, const Order& order,
   for (std::size_t len = 2; len <= n; ++len) {
     for (std::size_t i = 0; i + len <= n; ++i) {
       const std::size_t j = i + len - 1;
+      // One DP step per (i, j) range, weighted by the candidate count the
+      // range sweeps — the unit the step budget is calibrated against.
+      guard_step(cfg.guard, k);
       for (std::size_t p = 0; p < k; ++p) {
         SolutionCurve& cell = table.at(i, j, p);
         jobs.clear();

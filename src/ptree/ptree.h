@@ -23,6 +23,8 @@
 
 namespace merlin {
 
+class NetGuard;  // runtime/guard.h
+
 /// Tuning knobs for the PTREE DP.
 struct PTreeConfig {
   CandidateOptions candidates{};       ///< how to build the candidate set P
@@ -33,6 +35,10 @@ struct PTreeConfig {
   /// Optional observability sink (one per engine run / worker; never shared
   /// across threads).  Propagated into `prune.obs` when that is unset.
   ObsSink* obs = nullptr;
+  /// Optional per-net execution guard (runtime/guard.h): charged one DP step
+  /// per (i, j) order range; budget trips raise BudgetExceeded out of
+  /// ptree_route.  Null = unguarded.
+  NetGuard* guard = nullptr;
 };
 
 /// Outcome of a PTREE run.

@@ -1,0 +1,130 @@
+#include "runtime/faultinject.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "runtime/guard.h"
+
+namespace merlin {
+namespace {
+
+/// SplitMix64 finalizer — the same mixer net/rng.h uses for stream splitting,
+/// reused here so firing decisions are well distributed even for consecutive
+/// net ids and small seeds.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+FaultSite parse_site(const std::string& name) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto s = static_cast<FaultSite>(i);
+    if (name == fault_site_name(s)) return s;
+  }
+  throw std::invalid_argument("inject: unknown site '" + name + "'");
+}
+
+}  // namespace
+
+FaultInjected::FaultInjected(FaultSite site, std::uint32_t net_id)
+    : std::runtime_error("injected fault at " +
+                         std::string(fault_site_name(site)) + " (net " +
+                         std::to_string(net_id) + ")"),
+      site_(site) {}
+
+bool FaultInjector::should_fire(std::uint32_t net_id, FaultSite site) const {
+  if (plan_.rate <= 0.0) return false;
+  if (plan_.site != FaultSite::kCount && plan_.site != site) return false;
+  if (plan_.rate >= 1.0) return true;
+  // Deterministic per-(seed, net, site) coin flip: top 53 bits → [0, 1).
+  const std::uint64_t h =
+      mix64(plan_.seed ^ mix64((std::uint64_t{net_id} << 8) |
+                               static_cast<std::uint64_t>(site)));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+  return u < plan_.rate;
+}
+
+void FaultInjector::fire(FaultSite site, std::uint32_t net_id,
+                         NetGuard& guard) const {
+  switch (plan_.kind) {
+    case FaultKind::kThrow:
+      throw FaultInjected(site, net_id);
+    case FaultKind::kSlow:
+      if (plan_.slow_sleep_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(plan_.slow_sleep_ms));
+      guard.charge(plan_.slow_penalty_steps);
+      return;
+    case FaultKind::kArenaAlloc:
+      // Armed on the worker's SolutionArena by the batch runner, not here;
+      // reaching this site with an arena plan is a no-op by design.
+      return;
+  }
+}
+
+FaultPlan FaultInjector::parse(const std::string& spec) {
+  // KIND:RATE:SEED[:SITE]
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4)
+    throw std::invalid_argument(
+        "inject: expected KIND:RATE:SEED[:SITE], got '" + spec + "'");
+
+  FaultPlan plan;
+  if (parts[0] == "throw")
+    plan.kind = FaultKind::kThrow;
+  else if (parts[0] == "arena")
+    plan.kind = FaultKind::kArenaAlloc;
+  else if (parts[0] == "slow")
+    plan.kind = FaultKind::kSlow;
+  else
+    throw std::invalid_argument("inject: unknown kind '" + parts[0] +
+                                "' (throw|arena|slow)");
+
+  try {
+    std::size_t used = 0;
+    plan.rate = std::stod(parts[1], &used);
+    if (used != parts[1].size()) throw std::invalid_argument("");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("inject: bad rate '" + parts[1] + "'");
+  }
+  // Written as a negated conjunction so NaN (which fails every comparison)
+  // is rejected too.
+  if (!(plan.rate >= 0.0 && plan.rate <= 1.0))
+    throw std::invalid_argument("inject: rate must be in [0, 1], got '" +
+                                parts[1] + "'");
+
+  try {
+    std::size_t used = 0;
+    plan.seed = std::stoull(parts[2], &used);
+    if (used != parts[2].size()) throw std::invalid_argument("");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("inject: bad seed '" + parts[2] + "'");
+  }
+
+  if (parts.size() == 4) plan.site = parse_site(parts[3]);
+  return plan;
+}
+
+const FaultInjector* FaultInjector::from_env() {
+  // Parsed once; the unique_ptr is never freed (process-lifetime singleton).
+  static const FaultInjector* env_injector = []() -> const FaultInjector* {
+    const char* spec = std::getenv("MERLIN_INJECT");
+    if (!spec || !*spec) return nullptr;
+    return new FaultInjector(parse(spec));
+  }();
+  return env_injector;
+}
+
+}  // namespace merlin

@@ -21,8 +21,21 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   queues_.resize(n_threads);
   executed_.assign(n_threads, 0);
   workers_.reserve(n_threads);
-  for (std::size_t wi = 0; wi < n_threads; ++wi)
-    workers_.emplace_back([this, wi] { worker_loop(wi); });
+  try {
+    for (std::size_t wi = 0; wi < n_threads; ++wi)
+      workers_.emplace_back([this, wi] { worker_loop(wi); });
+  } catch (...) {
+    // std::thread creation can throw (resource_unavailable_try_again).  The
+    // workers already started must be joined before the exception unwinds
+    // this half-built pool, or their loops would touch freed members.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -45,8 +58,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     const std::size_t wi = tl_pool == this ? tl_index : next_queue_++ % queues_.size();
     queues_[wi].push_back(std::move(pt));
     ++in_flight_;
+    // Notify while still holding the lock.  With the unlocked notify this
+    // used to do, a worker could pick up the task and finish it, and the
+    // owner could destroy the pool, all between our unlock and the notify —
+    // which then touched a destroyed condition_variable.  Holding mu_ means
+    // the destructor (which must take mu_ to set stop_) cannot have
+    // completed while we are signalling.
+    cv_work_.notify_one();
   }
-  cv_work_.notify_one();
   return fut;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/guard.h"
+
 namespace merlin {
 
 namespace {
@@ -48,6 +50,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
   if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
   obs_add(cfg.obs, Counter::kVanginRuns);
   ScopedTimer obs_timer(cfg.obs, Phase::kVanginDp);
+  guard_point(cfg.guard, FaultSite::kVanginNode);
   if (unbuffered.empty()) throw std::invalid_argument("vangin_insert: empty tree");
   const auto& nodes = unbuffered.nodes();
 
@@ -55,6 +58,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
 
   // Children precede parents in reverse index order.
   for (std::size_t ri = nodes.size(); ri-- > 0;) {
+    guard_step(cfg.guard);  // one DP step per visited tree node
     const TreeNode& n = nodes[ri];
     switch (n.kind) {
       case NodeKind::kBuffer:

@@ -20,6 +20,8 @@
 
 namespace merlin {
 
+class NetGuard;  // runtime/guard.h
+
 /// Tuning knobs for buffer insertion.
 struct VanGinnekenConfig {
   /// Bounded by default: an unbounded 3-D frontier grows combinatorially
@@ -35,6 +37,10 @@ struct VanGinnekenConfig {
   /// Optional observability sink (one per engine run / worker; never shared
   /// across threads).  Propagated into `prune.obs` when that is unset.
   ObsSink* obs = nullptr;
+  /// Optional per-net execution guard (runtime/guard.h): charged one DP step
+  /// per visited tree node; budget trips raise BudgetExceeded out of
+  /// vangin_insert.  Null = unguarded.
+  NetGuard* guard = nullptr;
 };
 
 /// Result of buffer insertion.

@@ -121,7 +121,20 @@ TEST(BatchStats, FlowsWithoutCacheReportZeroTotals) {
   EXPECT_EQ(r.stats.det.cache_misses, 0u);
 }
 
-TEST(BatchStats, WorkerExceptionsPropagateToTheCaller) {
+TEST(BatchStats, WorkerExceptionsPropagateToTheCallerUnderAbortPolicy) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = small_circuit(lib);
+  BatchOptions opts;
+  opts.threads = 4;
+  opts.fail_policy = FailPolicy::kAbort;
+  opts.custom_flow = [](const Net& net, const BufferLibrary&,
+                        Rng&) -> FlowResult {
+    throw std::runtime_error("constructor failed on " + net.name);
+  };
+  EXPECT_THROW(BatchRunner(lib, opts).run(ckt), std::runtime_error);
+}
+
+TEST(BatchStats, DefaultPolicyRescuesThrowingConstructorsWithStarTrees) {
   const BufferLibrary lib = make_standard_library();
   const Circuit ckt = small_circuit(lib);
   BatchOptions opts;
@@ -130,7 +143,16 @@ TEST(BatchStats, WorkerExceptionsPropagateToTheCaller) {
                         Rng&) -> FlowResult {
     throw std::runtime_error("constructor failed on " + net.name);
   };
-  EXPECT_THROW(BatchRunner(lib, opts).run(ckt), std::runtime_error);
+  const BatchResult r = BatchRunner(lib, opts).run(ckt);
+  EXPECT_EQ(r.stats.det.nets_ok + r.stats.det.nets_degraded,
+            r.stats.det.net_count);
+  for (const BatchNetResult& n : r.nets) {
+    if (n.trivial) continue;
+    EXPECT_EQ(n.status, NetStatus::kDegraded) << "net " << n.net_id;
+    EXPECT_FALSE(n.error.empty());
+    EXPECT_GT(n.result.tree.size(), 1u);
+  }
+  EXPECT_TRUE(std::isfinite(r.circuit.delay_ps));
 }
 
 TEST(BatchStats, ToStringMentionsTheHeadlineNumbers) {

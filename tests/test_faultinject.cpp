@@ -1,0 +1,308 @@
+// Deterministic fault injection: spec parsing, the purity of the firing
+// decision, and the ISSUE acceptance harness — with faults forced on a
+// sizable fraction of nets, the batch completes, accounts for every outcome
+// exactly, keeps the circuit STA valid, and stays bit-identical between
+// 1-thread and N-thread runs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "buflib/library.h"
+#include "flow/batch.h"
+#include "flow/circuit.h"
+#include "net/generator.h"
+#include "runtime/faultinject.h"
+
+namespace merlin {
+namespace {
+
+// -- spec parsing -----------------------------------------------------------
+
+TEST(FaultSpec, ParsesTheDocumentedForms) {
+  const FaultPlan p1 = FaultInjector::parse("throw:0.25:7");
+  EXPECT_EQ(p1.kind, FaultKind::kThrow);
+  EXPECT_DOUBLE_EQ(p1.rate, 0.25);
+  EXPECT_EQ(p1.seed, 7u);
+  EXPECT_EQ(p1.site, FaultSite::kCount);  // all sites
+
+  const FaultPlan p2 = FaultInjector::parse("arena:0.1:3");
+  EXPECT_EQ(p2.kind, FaultKind::kArenaAlloc);
+
+  const FaultPlan p3 = FaultInjector::parse("slow:0.5:1:bubble.layer");
+  EXPECT_EQ(p3.kind, FaultKind::kSlow);
+  EXPECT_EQ(p3.site, FaultSite::kBubbleLayer);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecsLoudly) {
+  for (const char* bad :
+       {"", "throw", "throw:0.5", "explode:0.5:1", "throw:nan:1",
+        "throw:2.0:1", "throw:-0.1:1", "throw:0.5:notanumber",
+        "throw:0.5:1:nowhere.site", "throw:0.5:1:batch.net:extra"}) {
+    EXPECT_THROW(FaultInjector::parse(bad), std::invalid_argument)
+        << "spec '" << bad << "' should have been rejected";
+  }
+}
+
+TEST(FaultSpec, SiteNamesRoundTripThroughTheParser) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const std::string spec =
+        std::string("throw:0.5:1:") + fault_site_name(site);
+    EXPECT_EQ(FaultInjector::parse(spec).site, site);
+  }
+}
+
+// -- decision purity --------------------------------------------------------
+
+TEST(FaultInjector, DecisionIsAPureFunctionOfSeedNetAndSite) {
+  FaultPlan plan;
+  plan.rate = 0.3;
+  plan.seed = 99;
+  const FaultInjector a(plan), b(plan);
+  for (std::uint32_t net = 0; net < 200; ++net)
+    for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+      const auto site = static_cast<FaultSite>(s);
+      EXPECT_EQ(a.should_fire(net, site), b.should_fire(net, site));
+    }
+}
+
+TEST(FaultInjector, RateEndpointsAreExact) {
+  FaultPlan never;
+  never.rate = 0.0;
+  never.seed = 5;
+  FaultPlan always;
+  always.rate = 1.0;
+  always.seed = 5;
+  const FaultInjector off(never), on(always);
+  for (std::uint32_t net = 0; net < 100; ++net) {
+    EXPECT_FALSE(off.should_fire(net, FaultSite::kBatchNet));
+    EXPECT_TRUE(on.should_fire(net, FaultSite::kBatchNet));
+  }
+}
+
+TEST(FaultInjector, FiringFractionTracksTheRate) {
+  FaultPlan plan;
+  plan.rate = 0.25;
+  plan.seed = 7;
+  const FaultInjector inject(plan);
+  int fired = 0;
+  const int n = 4000;
+  for (int net = 0; net < n; ++net)
+    if (inject.should_fire(static_cast<std::uint32_t>(net),
+                           FaultSite::kBatchNet))
+      ++fired;
+  const double frac = static_cast<double>(fired) / n;
+  EXPECT_NEAR(frac, 0.25, 0.05);
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentFiringSets) {
+  FaultPlan a;
+  a.rate = 0.5;
+  a.seed = 1;
+  FaultPlan b = a;
+  b.seed = 2;
+  const FaultInjector ia(a), ib(b);
+  int differ = 0;
+  for (std::uint32_t net = 0; net < 256; ++net)
+    if (ia.should_fire(net, FaultSite::kBatchNet) !=
+        ib.should_fire(net, FaultSite::kBatchNet))
+      ++differ;
+  EXPECT_GT(differ, 0);
+}
+
+// -- chaos acceptance harness ----------------------------------------------
+
+FlowConfig cheap_cfg() {
+  FlowConfig cfg;
+  cfg.candidates.policy = CandidatePolicy::kReducedHanan;
+  cfg.candidates.budget_factor = 1.0;
+  cfg.candidates.max_candidates = 10;
+  cfg.merlin.bubble.alpha = 3;
+  cfg.merlin.bubble.inner_prune.max_solutions = 3;
+  cfg.merlin.bubble.group_prune.max_solutions = 3;
+  cfg.merlin.bubble.buffer_stride = 6;
+  cfg.merlin.bubble.extension_neighbors = 4;
+  cfg.merlin.max_iterations = 2;
+  cfg.engine_prune.max_solutions = 4;
+  return cfg;
+}
+
+Circuit chaos_circuit(const BufferLibrary& lib) {
+  CircuitSpec spec;
+  spec.name = "chaos";
+  spec.n_gates = 30;
+  spec.n_primary_inputs = 5;
+  spec.max_fanout = 7;
+  spec.seed = 4242;
+  return make_random_circuit(spec, lib);
+}
+
+BatchResult run_chaos(const Circuit& ckt, const BufferLibrary& lib,
+                      const FaultInjector* inject, FailPolicy policy,
+                      std::size_t threads) {
+  BatchOptions opts;
+  opts.threads = threads;
+  opts.flow = FlowKind::kFlow2;
+  opts.scaled_config = false;
+  opts.config = cheap_cfg();
+  opts.fail_policy = policy;
+  opts.inject = inject;
+  return BatchRunner(lib, opts).run(ckt);
+}
+
+TEST(Chaos, BatchSurvivesWidespreadInjectedThrows) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = chaos_circuit(lib);
+
+  FaultPlan plan;
+  plan.kind = FaultKind::kThrow;
+  plan.rate = 0.4;  // well past the >= 10% acceptance bar
+  plan.seed = 17;
+  const FaultInjector inject(plan);
+
+  const BatchResult r = run_chaos(ckt, lib, &inject, FailPolicy::kDegrade, 4);
+  const BatchStatsDet& d = r.stats.det;
+  ASSERT_GT(d.net_count, 0u);
+  // The ladder rescues every injected net: nothing may end failed.
+  EXPECT_EQ(d.nets_failed, 0u);
+  EXPECT_EQ(d.nets_over_budget, 0u);
+  EXPECT_GT(d.nets_degraded, 0u) << "a 40% injection rate must hit some nets";
+  // Exact accounting: the five buckets partition the nets.
+  EXPECT_EQ(d.nets_ok + d.nets_degraded + d.nets_failed + d.nets_over_budget +
+                d.nets_deadline,
+            d.net_count);
+  // ... and the per-net statuses agree with the aggregate.
+  std::size_t degraded = 0;
+  for (const BatchNetResult& n : r.nets) {
+    if (n.status == NetStatus::kDegraded) {
+      ++degraded;
+      EXPECT_FALSE(n.error.empty());
+      EXPECT_NE(n.error.find("injected"), std::string::npos);
+    }
+    EXPECT_GT(n.result.tree.size(), 1u) << "net " << n.net_id << " lost its tree";
+  }
+  EXPECT_EQ(degraded, d.nets_degraded);
+  // The circuit STA closed over every net (surviving + degraded).
+  EXPECT_TRUE(std::isfinite(r.circuit.delay_ps));
+  EXPECT_GT(r.circuit.delay_ps, 0.0);
+}
+
+TEST(Chaos, OneVsManyThreadsStayBitIdenticalUnderInjection) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = chaos_circuit(lib);
+  FaultPlan plan;
+  plan.kind = FaultKind::kThrow;
+  plan.rate = 0.4;
+  plan.seed = 17;
+  const FaultInjector inject(plan);
+
+  const BatchResult serial =
+      run_chaos(ckt, lib, &inject, FailPolicy::kDegrade, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const BatchResult parallel =
+        run_chaos(ckt, lib, &inject, FailPolicy::kDegrade, threads);
+    EXPECT_TRUE(batch_results_identical(serial, parallel))
+        << threads << "-thread chaos run diverged from the serial one";
+  }
+}
+
+TEST(Chaos, SurvivingNetsMatchTheCleanRunExactly) {
+  // Injection must be surgical: nets whose decisions never fire produce the
+  // same trees, evals and statuses as a run with no injector at all.
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = chaos_circuit(lib);
+  FaultPlan plan;
+  plan.kind = FaultKind::kThrow;
+  plan.rate = 0.4;
+  plan.seed = 17;
+  const FaultInjector inject(plan);
+
+  const BatchResult clean = run_chaos(ckt, lib, nullptr, FailPolicy::kDegrade, 4);
+  const BatchResult chaos = run_chaos(ckt, lib, &inject, FailPolicy::kDegrade, 4);
+  ASSERT_EQ(clean.nets.size(), chaos.nets.size());
+  std::size_t untouched = 0;
+  for (std::size_t i = 0; i < clean.nets.size(); ++i) {
+    const BatchNetResult& c = clean.nets[i];
+    const BatchNetResult& x = chaos.nets[i];
+    ASSERT_EQ(c.net_id, x.net_id);
+    if (x.status != NetStatus::kOk) continue;  // an injected net, rescued
+    ++untouched;
+    EXPECT_TRUE(flow_results_identical(c.result, x.result))
+        << "surviving net " << c.net_id << " was perturbed by the injector";
+  }
+  EXPECT_GT(untouched, 0u);
+}
+
+TEST(Chaos, SkipPolicyClassifiesInsteadOfRescuing) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = chaos_circuit(lib);
+  FaultPlan plan;
+  plan.kind = FaultKind::kThrow;
+  plan.rate = 0.4;
+  plan.seed = 17;
+  const FaultInjector inject(plan);
+
+  const BatchResult r = run_chaos(ckt, lib, &inject, FailPolicy::kSkip, 4);
+  const BatchStatsDet& d = r.stats.det;
+  EXPECT_GT(d.nets_failed, 0u);
+  EXPECT_EQ(d.nets_degraded, 0u);
+  EXPECT_EQ(d.retries, 0u);  // skip never walks the ladder
+  // Failed nets still carry a star stand-in so the STA closes.
+  for (const BatchNetResult& n : r.nets)
+    EXPECT_GT(n.result.tree.size(), 1u);
+  EXPECT_TRUE(std::isfinite(r.circuit.delay_ps));
+}
+
+TEST(Chaos, AbortPolicyRethrowsTheLowestFailedNetDeterministically) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = chaos_circuit(lib);
+  FaultPlan plan;
+  plan.kind = FaultKind::kThrow;
+  plan.rate = 0.4;
+  plan.seed = 17;
+  const FaultInjector inject(plan);
+
+  std::string what_serial, what_parallel;
+  try {
+    run_chaos(ckt, lib, &inject, FailPolicy::kAbort, 1);
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const FaultInjected& e) {
+    what_serial = e.what();
+  }
+  try {
+    run_chaos(ckt, lib, &inject, FailPolicy::kAbort, 8);
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const FaultInjected& e) {
+    what_parallel = e.what();
+  }
+  // Same exception — same net, regardless of scheduling.
+  EXPECT_EQ(what_serial, what_parallel);
+}
+
+TEST(Chaos, ArenaAllocationFaultsAreRescuedToo) {
+  const BufferLibrary lib = make_standard_library();
+  const Circuit ckt = chaos_circuit(lib);
+  FaultPlan plan;
+  plan.kind = FaultKind::kArenaAlloc;
+  plan.rate = 0.3;
+  plan.seed = 23;
+  plan.arena_fail_after = 16;
+  const FaultInjector inject(plan);
+
+  const BatchResult serial =
+      run_chaos(ckt, lib, &inject, FailPolicy::kDegrade, 1);
+  EXPECT_GT(serial.stats.det.nets_degraded, 0u)
+      << "arena faults at 30% must hit some non-trivial net";
+  EXPECT_EQ(serial.stats.det.nets_failed, 0u);
+  EXPECT_TRUE(std::isfinite(serial.circuit.delay_ps));
+  const BatchResult parallel =
+      run_chaos(ckt, lib, &inject, FailPolicy::kDegrade, 8);
+  EXPECT_TRUE(batch_results_identical(serial, parallel));
+}
+
+}  // namespace
+}  // namespace merlin

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -119,6 +120,26 @@ TEST(ThreadPool, DestructorDrainsQueuedWork) {
     // Destroy immediately: all 100 queued tasks must still run.
   }
   EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, RapidDestroyAfterConcurrentSubmitsIsClean) {
+  // Hammers the window the submit() fix closed: two threads submit
+  // concurrently, and the pool is destroyed the moment the work is handed
+  // over.  With the old notify-after-unlock, one submitter's delayed
+  // notify_one could land on the destroyed condition_variable after a peer's
+  // notify already let the workers drain everything (TSan catches the
+  // use-after-free; without TSan this still exercises the interleaving).
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::thread submitter([&] {
+      for (int i = 0; i < 8; ++i) pool->submit([&ran] { ran.fetch_add(1); });
+    });
+    for (int i = 0; i < 8; ++i) pool->submit([&ran] { ran.fetch_add(1); });
+    submitter.join();
+    pool.reset();  // destructor drains everything that was accepted
+    EXPECT_EQ(ran.load(), 16);
+  }
 }
 
 TEST(ThreadPool, SubmitFromWorkerRunsInline) {

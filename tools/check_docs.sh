@@ -8,6 +8,10 @@
 #      stale counter/gauge/phase names in the doc fail the build.  (The
 #      reverse direction — every name in counters.h is documented — is
 #      enforced by tests/test_docs.cpp.)
+#   3. The injection site registry in docs/ROBUSTNESS.md and the
+#      fault_site_name() list in src/runtime/faultinject.h must agree in
+#      BOTH directions — a renamed/added/removed site fails the build until
+#      the registry table matches.
 #
 # Exits non-zero with one line per violation.
 
@@ -48,6 +52,33 @@ if [ -f "$doc" ] && [ -f "$hdr" ]; then
   done < <(grep -oE '^\| `[a-z][a-z0-9_]*`' "$doc" | sed -E 's/^\| `([a-z0-9_]+)`$/\1/' | sort -u)
 else
   echo "MISSING: $doc or $hdr"
+  violations=$((violations + 1))
+fi
+
+# --- 3. fault-site registry: docs/ROBUSTNESS.md <-> faultinject.h ----------
+rdoc="docs/ROBUSTNESS.md"
+fhdr="src/runtime/faultinject.h"
+if [ -f "$rdoc" ] && [ -f "$fhdr" ]; then
+  # Sites in the source: every "dotted.name" string fault_site_name returns.
+  src_sites="$(grep -oE 'return "[a-z]+\.[a-z]+"' "$fhdr" |
+               sed -E 's/return "([a-z.]+)"/\1/' | sort -u)"
+  # Sites in the doc: rows of the registry table, `| `dotted.name` | ...`.
+  doc_sites="$(grep -oE '^\| `[a-z]+\.[a-z]+`' "$rdoc" |
+               sed -E 's/^\| `([a-z.]+)`$/\1/' | sort -u)"
+  for s in $src_sites; do
+    if ! printf '%s\n' "$doc_sites" | grep -qx "$s"; then
+      echo "UNDOCUMENTED SITE: $fhdr defines '$s' but $rdoc's registry lacks it"
+      violations=$((violations + 1))
+    fi
+  done
+  for s in $doc_sites; do
+    if ! printf '%s\n' "$src_sites" | grep -qx "$s"; then
+      echo "STALE SITE: $rdoc documents '$s' but $fhdr does not define it"
+      violations=$((violations + 1))
+    fi
+  done
+else
+  echo "MISSING: $rdoc or $fhdr"
   violations=$((violations + 1))
 fi
 

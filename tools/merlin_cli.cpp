@@ -14,12 +14,25 @@
 //     --threads N         circuit mode: worker threads (0 = all cores)
 //     --stats-json FILE   write observability stats (counters, per-net
 //                         traces, latency percentiles) as JSON to FILE
+//     --net-step-budget N circuit mode: deterministic DP-step budget per net
+//     --net-deadline-ms T circuit mode: wall-clock deadline per net attempt
+//                         (non-deterministic; see docs/ROBUSTNESS.md)
+//     --fail-policy P     circuit mode: abort | skip | degrade (default)
+//     --inject SPEC       circuit mode: arm the deterministic fault injector,
+//                         SPEC = KIND:RATE:SEED[:SITE] (docs/ROBUSTNESS.md)
 //
-// Exit code 0 on success; prints a one-line summary to stdout.
+// Exit codes (each failure prints one line to stderr):
+//   0  success
+//   1  internal error (unexpected exception)
+//   2  usage error (bad flags / missing arguments)
+//   3  input or output file error
+//   4  invalid configuration (bad --inject spec, bad --fail-policy, ...)
+//   5  guard abort: a net tripped its budget/deadline under --fail-policy abort
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "buflib/library.h"
@@ -30,9 +43,18 @@
 #include "io/svg.h"
 #include "net/generator.h"
 #include "obs/json.h"
+#include "runtime/faultinject.h"
+#include "runtime/guard.h"
 #include "tree/evaluate.h"
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitConfig = 4;
+constexpr int kExitGuardAbort = 5;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
@@ -41,16 +63,43 @@ namespace {
                "[--candidates K] [--svg FILE] [--print-tree] "
                "[--stats-json FILE]\n"
                "       merlin_cli --circuit G SEED [--flow 1|2|3] [--threads N] "
-               "[--stats-json FILE]\n");
-  std::exit(2);
+               "[--stats-json FILE] [--net-step-budget N] [--net-deadline-ms T] "
+               "[--fail-policy abort|skip|degrade] "
+               "[--inject KIND:RATE:SEED[:SITE]]\n");
+  std::exit(kExitUsage);
 }
 
-/// Writes `json` to `path`; throws std::runtime_error on I/O failure.
+/// File-level failures, mapped to exit code 3 (vs 1 for internal errors).
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes `json` to `path`; throws IoError on I/O failure.
 void write_stats_file(const std::string& path, const std::string& json) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!out) throw IoError("cannot open " + path + " for writing");
   out << json << '\n';
-  if (!out) throw std::runtime_error("failed writing " + path);
+  if (!out) throw IoError("failed writing " + path);
+}
+
+int fail(const std::exception& e, int code) {
+  std::fprintf(stderr, "merlin_cli: %s\n", e.what());
+  return code;
+}
+
+/// The shared exception → exit-code taxonomy of both run modes.
+int classify_and_report(std::exception_ptr ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const merlin::GuardError& e) {
+    return fail(e, kExitGuardAbort);
+  } catch (const IoError& e) {
+    return fail(e, kExitIo);
+  } catch (const std::invalid_argument& e) {
+    return fail(e, kExitConfig);
+  } catch (const std::exception& e) {
+    return fail(e, kExitInternal);
+  }
 }
 
 }  // namespace
@@ -72,6 +121,10 @@ int main(int argc, char** argv) {
   std::uint64_t circuit_seed = 1;
   std::size_t threads = 1;
   std::string stats_json_path;
+  std::uint64_t net_step_budget = 0;
+  double net_deadline_ms = 0.0;
+  std::string fail_policy = "degrade";
+  std::string inject_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -112,6 +165,18 @@ int main(int argc, char** argv) {
     } else if (a == "--stats-json") {
       need(1);
       stats_json_path = argv[++i];
+    } else if (a == "--net-step-budget") {
+      need(1);
+      net_step_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--net-deadline-ms") {
+      need(1);
+      net_deadline_ms = std::atof(argv[++i]);
+    } else if (a == "--fail-policy") {
+      need(1);
+      fail_policy = argv[++i];
+    } else if (a == "--inject") {
+      need(1);
+      inject_spec = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -138,6 +203,23 @@ int main(int argc, char** argv) {
       opts.threads = threads;
       opts.flow = static_cast<FlowKind>(flow);
       if (!stats_json_path.empty()) opts.obs = &sink;
+      opts.guard.step_budget = net_step_budget;
+      opts.guard.deadline_ms = net_deadline_ms;
+      if (fail_policy == "abort") {
+        opts.fail_policy = FailPolicy::kAbort;
+      } else if (fail_policy == "skip") {
+        opts.fail_policy = FailPolicy::kSkip;
+      } else if (fail_policy == "degrade") {
+        opts.fail_policy = FailPolicy::kDegrade;
+      } else {
+        throw std::invalid_argument("unknown --fail-policy '" + fail_policy +
+                                    "' (expected abort, skip or degrade)");
+      }
+      std::optional<FaultInjector> injector;
+      if (!inject_spec.empty()) {
+        injector.emplace(FaultInjector::parse(inject_spec));
+        opts.inject = &*injector;
+      }
       const BatchResult r = BatchRunner(lib, opts).run(ckt);
       std::printf("circuit=%s gates=%zu flow=%d  delay=%.1fps area=%.1f "
                   "construct=%.0fms\n",
@@ -153,11 +235,10 @@ int main(int argc, char** argv) {
         write_stats_file(stats_json_path, stats_to_json(sink, rt));
         std::printf("wrote %s\n", stats_json_path.c_str());
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "merlin_cli: %s\n", e.what());
-      return 1;
+    } catch (...) {
+      return classify_and_report(std::current_exception());
     }
-    return 0;
+    return kExitOk;
   }
 
   Net net;
@@ -169,7 +250,11 @@ int main(int argc, char** argv) {
       spec.seed = random_seed;
       net = make_random_net(spec, lib);
     } else {
-      net = read_net_file(net_path);
+      try {
+        net = read_net_file(net_path);
+      } catch (const std::runtime_error& e) {
+        throw IoError(e.what());  // netfile failures are exit-code-3 events
+      }
     }
 
     ObsSink sink;
@@ -220,12 +305,15 @@ int main(int argc, char** argv) {
 
     if (print_tree) std::printf("%s", r.tree.to_string(net, lib).c_str());
     if (!svg_path.empty()) {
-      write_svg_file(svg_path, net, r.tree, lib);
+      try {
+        write_svg_file(svg_path, net, r.tree, lib);
+      } catch (const std::runtime_error& e) {
+        throw IoError(e.what());
+      }
       std::printf("wrote %s\n", svg_path.c_str());
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "merlin_cli: %s\n", e.what());
-    return 1;
+  } catch (...) {
+    return classify_and_report(std::current_exception());
   }
-  return 0;
+  return kExitOk;
 }
