@@ -6,7 +6,11 @@
 // column was measured on the same workload at the commit that introduced the
 // arena, with the identical hook.
 //
-// Usage: bench_arena [--smoke]   (--smoke runs only the smallest net, for CI)
+// Usage: bench_arena [--smoke] [--json FILE]
+//   --smoke runs only the smallest net, for CI.
+//   --json writes the machine-readable baseline (see BENCH_ARENA.json),
+//   gated in CI by tools/bench_compare.  Only the allocation counts are
+//   recorded — they are deterministic; wall times are not.
 
 #include <atomic>
 #include <cstdio>
@@ -32,6 +36,9 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 #include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "buflib/library.h"
 #include "core/bubble.h"
@@ -60,12 +67,24 @@ constexpr Baseline kSharedPtrBaseline[] = {
 int main(int argc, char** argv) {
   using namespace merlin;
   bool smoke = false;
-  for (int i = 1; i < argc; ++i)
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
 
   const BufferLibrary lib = make_standard_library();
   TextTable t({"sinks", "heap allocs (sptr)", "heap allocs (arena)", "ratio",
                "SolNodes", "peak arena KiB", "wall (ms)"});
+
+  struct Row {
+    std::size_t n_sinks;
+    unsigned long long heap_allocs;
+    unsigned long long sptr_allocs;
+    std::size_t nodes;
+  };
+  std::vector<Row> rows;
 
   SolutionArena arena;  // persistent: slab capacity is reused across nets,
                         // exactly how the batch engine's workers hold it
@@ -108,6 +127,8 @@ int main(int argc, char** argv) {
     t.cell(st.peak_bytes / 1024);
     t.cell(ms, 1);
     std::fflush(stdout);
+    rows.push_back({base.n_sinks, allocs, base.heap_allocs,
+                    static_cast<std::size_t>(st.nodes_allocated - nodes0)});
 
     if (allocs * 10 > base.heap_allocs) {
       std::printf("FAIL: n=%zu arena run made %llu heap allocations, more "
@@ -122,5 +143,25 @@ int main(int argc, char** argv) {
   std::printf("%s\n", t.render().c_str());
   std::printf("Baseline column: shared_ptr provenance at the pre-arena "
               "commit, same workload and hook.\n");
+
+  if (!json_path.empty()) {
+    // Flat numeric keys (one set per net size), so tools/bench_compare can
+    // gate them directly.  Heap-allocation counts are deterministic for a
+    // fixed workload; wall times are deliberately not recorded.
+    std::ofstream out(json_path, std::ios::binary);
+    out << "{\n"
+        << "  \"schema\": \"merlin.bench_arena\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"seed\": 5,\n"
+        << "  \"rows\": " << rows.size();
+    for (const auto& row : rows) {
+      const std::string k = "_sinks" + std::to_string(row.n_sinks);
+      out << ",\n  \"heap_allocs" << k << "\": " << row.heap_allocs
+          << ",\n  \"sptr_allocs" << k << "\": " << row.sptr_allocs
+          << ",\n  \"sol_nodes" << k << "\": " << row.nodes;
+    }
+    out << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

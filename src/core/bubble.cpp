@@ -373,6 +373,7 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
   if (cfg.group_prune.obs == nullptr) cfg.group_prune.obs = cfg.obs;
   obs_add(cfg.obs, Counter::kBubbleRuns);
   ScopedTimer obs_timer(cfg.obs, Phase::kBubbleConstruct);
+  TraceSpan trace_span(cfg.obs, SpanName::kBubbleConstruct, net.fanout());
   const std::uint64_t arena_alloc_before = arena.stats().nodes_allocated;
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("bubble_construct: net has no sinks");
@@ -443,6 +444,7 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
   // CONSTRUCTION (Figure 9 lines 5-20): groups by increasing sink count.
   std::vector<Terminal> seq;
   for (std::size_t L = 2; L <= n; ++L) {
+    TraceSpan layer_span(cfg.obs, SpanName::kBubbleLayer, L);
     for (Chi E : chis(L)) {
       for (std::size_t R = 0; R < n; ++R) {
         const GroupSpan Omega{L, E, R};

@@ -53,6 +53,8 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
       break;
     }
     ScopedTimer obs_timer(cfg.bubble.obs, Phase::kMerlinIteration);
+    TraceSpan iter_span(cfg.bubble.obs, SpanName::kMerlinIteration,
+                        res.iterations);
     BubbleResult r = bubble_construct(net, lib, pi, cfg.bubble, cache_ptr, &arena);
     ++res.iterations;
     obs_add(cfg.bubble.obs, Counter::kMerlinIterations);
@@ -82,6 +84,9 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
     // handles; everything else — the losing candidates of the iteration —
     // is reclaimed.  Remapping never changes replayed structure, so results
     // are unaffected (the arena tests pin this down).
+    // The compact span closes with the iteration scope, after the remaps
+    // below — exactly the window the compaction counters cover.
+    TraceSpan compact_span(cfg.bubble.obs, SpanName::kMerlinCompact);
     live_roots.clear();
     if (cache_ptr) cache_ptr->collect_roots(live_roots);
     res.best.root_curve.collect_roots(live_roots);

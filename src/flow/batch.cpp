@@ -1,6 +1,7 @@
 #include "flow/batch.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -116,10 +117,42 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     if (kObsEnabled && opts_.obs != nullptr) {
       sinks.resize(n_threads);
       // Worker sinks hold every trace; the deterministic cap is applied
-      // once, after the post-drain sort by net id.
-      for (ObsSink& s : sinks) s.set_trace_capacity(jobs.size());
+      // once, after the post-drain sort by net id.  Spans follow the same
+      // plan: worker rings get the aggregate's full capacity (tracing is
+      // armed iff the aggregate sink armed it), and the deterministic
+      // (net id, seq) sort + cap happens in the reduce below.
+      for (std::size_t w = 0; w < sinks.size(); ++w) {
+        sinks[w].set_trace_capacity(jobs.size());
+        sinks[w].set_worker(static_cast<std::uint32_t>(w));
+        sinks[w].set_span_capacity(opts_.obs->span_capacity());
+      }
     }
     ThreadPool pool(n_threads);
+    const bool tracing = !sinks.empty() && opts_.obs->spans_armed();
+    if (tracing) {
+      // Bridge the pool's scheduling events onto the worker timelines.
+      // Callbacks run on worker w's own thread and only touch sinks[w], so
+      // they race with nothing; `sinks` outlives the pool by construction
+      // (declared before it, destroyed after).
+      PoolObserver po;
+      po.on_idle = [&sinks](std::size_t w, std::uint64_t b, std::uint64_t e) {
+        SpanRecord r;
+        r.begin_ns = b;
+        r.end_ns = e;
+        r.worker = static_cast<std::uint32_t>(w);
+        r.name = SpanName::kPoolIdle;
+        sinks[w].record_span(r);
+      };
+      po.on_steal = [&sinks](std::size_t w, std::uint64_t ts) {
+        SpanRecord r;
+        r.begin_ns = ts;
+        r.end_ns = ts;  // instant marker
+        r.worker = static_cast<std::uint32_t>(w);
+        r.name = SpanName::kPoolSteal;
+        sinks[w].record_span(r);
+      };
+      pool.set_observer(std::move(po));
+    }
 
     // Fault isolation state.  Workers catch per-net failures into their
     // slot; `errors[i]` keeps the original exception (type intact) so the
@@ -127,6 +160,7 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     const FaultInjector* inject =
         opts_.inject ? opts_.inject : FaultInjector::from_env();
     std::vector<std::exception_ptr> errors(jobs.size());
+    std::atomic<std::size_t> completed{0};
 
     std::vector<std::future<void>> done;
     done.reserve(jobs.size());
@@ -136,7 +170,11 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
         BatchNetResult& slot = out.nets[i];  // exclusive to this task
         ObsSink* sink = sinks.empty() ? nullptr : &sinks[pool.worker_index()];
         SolutionArena& arena = arenas[pool.worker_index()];
-        if (sink) sink->begin_net();
+        if (sink) sink->begin_net(job.driver_gate);
+        // The net's root span: closes when this task returns, after every
+        // attempt of the ladder, so it is the last (highest-seq) span of
+        // the net.
+        TraceSpan net_span(sink, SpanName::kBatchNet, job.net.fanout());
         const auto tj = Clock::now();
         slot.net_id = job.driver_gate;
         slot.trivial = job.trivial();
@@ -304,6 +342,10 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
           t.status = slot.status;
           sink->record_trace(t);
         }
+        if (opts_.progress)
+          opts_.progress(
+              completed.fetch_add(1, std::memory_order_relaxed) + 1,
+              jobs.size());
       }));
     }
 
@@ -348,11 +390,18 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     // the aggregate sink's capacity — also scheduling-independent.
     if (!sinks.empty()) {
       ScopedTimer reduce_timer(opts_.obs, Phase::kBatchReduce);
+      TraceSpan reduce_span(opts_.obs, SpanName::kBatchReduce, sinks.size());
       std::vector<TraceRecord> traces;
       traces.reserve(jobs.size());
+      std::vector<SpanRecord> spans;
       for (ObsSink& s : sinks) {
         traces.insert(traces.end(), s.traces().begin(), s.traces().end());
         s.traces().clear();
+        if (tracing) {
+          const std::vector<SpanRecord> ws = s.spans().snapshot();
+          spans.insert(spans.end(), ws.begin(), ws.end());
+          s.clear_spans();
+        }
         opts_.obs->merge_from(s);
       }
       std::sort(traces.begin(), traces.end(),
@@ -360,6 +409,16 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
                   return a.net_id < b.net_id;
                 });
       for (const TraceRecord& t : traces) opts_.obs->record_trace(t);
+      // Spans are re-sorted by (net id, per-net seq) before they reach the
+      // aggregate ring, so the merged order — and, when worker rings never
+      // overflowed, the post-cap content — is scheduling-independent.
+      // Scheduling spans (pool idle/steal, net == kNoTraceNet) sort last.
+      std::stable_sort(spans.begin(), spans.end(),
+                       [](const SpanRecord& a, const SpanRecord& b) {
+                         if (a.net_id != b.net_id) return a.net_id < b.net_id;
+                         return a.seq < b.seq;
+                       });
+      for (const SpanRecord& r : spans) opts_.obs->record_span(r);
       obs_add(opts_.obs, Counter::kPoolTasks, jobs.size());
     }
   }

@@ -115,6 +115,14 @@ struct BatchOptions {
   /// under injection.  Decisions are pure functions of (seed, net id, site)
   /// — thread-count-independent by construction.
   const FaultInjector* inject = nullptr;
+
+  /// Optional progress callback, invoked with (nets completed, nets total)
+  /// each time a net's slot retires.  Calls come from pool worker threads in
+  /// completion order (a scheduling fact, like everything the reduce later
+  /// re-sorts away), possibly concurrently — the callee must be
+  /// thread-safe.  Purely observational: results never depend on it.
+  /// merlin_cli --progress hangs its stderr ticker here.
+  std::function<void(std::size_t done, std::size_t total)> progress;
 };
 
 /// Outcome of one net of the batch.

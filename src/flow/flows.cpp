@@ -78,9 +78,15 @@ FlowResult run_flow1(const Net& net, const BufferLibrary& lib,
       std::sqrt(static_cast<double>(net.fanout()));
   ltcfg.wire_load_per_pin = kWireloadPessimism * net.wire.cap_per_um *
                             steiner_len_est / static_cast<double>(net.fanout());
-  LTTreeResult lt =
-      lttree_optimize(net, required_time_order(net), lib, ltcfg, &arena);
+  LTTreeResult lt = [&] {
+    TraceSpan span(cfg.obs, SpanName::kFlowGrouping);
+    return lttree_optimize(net, required_time_order(net), lib, ltcfg, &arena);
+  }();
   const auto& groups = lt.tree.groups;
+
+  // Everything from here on is the geometry embedding: buffer placement,
+  // per-group PTREE routing, grafting — one routing span to the flow's end.
+  TraceSpan routing_span(cfg.obs, SpanName::kFlowRouting, groups.size());
 
   // Buffer placement: each group's buffer goes to the centroid of all sink
   // positions in its subtree (children were appended after their parents, so
@@ -182,13 +188,19 @@ FlowResult run_flow2(const Net& net, const BufferLibrary& lib,
   pcfg.prune = cfg.engine_prune;
   pcfg.obs = cfg.obs;
   pcfg.guard = cfg.guard;
-  PTreeResult pr = ptree_route(net, tsp_order(net), pcfg, &arena);
+  PTreeResult pr = [&] {
+    TraceSpan span(cfg.obs, SpanName::kFlowRouting);
+    return ptree_route(net, tsp_order(net), pcfg, &arena);
+  }();
 
   VanGinnekenConfig vcfg;
   vcfg.prune = cfg.engine_prune;
   vcfg.obs = cfg.obs;
   vcfg.guard = cfg.guard;
-  VanGinnekenResult vg = vangin_insert(net, pr.tree, lib, vcfg, &arena);
+  VanGinnekenResult vg = [&] {
+    TraceSpan span(cfg.obs, SpanName::kFlowBuffering);
+    return vangin_insert(net, pr.tree, lib, vcfg, &arena);
+  }();
 
   FlowResult res;
   res.tree = std::move(vg.tree);
@@ -206,7 +218,10 @@ FlowResult run_flow3(const Net& net, const BufferLibrary& lib,
   if (mcfg.scratch_arena == nullptr) mcfg.scratch_arena = cfg.scratch_arena;
   if (mcfg.bubble.obs == nullptr) mcfg.bubble.obs = cfg.obs;
   if (mcfg.bubble.guard == nullptr) mcfg.bubble.guard = cfg.guard;
-  MerlinResult mr = merlin_optimize(net, lib, tsp_order(net), mcfg);
+  MerlinResult mr = [&] {
+    TraceSpan span(cfg.obs, SpanName::kFlowSearch);
+    return merlin_optimize(net, lib, tsp_order(net), mcfg);
+  }();
 
   FlowResult res;
   res.tree = std::move(mr.best.tree);

@@ -167,6 +167,23 @@ std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt) {
   w.begin_arr();
   for (std::uint64_t t : rt.worker_tasks) w.num(t);
   w.end_arr();
+  // Span rollups live here — not in their own top-level section — because
+  // their totals are wall times: scheduling facts, never diffable.  The
+  // span *structure* determinism contract is tested on the ring itself,
+  // not through this export.
+  w.key("spans");
+  w.begin_arr();
+  for (const SpanSummary& s : summarize_spans(sink)) {
+    w.begin_obj();
+    w.key("name"); w.str(span_name(s.name));
+    w.key("count"); w.num(s.count);
+    w.key("total_ns"); w.num(s.total_ns);
+    w.end_obj();
+  }
+  w.end_arr();
+  w.key("span_count");
+  w.num(static_cast<std::uint64_t>(sink.spans().size()));
+  w.key("spans_dropped"); w.num(sink.spans().dropped());
   w.end_obj();
 
   w.end_obj();

@@ -17,8 +17,12 @@ namespace merlin {
 /// Schema identity of the export.  Bump kStatsSchemaVersion on any breaking
 /// change to the JSON layout and document the migration in
 /// docs/OBSERVABILITY.md.
+///
+/// v2: the `runtime` section gained span-tracer rollups (`spans`,
+/// `span_count`, `spans_dropped`) — quarantined there because span wall
+/// times are scheduling facts, like everything else in `runtime`.
 inline constexpr const char* kStatsSchemaName = "merlin.stats";
-inline constexpr int kStatsSchemaVersion = 1;
+inline constexpr int kStatsSchemaVersion = 2;
 
 /// Scheduling-dependent run facts.  Kept in a separate "runtime" JSON
 /// section so the deterministic sections (counters/gauges/layers/nets) can

@@ -20,6 +20,11 @@ void ObsSink::merge_from(const ObsSink& o) {
     if (traces_.size() >= trace_capacity_) break;
     traces_.push_back(t);
   }
+  // Spans append in the other ring's push order; once this ring is full the
+  // oldest records roll off.  BatchRunner pre-sorts across workers instead
+  // of merging rings directly, so aggregate span order never depends on the
+  // worker merge order.
+  for (const SpanRecord& r : o.spans_.snapshot()) spans_.push(r);
 }
 
 void ObsSink::clear() {
@@ -30,6 +35,10 @@ void ObsSink::clear() {
   layers_.clear();
   traces_.clear();
   net_peak_curve_width_ = 0;
+  spans_.clear();
+  span_net_ = kNoTraceNet;
+  span_seq_ = 0;
+  span_depth_ = 0;
 }
 
 }  // namespace merlin

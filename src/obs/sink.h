@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/trace.h"
 #include "runtime/guard.h"
 
 namespace merlin {
@@ -56,6 +57,10 @@ class ObsSink {
   /// Maximum trace rows retained (oldest-first truncation on merge;
   /// per-sink recording stops at capacity).
   static constexpr std::size_t kDefaultTraceCapacity = 65536;
+  /// Span-ring capacity a caller who wants a timeline typically arms
+  /// (merlin_cli --trace-out uses it).  The default capacity is 0: tracing
+  /// is opt-in per sink, so stats-only runs never touch the clock.
+  static constexpr std::size_t kDefaultSpanCapacity = std::size_t{1} << 20;
 
   Counters counters;
   Gauges gauges;
@@ -93,8 +98,15 @@ class ObsSink {
   }
 
   // -- per-net traces -------------------------------------------------------
-  /// Reset the net-scoped gauge window (call before routing a net).
-  void begin_net() { net_peak_curve_width_ = 0; }
+  /// Reset the net-scoped window (peak-width gauge, span attribution and
+  /// sequence) before routing a net.  The id attributes subsequent spans;
+  /// callers without a net identity (single-engine unit runs) may omit it,
+  /// leaving spans marked as scheduling records.
+  void begin_net(std::uint32_t net_id = kNoTraceNet) {
+    net_peak_curve_width_ = 0;
+    span_net_ = net_id;
+    span_seq_ = 0;
+  }
   /// Peak curve width observed since the last begin_net().
   [[nodiscard]] std::uint64_t net_peak_curve_width() const {
     return net_peak_curve_width_;
@@ -107,11 +119,55 @@ class ObsSink {
   void set_trace_capacity(std::size_t cap) { trace_capacity_ = cap; }
   [[nodiscard]] std::size_t trace_capacity() const { return trace_capacity_; }
 
+  // -- spans (timeline tracing) ---------------------------------------------
+  /// Arms (cap > 0) or disarms (cap == 0, the default) span recording.
+  /// Resizing clears the ring.
+  void set_span_capacity(std::size_t cap) { spans_.set_capacity(cap); }
+  [[nodiscard]] std::size_t span_capacity() const { return spans_.capacity(); }
+  /// TraceSpan's gate: when false, span guards never touch the clock.
+  [[nodiscard]] bool spans_armed() const { return spans_.armed(); }
+  [[nodiscard]] const SpanRing& spans() const { return spans_; }
+  void clear_spans() { spans_.clear(); }
+
+  /// Worker identity stamped on every recorded span (one Perfetto track per
+  /// worker).  The batch engine sets it when it deals out per-worker sinks.
+  void set_worker(std::uint32_t w) { worker_ = w; }
+  [[nodiscard]] std::uint32_t worker() const { return worker_; }
+
+  /// Raw append — the merge path and the pool's scheduling callbacks use
+  /// this; the record arrives fully formed (no net/seq attribution).
+  void record_span(const SpanRecord& r) { spans_.push(r); }
+
+  /// TraceSpan protocol: open returns the guard's nesting depth; close
+  /// stamps net attribution, per-net sequence and worker id, then records.
+  /// Balanced by RAII even when exceptions unwind through a span.
+  [[nodiscard]] std::uint16_t span_open() { return span_depth_++; }
+  void span_close(SpanName name, std::uint16_t depth, std::uint64_t arg,
+                  std::uint64_t begin_ns, std::uint64_t end_ns) {
+    span_depth_ = depth;
+    SpanRecord r;
+    r.begin_ns = begin_ns;
+    r.end_ns = end_ns;
+    r.arg = arg;
+    r.net_id = span_net_;
+    r.seq = span_seq_++;
+    r.worker = worker_;
+    r.depth = depth;
+    r.name = name;
+    spans_.push(r);
+  }
+
   // -- lifecycle ------------------------------------------------------------
   /// Fold another sink into this one: counters sum, gauges max, phases sum,
-  /// layers add elementwise, traces append (capacity-capped).  Serial use
-  /// only — the caller sequences merges (BatchRunner merges worker sinks in
-  /// worker order after wait_idle()).
+  /// layers add elementwise, traces and spans append (capacity-capped).
+  /// Serial use only — the caller sequences merges (BatchRunner merges
+  /// worker sinks in worker order after wait_idle()).
+  ///
+  /// Order independence: counters, gauges, phase totals and layer sums
+  /// commute, so merging any permutation of worker sinks yields identical
+  /// aggregates (tests/test_obs.cpp permutes to prove it).  The appended
+  /// trace/span sequences are order-sensitive, which is why BatchRunner
+  /// gathers and re-sorts them by net id before they reach the aggregate.
   void merge_from(const ObsSink& o);
   void clear();
 
@@ -122,6 +178,11 @@ class ObsSink {
   std::vector<TraceRecord> traces_;
   std::size_t trace_capacity_ = kDefaultTraceCapacity;
   std::uint64_t net_peak_curve_width_ = 0;
+  SpanRing spans_;
+  std::uint32_t worker_ = 0;
+  std::uint32_t span_net_ = kNoTraceNet;
+  std::uint32_t span_seq_ = 0;
+  std::uint16_t span_depth_ = 0;
 };
 
 // -- null-safe recording helpers (the only API engine code uses) ------------
@@ -177,6 +238,53 @@ class ScopedTimer {
   ObsSink* sink_;
   Phase phase_;
   std::chrono::steady_clock::time_point start_{};
+};
+
+/// Steady-clock nanoseconds; the common epoch of every span timestamp
+/// (including the pool's scheduling callbacks, which use the same clock).
+inline std::uint64_t obs_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII span guard: opens a timeline span on construction, closes and
+/// records it on destruction.  Engages only when the sink is non-null AND
+/// its span ring is armed (capacity > 0) — a disarmed sink costs one branch
+/// and no clock reads — and compiles to nothing under -DMERLIN_OBS=OFF,
+/// exactly like ScopedTimer.  `arg` carries the name-specific detail
+/// (DP layer L, iteration index, net fanout; see SpanName).
+class TraceSpan {
+ public:
+  explicit TraceSpan(ObsSink* sink, SpanName name, std::uint64_t arg = 0) {
+    if constexpr (kObsEnabled) {
+      if (sink != nullptr && sink->spans_armed()) {
+        sink_ = sink;
+        name_ = name;
+        arg_ = arg;
+        depth_ = sink->span_open();
+        begin_ns_ = obs_now_ns();
+      }
+    } else {
+      (void)sink; (void)name; (void)arg;
+    }
+  }
+  ~TraceSpan() {
+    if constexpr (kObsEnabled) {
+      if (sink_ != nullptr)
+        sink_->span_close(name_, depth_, arg_, begin_ns_, obs_now_ns());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  ObsSink* sink_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t begin_ns_ = 0;
+  std::uint16_t depth_ = 0;
+  SpanName name_ = SpanName::kBatchNet;
 };
 
 }  // namespace merlin

@@ -41,6 +41,7 @@ PTreeResult ptree_route(const Net& net, const Order& order,
   if (cfg.prune.obs == nullptr) cfg.prune.obs = cfg.obs;
   obs_add(cfg.obs, Counter::kPtreeRuns);
   ScopedTimer obs_timer(cfg.obs, Phase::kPtreeDp);
+  TraceSpan trace_span(cfg.obs, SpanName::kPtreeDp, net.fanout());
   guard_point(cfg.guard, FaultSite::kPtreeRange);
   const std::size_t n = net.fanout();
   if (n == 0) throw std::invalid_argument("ptree_route: net has no sinks");

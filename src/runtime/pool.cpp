@@ -1,6 +1,7 @@
 #include "runtime/pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +13,15 @@ namespace {
 // Written once per worker thread at startup, before any task can observe it.
 thread_local const ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_index = ThreadPool::npos;
+
+// Observer timestamps: same steady clock (and epoch) as the obs layer's
+// span records, so pool events land on the same timeline.
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -88,7 +98,17 @@ std::vector<std::uint64_t> ThreadPool::executed_counts() const {
   return executed_;
 }
 
-bool ThreadPool::pop_task(std::size_t wi, std::packaged_task<void()>& out) {
+void ThreadPool::set_observer(PoolObserver obs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (in_flight_ != 0)
+    throw std::logic_error(
+        "ThreadPool::set_observer: tasks already in flight");
+  observer_ = std::move(obs);
+}
+
+bool ThreadPool::pop_task(std::size_t wi, std::packaged_task<void()>& out,
+                          bool& stolen) {
+  stolen = false;
   if (!queues_[wi].empty()) {  // own work: newest first (LIFO)
     out = std::move(queues_[wi].back());
     queues_[wi].pop_back();
@@ -107,6 +127,7 @@ bool ThreadPool::pop_task(std::size_t wi, std::packaged_task<void()>& out) {
   queues_[victim].pop_front();
   ++steals_;
   ++executed_[wi];
+  stolen = true;
   return true;
 }
 
@@ -116,11 +137,19 @@ void ThreadPool::worker_loop(std::size_t wi) {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     std::packaged_task<void()> task;
-    while (!pop_task(wi, task)) {
+    bool stolen = false;
+    std::uint64_t idle_begin = 0;
+    while (!pop_task(wi, task, stolen)) {
       if (stop_) return;  // drained and shutting down
+      if (observer_.on_idle && idle_begin == 0) idle_begin = mono_ns();
       cv_work_.wait(lk);
     }
     lk.unlock();
+    // Observer callbacks fire before the task: every write they make
+    // happens-before the task's future completes (see PoolObserver).
+    if (idle_begin != 0 && observer_.on_idle)
+      observer_.on_idle(wi, idle_begin, mono_ns());
+    if (stolen && observer_.on_steal) observer_.on_steal(wi, mono_ns());
     task();  // packaged_task captures exceptions into the future
     lk.lock();
     if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -28,6 +28,23 @@
 
 namespace merlin {
 
+/// Scheduling callbacks for timeline observers (the batch engine bridges
+/// these into its per-worker ObsSinks; the pool itself knows nothing about
+/// the obs layer).  Both fire on the worker's own thread, and always BEFORE
+/// the task they annotate runs — so every write a callback makes
+/// happens-before that task's future completes, and an observer writing
+/// per-worker state needs no synchronization beyond the future join.
+/// Timestamps are steady-clock nanoseconds since the clock epoch.
+struct PoolObserver {
+  /// A worker waited for work: the gap from first going idle to picking up
+  /// the next task.  (Trailing idleness before shutdown is not reported.)
+  std::function<void(std::size_t worker, std::uint64_t idle_begin_ns,
+                     std::uint64_t idle_end_ns)>
+      on_idle;
+  /// The task the worker is about to run was stolen from another queue.
+  std::function<void(std::size_t worker, std::uint64_t now_ns)> on_steal;
+};
+
 class ThreadPool {
  public:
   /// Sentinel returned by worker_index() on threads outside this pool.
@@ -68,12 +85,19 @@ class ThreadPool {
   /// of any stats export, never in differential comparisons.
   [[nodiscard]] std::vector<std::uint64_t> executed_counts() const;
 
+  /// Installs the scheduling observer.  Must be called before any task is
+  /// submitted (workers read the callbacks outside the lock once they have
+  /// work; before the first submit every worker is parked on the condition
+  /// variable, so the handoff is race-free).
+  void set_observer(PoolObserver obs);
+
  private:
   void worker_loop(std::size_t wi);
 
   /// Pops the next task for worker `wi` (own queue first, else steal the
   /// oldest task of the longest other queue).  Caller holds `mu_`.
-  bool pop_task(std::size_t wi, std::packaged_task<void()>& out);
+  /// `stolen` reports whether the task came off a foreign queue.
+  bool pop_task(std::size_t wi, std::packaged_task<void()>& out, bool& stolen);
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;  ///< task available / stopping
@@ -84,6 +108,7 @@ class ThreadPool {
   std::size_t in_flight_ = 0;   ///< queued + currently running tasks
   std::size_t steals_ = 0;
   std::vector<std::uint64_t> executed_;  ///< tasks run, per worker
+  PoolObserver observer_;  ///< immutable once tasks are in flight
   bool stop_ = false;
 };
 

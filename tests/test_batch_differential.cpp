@@ -13,6 +13,7 @@
 #include "flow/batch.h"
 #include "flow/circuit.h"
 #include "net/generator.h"
+#include "obs/sink.h"
 
 namespace merlin {
 namespace {
@@ -69,6 +70,34 @@ TEST(BatchDifferential, SerialVsParallelBitIdenticalAcrossFlows) {
       EXPECT_TRUE(batch_results_identical(serial, parallel))
           << "circuit " << i << " flow " << static_cast<int>(flow) << " at "
           << threads << " threads diverged from the serial run";
+    }
+  }
+}
+
+TEST(BatchDifferential, ArmedTracerPreservesBitIdentity) {
+  // Tracing is purely observational: a run with an ObsSink attached and the
+  // span ring armed must be bit-identical to the bare run, serial and
+  // parallel alike.  (The MERLIN_OBS=OFF CI job re-runs this with the spans
+  // compiled out.)
+  const BufferLibrary lib = make_standard_library();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Circuit ckt = random_circuit(i, lib);
+    const auto flow = static_cast<FlowKind>(1 + i % 3);
+    const BatchResult bare = run_batch(ckt, lib, flow, 1);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      ObsSink sink;
+      sink.set_span_capacity(ObsSink::kDefaultSpanCapacity);
+      BatchOptions opts;
+      opts.threads = threads;
+      opts.flow = flow;
+      opts.scaled_config = false;
+      opts.config = cheap_cfg();
+      opts.obs = &sink;
+      const BatchResult traced = BatchRunner(lib, opts).run(ckt);
+      EXPECT_TRUE(batch_results_identical(bare, traced))
+          << "circuit " << i << " flow " << static_cast<int>(flow) << " at "
+          << threads << " threads changed under an armed tracer";
+      if (kObsEnabled) EXPECT_GT(sink.spans().size(), 0u);
     }
   }
 }

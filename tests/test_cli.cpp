@@ -8,7 +8,11 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
+
+#include "obs/sink.h"
 
 namespace merlin {
 namespace {
@@ -91,6 +95,53 @@ TEST(Cli, InjectionFlagRunsChaosEndToEnd) {
       run_cli("--circuit 25 3 --flow 1 --inject throw:0.5:9 --threads 2");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("status["), std::string::npos);
+}
+
+TEST(Cli, UnwritableStatsJsonPathExitsThreeWithOneLine) {
+  const CliRun r =
+      run_cli("--random 5 42 --flow 1 --stats-json /nonexistent/dir/s.json");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_EQ(line_count(r.output), 1u) << r.output;
+  EXPECT_NE(r.output.find("merlin_cli:"), std::string::npos);
+}
+
+TEST(Cli, UnwritableTraceOutPathExitsThreeWithOneLine) {
+  for (const char* mode :
+       {"--random 5 42 --flow 1", "--circuit 10 1 --flow 1"}) {
+    const CliRun r = run_cli(std::string(mode) +
+                             " --trace-out /nonexistent/dir/t.json");
+    EXPECT_EQ(r.exit_code, 3) << r.output;
+    EXPECT_EQ(line_count(r.output), 1u) << r.output;
+    EXPECT_NE(r.output.find("merlin_cli:"), std::string::npos);
+  }
+}
+
+TEST(Cli, TraceOutWritesChromeTraceEventJson) {
+  const std::string path =
+      ::testing::TempDir() + "cli_trace_out.json";
+  const CliRun r = run_cli("--circuit 12 5 --flow 3 --threads 2 --trace-out " +
+                           path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // With the obs layer compiled out the document is a valid empty timeline.
+  if (kObsEnabled)
+    EXPECT_NE(json.find("batch.net"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ProgressPrintsASingleTickerLineOnStderr) {
+  const CliRun quiet = run_cli("--circuit 12 5 --flow 1");
+  const CliRun loud = run_cli("--circuit 12 5 --flow 1 --progress");
+  EXPECT_EQ(loud.exit_code, 0) << loud.output;
+  // The ticker rewrites one stderr line with \r; off by default.
+  EXPECT_EQ(quiet.output.find("nets/s"), std::string::npos);
+  EXPECT_NE(loud.output.find("nets/s"), std::string::npos);
+  EXPECT_NE(loud.output.find('\r'), std::string::npos);
 }
 
 }  // namespace

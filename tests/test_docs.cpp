@@ -2,9 +2,9 @@
 //
 //   * merlin_cli's option parser, its usage() string, and README.md's flag
 //     table must list exactly the same set of --flags;
-//   * every counter, gauge, and phase name the obs layer can emit must be
-//     documented in docs/OBSERVABILITY.md (the reverse direction — no stale
-//     names in the doc — is tools/check_docs.sh's job in CI).
+//   * every counter, gauge, phase, and span name the obs layer can emit must
+//     be documented in docs/OBSERVABILITY.md (the reverse direction — no
+//     stale names in the doc — is tools/check_docs.sh's job in CI).
 //
 // Compiled with MERLIN_SOURCE_DIR pointing at the repo root so the tests can
 // read the sources regardless of the build directory location.
@@ -19,6 +19,8 @@
 #include <string>
 
 #include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace merlin {
 namespace {
@@ -99,14 +101,20 @@ TEST(Docs, EveryObservableNameIsDocumented) {
     EXPECT_NE(doc.find(phase_name(static_cast<Phase>(i))), std::string::npos)
         << "phase `" << phase_name(static_cast<Phase>(i))
         << "` missing from docs/OBSERVABILITY.md";
+  for (std::size_t i = 0; i < kSpanNameCount; ++i)
+    EXPECT_NE(doc.find(span_name(static_cast<SpanName>(i))), std::string::npos)
+        << "span `" << span_name(static_cast<SpanName>(i))
+        << "` missing from docs/OBSERVABILITY.md";
 }
 
 TEST(Docs, ObservabilityDocStatesTheCurrentSchemaVersion) {
   const std::string doc = read_file("docs/OBSERVABILITY.md");
   EXPECT_NE(doc.find("merlin.stats"), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos)
-      << "docs/OBSERVABILITY.md must show the current schema_version in its "
-         "worked example";
+  const std::string version_line =
+      "\"schema_version\": " + std::to_string(kStatsSchemaVersion);
+  EXPECT_NE(doc.find(version_line), std::string::npos)
+      << "docs/OBSERVABILITY.md must show the current schema_version ("
+      << kStatsSchemaVersion << ") in its worked example";
 }
 
 }  // namespace

@@ -304,6 +304,65 @@ TEST(Sink, MergeFromSumsCountersAndPhasesAndKeepsGaugeMaxima) {
   EXPECT_EQ(a.layers()[3].kept, 4u);
 }
 
+TEST(Sink, MergeFromIsOrderIndependent) {
+  // The batch engine merges one sink per worker after the pool drains, and
+  // nothing about the merge may depend on worker order: counters and phases
+  // are sums, gauges maxima, layer stats elementwise sums — all commutative.
+  // Build three distinct worker sinks and merge them in every permutation.
+  const auto make_worker = [](std::uint64_t salt) {
+    ObsSink s;
+    s.add(Counter::kBuffersInserted, 1 + salt);
+    s.add(Counter::kCurvePointsPushed, 10 * salt);
+    s.maximize(Gauge::kCurvePeakWidth, 3 * salt + 1);
+    s.add_phase(Phase::kPtreeDp, 100 + salt);
+    s.record_layer(2 + salt % 2, 10 + salt, 4, 6 + salt);
+    return s;
+  };
+  std::vector<std::size_t> order = {0, 1, 2};
+  ObsSink reference;
+  for (std::size_t i : order) reference.merge_from(make_worker(i));
+  do {
+    ObsSink agg;
+    for (std::size_t i : order) agg.merge_from(make_worker(i));
+    EXPECT_TRUE(agg.counters == reference.counters);
+    EXPECT_TRUE(agg.gauges == reference.gauges);
+    ASSERT_EQ(agg.layers().size(), reference.layers().size());
+    for (std::size_t l = 0; l < agg.layers().size(); ++l)
+      EXPECT_TRUE(agg.layers()[l] == reference.layers()[l]) << "layer " << l;
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      EXPECT_EQ(agg.phase_ns(static_cast<Phase>(p)),
+                reference.phase_ns(static_cast<Phase>(p)));
+      EXPECT_EQ(agg.phase_calls(static_cast<Phase>(p)),
+                reference.phase_calls(static_cast<Phase>(p)));
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(SpanRing, AtCapacityTheOldestRecordIsDroppedDeterministically) {
+  SpanRing ring;
+  EXPECT_FALSE(ring.armed());
+  SpanRecord r;
+  ring.push(r);  // disarmed: no-op
+  EXPECT_EQ(ring.size(), 0u);
+
+  ring.set_capacity(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    r.seq = i;
+    ring.push(r);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Push order is preserved and exactly the oldest records are gone: the
+  // snapshot is the last four pushes, oldest first.
+  const std::vector<SpanRecord> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(snap[i].seq, 6 + i);
+
+  ring.set_capacity(2);  // resizing clears
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
 TEST(Sink, ScopedTimerChargesItsPhase) {
   ObsSink sink;
   { ScopedTimer t(&sink, Phase::kBatchReduce); }

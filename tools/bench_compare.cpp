@@ -1,0 +1,223 @@
+// bench_compare — the benchmark-regression gate.
+//
+// Reads two bench JSON files (any of the BENCH_*.json baselines: flat
+// objects of numeric and boolean metrics, nested objects allowed and
+// flattened with dotted keys), prints a per-metric delta table, and exits
+// nonzero when a gated metric moved past its threshold.
+//
+//   bench_compare BASELINE.json CURRENT.json [gates...]
+//
+//     --gate METRIC=PCT    fail if |current - baseline| > PCT% of |baseline|
+//     --abs METRIC=DELTA   fail if |current - baseline| > DELTA
+//     --max METRIC=VALUE   fail if current METRIC > VALUE
+//     --true METRIC        fail unless current METRIC is boolean true
+//     --require METRIC     fail if METRIC is missing from either file
+//
+// Exit codes mirror merlin_cli: 0 pass, 1 gate exceeded, 2 usage error,
+// 3 file unreadable or unparsable.  CI's bench-regression job runs this
+// against the committed baselines (see .github/workflows/ci.yml).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/report.h"
+#include "obs/json.h"
+
+namespace {
+
+using merlin::JsonValue;
+
+struct Metrics {
+  std::map<std::string, double> numbers;
+  std::map<std::string, bool> booleans;
+};
+
+// Depth-first flatten: nested object members get dotted keys
+// ("runtime.span_count"); arrays, strings and nulls are not metrics.
+void flatten(const JsonValue& v, const std::string& prefix, Metrics& out) {
+  if (v.kind == JsonValue::Kind::kNumber) {
+    out.numbers[prefix] = v.number;
+  } else if (v.kind == JsonValue::Kind::kBool) {
+    out.booleans[prefix] = v.boolean;
+  } else if (v.kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, member] : v.object)
+      flatten(member, prefix.empty() ? key : prefix + "." + key, out);
+  }
+}
+
+// nullopt-free optional: (found, metrics) via pointer.
+const double* find_number(const Metrics& m, const std::string& key) {
+  auto it = m.numbers.find(key);
+  return it == m.numbers.end() ? nullptr : &it->second;
+}
+
+bool load(const char* path, Metrics& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    flatten(merlin::json_parse(ss.str()), "", out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path, e.what());
+    return false;
+  }
+  return true;
+}
+
+struct Gate {
+  enum class Kind { kRelPct, kAbsDelta, kMaxValue, kMustBeTrue, kRequire };
+  Kind kind;
+  std::string metric;
+  double threshold = 0.0;
+};
+
+// METRIC=VALUE → (metric, value); false on malformed input.
+bool parse_gate_arg(const char* arg, std::string& metric, double& value) {
+  const char* eq = std::strchr(arg, '=');
+  if (eq == nullptr || eq == arg) return false;
+  metric.assign(arg, eq);
+  char* end = nullptr;
+  value = std::strtod(eq + 1, &end);
+  return end != eq + 1 && *end == '\0';
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare BASELINE.json CURRENT.json "
+               "[--gate M=PCT] [--abs M=DELTA] [--max M=VALUE] [--true M] "
+               "[--require M]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::vector<Gate> gates;
+  for (int i = 3; i < argc; ++i) {
+    std::string metric;
+    double value = 0.0;
+    if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      if (!parse_gate_arg(argv[++i], metric, value)) return usage();
+      gates.push_back({Gate::Kind::kRelPct, metric, value});
+    } else if (std::strcmp(argv[i], "--abs") == 0 && i + 1 < argc) {
+      if (!parse_gate_arg(argv[++i], metric, value)) return usage();
+      gates.push_back({Gate::Kind::kAbsDelta, metric, value});
+    } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
+      if (!parse_gate_arg(argv[++i], metric, value)) return usage();
+      gates.push_back({Gate::Kind::kMaxValue, metric, value});
+    } else if (std::strcmp(argv[i], "--true") == 0 && i + 1 < argc) {
+      gates.push_back({Gate::Kind::kMustBeTrue, argv[++i], 0.0});
+    } else if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      gates.push_back({Gate::Kind::kRequire, argv[++i], 0.0});
+    } else {
+      return usage();
+    }
+  }
+
+  Metrics base, cur;
+  if (!load(argv[1], base) || !load(argv[2], cur)) return 3;
+
+  // Delta table over the union of numeric metrics.
+  merlin::TextTable table({"metric", "baseline", "current", "delta", "delta%"});
+  std::map<std::string, char> keys;  // union, ordered
+  for (const auto& [k, v] : base.numbers) keys.emplace(k, 0);
+  for (const auto& [k, v] : cur.numbers) keys.emplace(k, 0);
+  for (const auto& [key, unused] : keys) {
+    const double* b = find_number(base, key);
+    const double* c = find_number(cur, key);
+    table.begin_row();
+    table.cell(key);
+    if (b != nullptr) table.cell(*b, 3); else table.cell(std::string("-"));
+    if (c != nullptr) table.cell(*c, 3); else table.cell(std::string("-"));
+    if (b != nullptr && c != nullptr) {
+      table.cell(*c - *b, 3);
+      if (*b != 0.0)
+        table.cell(100.0 * (*c - *b) / std::fabs(*b), 2);
+      else
+        table.cell(std::string("-"));
+    } else {
+      table.cell(std::string("-"));
+      table.cell(std::string("-"));
+    }
+  }
+  std::printf("%s vs %s\n%s\n", argv[1], argv[2], table.render().c_str());
+  for (const auto& [key, bv] : base.booleans) {
+    auto it = cur.booleans.find(key);
+    if (it != cur.booleans.end() && it->second != bv)
+      std::printf("note: %s flipped %s -> %s\n", key.c_str(),
+                  bv ? "true" : "false", it->second ? "true" : "false");
+  }
+
+  int failures = 0;
+  const auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "bench_compare: FAIL - %s\n", msg.c_str());
+    ++failures;
+  };
+  for (const Gate& g : gates) {
+    const double* b = find_number(base, g.metric);
+    const double* c = find_number(cur, g.metric);
+    switch (g.kind) {
+      case Gate::Kind::kRequire: {
+        const bool in_base = b != nullptr || base.booleans.count(g.metric);
+        const bool in_cur = c != nullptr || cur.booleans.count(g.metric);
+        if (!in_base || !in_cur) fail(g.metric + " missing");
+        break;
+      }
+      case Gate::Kind::kMustBeTrue: {
+        auto it = cur.booleans.find(g.metric);
+        if (it == cur.booleans.end() || !it->second)
+          fail(g.metric + " is not true in " + argv[2]);
+        break;
+      }
+      case Gate::Kind::kMaxValue:
+        if (c == nullptr)
+          fail(g.metric + " missing from " + argv[2]);
+        else if (*c > g.threshold) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf), "%s = %.3f exceeds max %.3f",
+                        g.metric.c_str(), *c, g.threshold);
+          fail(buf);
+        }
+        break;
+      case Gate::Kind::kRelPct:
+      case Gate::Kind::kAbsDelta: {
+        if (b == nullptr || c == nullptr) {
+          fail(g.metric + " missing from one side");
+          break;
+        }
+        const double delta = std::fabs(*c - *b);
+        const double bound = g.kind == Gate::Kind::kAbsDelta
+                                 ? g.threshold
+                                 : g.threshold / 100.0 * std::fabs(*b);
+        if (delta > bound) {
+          char buf[200];
+          std::snprintf(buf, sizeof(buf),
+                        "%s moved %.3f -> %.3f (|delta| %.3f > %s %.3f)",
+                        g.metric.c_str(), *b, *c, delta,
+                        g.kind == Gate::Kind::kAbsDelta ? "abs" : "rel",
+                        bound);
+          fail(buf);
+        }
+        break;
+      }
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_compare: %d gate(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("bench_compare: all %zu gate(s) passed\n", gates.size());
+  return 0;
+}

@@ -12,6 +12,9 @@
 #      fault_site_name() list in src/runtime/faultinject.h must agree in
 #      BOTH directions — a renamed/added/removed site fails the build until
 #      the registry table matches.
+#   4. The span-name table in docs/OBSERVABILITY.md and the span_name()
+#      list in src/obs/trace.h must agree in BOTH directions, same deal:
+#      dotted `| `x.y`` rows vs the header's return "x.y" strings.
 #
 # Exits non-zero with one line per violation.
 
@@ -79,6 +82,32 @@ if [ -f "$rdoc" ] && [ -f "$fhdr" ]; then
   done
 else
   echo "MISSING: $rdoc or $fhdr"
+  violations=$((violations + 1))
+fi
+
+# --- 4. span-name table: docs/OBSERVABILITY.md <-> trace.h -----------------
+thdr="src/obs/trace.h"
+if [ -f "$doc" ] && [ -f "$thdr" ]; then
+  # Spans in the source: every "dotted.name" string span_name returns.
+  src_spans="$(grep -oE 'return "[a-z]+\.[a-z_]+"' "$thdr" |
+               sed -E 's/return "([a-z._]+)"/\1/' | sort -u)"
+  # Spans in the doc: rows of the span table, `| `dotted.name` | ...`.
+  doc_spans="$(grep -oE '^\| `[a-z]+\.[a-z_]+`' "$doc" |
+               sed -E 's/^\| `([a-z._]+)`$/\1/' | sort -u)"
+  for s in $src_spans; do
+    if ! printf '%s\n' "$doc_spans" | grep -qx "$s"; then
+      echo "UNDOCUMENTED SPAN: $thdr defines '$s' but $doc's span table lacks it"
+      violations=$((violations + 1))
+    fi
+  done
+  for s in $doc_spans; do
+    if ! printf '%s\n' "$src_spans" | grep -qx "$s"; then
+      echo "STALE SPAN: $doc documents '$s' but $thdr does not define it"
+      violations=$((violations + 1))
+    fi
+  done
+else
+  echo "MISSING: $doc or $thdr"
   violations=$((violations + 1))
 fi
 

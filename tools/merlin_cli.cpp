@@ -14,6 +14,9 @@
 //     --threads N         circuit mode: worker threads (0 = all cores)
 //     --stats-json FILE   write observability stats (counters, per-net
 //                         traces, latency percentiles) as JSON to FILE
+//     --trace-out FILE    write a Chrome trace-event timeline (open in
+//                         Perfetto / chrome://tracing) to FILE
+//     --progress          circuit mode: live net progress line on stderr
 //     --net-step-budget N circuit mode: deterministic DP-step budget per net
 //     --net-deadline-ms T circuit mode: wall-clock deadline per net attempt
 //                         (non-deterministic; see docs/ROBUSTNESS.md)
@@ -29,9 +32,11 @@
 //   4  invalid configuration (bad --inject spec, bad --fail-policy, ...)
 //   5  guard abort: a net tripped its budget/deadline under --fail-policy abort
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -43,6 +48,7 @@
 #include "io/svg.h"
 #include "net/generator.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "runtime/faultinject.h"
 #include "runtime/guard.h"
 #include "tree/evaluate.h"
@@ -61,9 +67,10 @@ constexpr int kExitGuardAbort = 5;
                "usage: merlin_cli <net-file>|--random N SEED [--flow 1|2|3] "
                "[--alpha N] [--area-limit A] [--req-target T] "
                "[--candidates K] [--svg FILE] [--print-tree] "
-               "[--stats-json FILE]\n"
+               "[--stats-json FILE] [--trace-out FILE]\n"
                "       merlin_cli --circuit G SEED [--flow 1|2|3] [--threads N] "
-               "[--stats-json FILE] [--net-step-budget N] [--net-deadline-ms T] "
+               "[--stats-json FILE] [--trace-out FILE] [--progress] "
+               "[--net-step-budget N] [--net-deadline-ms T] "
                "[--fail-policy abort|skip|degrade] "
                "[--inject KIND:RATE:SEED[:SITE]]\n");
   std::exit(kExitUsage);
@@ -80,6 +87,17 @@ void write_stats_file(const std::string& path, const std::string& json) {
   if (!out) throw IoError("cannot open " + path + " for writing");
   out << json << '\n';
   if (!out) throw IoError("failed writing " + path);
+}
+
+/// Fails fast on an unwritable output path (--stats-json / --trace-out)
+/// BEFORE the construction runs, so a typo'd path costs an instant exit-3
+/// diagnostic instead of minutes of discarded work.  Opens in append mode:
+/// an existing file is probed without being truncated (the real write
+/// replaces it later anyway).
+void probe_writable(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::binary | std::ios::app);
+  if (!probe) throw IoError("cannot open " + path + " for writing");
 }
 
 int fail(const std::exception& e, int code) {
@@ -121,6 +139,8 @@ int main(int argc, char** argv) {
   std::uint64_t circuit_seed = 1;
   std::size_t threads = 1;
   std::string stats_json_path;
+  std::string trace_out_path;
+  bool show_progress = false;
   std::uint64_t net_step_budget = 0;
   double net_deadline_ms = 0.0;
   std::string fail_policy = "degrade";
@@ -165,6 +185,11 @@ int main(int argc, char** argv) {
     } else if (a == "--stats-json") {
       need(1);
       stats_json_path = argv[++i];
+    } else if (a == "--trace-out") {
+      need(1);
+      trace_out_path = argv[++i];
+    } else if (a == "--progress") {
+      show_progress = true;
     } else if (a == "--net-step-budget") {
       need(1);
       net_step_budget = std::strtoull(argv[++i], nullptr, 10);
@@ -192,6 +217,8 @@ int main(int argc, char** argv) {
     // Circuit mode: batch-run the chosen flow over every net of a random
     // circuit on the parallel engine.
     try {
+      probe_writable(stats_json_path);
+      probe_writable(trace_out_path);
       CircuitSpec spec;
       spec.name = "ckt" + std::to_string(circuit_gates);
       spec.n_gates = circuit_gates;
@@ -202,7 +229,9 @@ int main(int argc, char** argv) {
       BatchOptions opts;
       opts.threads = threads;
       opts.flow = static_cast<FlowKind>(flow);
-      if (!stats_json_path.empty()) opts.obs = &sink;
+      if (!stats_json_path.empty() || !trace_out_path.empty()) opts.obs = &sink;
+      if (!trace_out_path.empty())
+        sink.set_span_capacity(ObsSink::kDefaultSpanCapacity);
       opts.guard.step_budget = net_step_budget;
       opts.guard.deadline_ms = net_deadline_ms;
       if (fail_policy == "abort") {
@@ -220,6 +249,27 @@ int main(int argc, char** argv) {
         injector.emplace(FaultInjector::parse(inject_spec));
         opts.inject = &*injector;
       }
+      // One live stderr line, rewritten in place as nets retire.  The
+      // callback runs on pool workers; the mutex serializes the ticker and
+      // the max-done check drops out-of-order updates.
+      std::mutex progress_mu;
+      std::size_t progress_max = 0;
+      const auto progress_t0 = std::chrono::steady_clock::now();
+      if (show_progress) {
+        opts.progress = [&](std::size_t done, std::size_t total) {
+          std::lock_guard<std::mutex> lk(progress_mu);
+          if (done <= progress_max) return;
+          progress_max = done;
+          const double secs =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            progress_t0)
+                  .count();
+          const double rate =
+              secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+          std::fprintf(stderr, "\r%zu/%zu nets (%.1f nets/s)%s", done, total,
+                       rate, done == total ? "\n" : "");
+        };
+      }
       const BatchResult r = BatchRunner(lib, opts).run(ckt);
       std::printf("circuit=%s gates=%zu flow=%d  delay=%.1fps area=%.1f "
                   "construct=%.0fms\n",
@@ -235,6 +285,10 @@ int main(int argc, char** argv) {
         write_stats_file(stats_json_path, stats_to_json(sink, rt));
         std::printf("wrote %s\n", stats_json_path.c_str());
       }
+      if (!trace_out_path.empty()) {
+        write_stats_file(trace_out_path, trace_to_json(sink));
+        std::printf("wrote %s\n", trace_out_path.c_str());
+      }
     } catch (...) {
       return classify_and_report(std::current_exception());
     }
@@ -243,6 +297,8 @@ int main(int argc, char** argv) {
 
   Net net;
   try {
+    probe_writable(stats_json_path);
+    probe_writable(trace_out_path);
     if (random_n > 0) {
       NetSpec spec;
       spec.name = "random" + std::to_string(random_n);
@@ -259,7 +315,11 @@ int main(int argc, char** argv) {
 
     ObsSink sink;
     FlowConfig cfg = scaled_flow_config(net.fanout());
-    if (!stats_json_path.empty()) cfg.obs = &sink;
+    if (!stats_json_path.empty() || !trace_out_path.empty()) cfg.obs = &sink;
+    if (!trace_out_path.empty()) {
+      sink.set_span_capacity(ObsSink::kDefaultSpanCapacity);
+      sink.begin_net(0);  // single net: attribute every span to net 0
+    }
     cfg.merlin.bubble.alpha = alpha;
     if (max_candidates > 0) cfg.candidates.max_candidates = max_candidates;
     if (area_limit >= 0.0) {
@@ -301,6 +361,10 @@ int main(int argc, char** argv) {
       rt.wall_ms = r.runtime_ms;
       write_stats_file(stats_json_path, stats_to_json(sink, rt));
       std::printf("wrote %s\n", stats_json_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+      write_stats_file(trace_out_path, trace_to_json(sink));
+      std::printf("wrote %s\n", trace_out_path.c_str());
     }
 
     if (print_tree) std::printf("%s", r.tree.to_string(net, lib).c_str());
