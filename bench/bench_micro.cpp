@@ -1,9 +1,21 @@
 // Google-benchmark microbenches of the hot machinery: curve pruning, the
-// curve algebra, PTREE, and single BUBBLE_CONSTRUCT layers.  These are the
-// operations Theorem 6's complexity is made of; tracking them keeps the
-// table-level benches honest.
+// curve algebra (including the bucketed kernel's batch ops), PTREE, and
+// single BUBBLE_CONSTRUCT layers.  These are the operations Theorem 6's
+// complexity is made of; tracking them keeps the table-level benches honest.
+//
+//   bench_micro [google-benchmark flags] [--json FILE]
+//
+// --json (intercepted before google-benchmark sees the args) additionally
+// writes a flat {"name_ns": time} JSON object per benchmark — the same
+// machine-readable shape bench_guard/bench_arena/bench_pruning emit, so
+// tools/bench_compare can diff runs.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
 
 #include "buflib/library.h"
 #include "core/bubble.h"
@@ -88,6 +100,28 @@ void BM_BufferedOptions(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferedOptions)->Arg(1)->Arg(3);
 
+void BM_MergedOptionsBatch(benchmark::State& state) {
+  // The DP-shaped use of the bucketed kernel: many merge jobs folded into
+  // one destination state, pruned as a whole before provenance allocation.
+  SolutionArena src_arena;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<SolutionCurve> curves;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    curves.push_back(random_curve(src_arena, n, 30 + i));
+  for (SolutionCurve& c : curves) c.prune();
+  std::vector<MergeJob> jobs;
+  for (std::size_t i = 0; i + 1 < curves.size(); i += 2)
+    jobs.push_back(MergeJob{&curves[i], &curves[i + 1]});
+  SolutionArena arena;  // scratch, reset per iteration (see BM_MergeCurves)
+  for (auto _ : state) {
+    arena.reset();
+    SolutionCurve dst;
+    push_merged_options(arena, jobs, {0, 0}, {}, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+}
+BENCHMARK(BM_MergedOptionsBatch)->Arg(16)->Arg(64);
+
 void BM_PTree(benchmark::State& state) {
   const BufferLibrary lib = make_standard_library();
   NetSpec spec;
@@ -127,7 +161,63 @@ void BM_BubbleConstruct(benchmark::State& state) {
 }
 BENCHMARK(BM_BubbleConstruct)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
 
+// Captures per-benchmark real times while the console reporter still prints
+// the usual table: google-benchmark's own JSON format nests runs in an
+// array, which tools/bench_compare's flattener ignores, so the baseline
+// wants one flat key per benchmark instead.
+class FlatJsonCapture : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs)
+      if (!run.error_occurred) {
+        // GetAdjustedRealTime is in the benchmark's display unit; normalize
+        // every key to nanoseconds so baselines compare across units.
+        const double to_ns =
+            1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+        times_ns_[run.benchmark_name()] = run.GetAdjustedRealTime() * to_ns;
+      }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\n  \"schema\": \"merlin.bench_micro\",\n  \"version\": 1";
+    for (const auto& [name, t] : times_ns_) {
+      std::string key = name + "_ns";
+      for (char& ch : key)
+        if (ch == '"' || ch == '\\') ch = '_';
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.1f", t);
+      out << ",\n  \"" << key << "\": " << buf;
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  std::map<std::string, double> times_ns_;
+};
+
 }  // namespace
 }  // namespace merlin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int argc_out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else
+      argv[argc_out++] = argv[i];  // forward everything else to benchmark
+  }
+  argc = argc_out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  merlin::FlatJsonCapture reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    reporter.write(json_path);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

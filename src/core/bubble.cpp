@@ -211,8 +211,9 @@ void layer_ptree(Workspace& ws, const std::vector<Terminal>& seq,
         jobs.clear();
         for (std::size_t u = i; u < j; ++u)
           jobs.push_back(MergeJob{&table.at(i, u, p), &table.at(u + 1, j, p)});
+        // Fresh cell (prepare() cleared the table): the batch merge already
+        // pruned with this config, so a re-prune would be a no-op.
         push_merged_options(ws.arena, jobs, ws.pts[p], prune, cell);
-        cell.prune(prune);
       }
       // The extension relaxation reads the pre-extension (merge-only) cells,
       // so results are staged and committed after the sweep.

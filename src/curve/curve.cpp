@@ -4,63 +4,160 @@
 #include <cmath>
 #include <limits>
 
+#include "curve/kernel.h"
+
 namespace merlin {
 
 namespace {
 
-// Shared pruning core.  `T` must expose req_time/load/area/wirelen members;
-// used both for stored Solutions and for not-yet-allocated candidates.
-// Dominance goes through the same `dominates` helper as push-time tests
-// (Solution::dominated_by), so the epsilon cannot drift between the two.
-//
-// The whole routine works in place (stable compactions with a write index,
-// index gathers for the cap): pruning runs on every DP state, so a scratch
-// vector here would be one of the hottest allocation sites in the library.
-template <typename T>
-void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
-  if (v.empty()) return;
-  const std::size_t entering = v.size();
-  obs_gauge(cfg.obs, Gauge::kCurvePeakWidth, entering);
+// ---------------------------------------------------------------------------
+// Shared pruning pieces.  The exact (non-quantized) path runs on the
+// bucketed/SoA kernel in curve/kernel.h; quantized configs keep the
+// pre-kernel reference path, whose bin-rounding semantics the kernel's
+// equivalence argument does not cover.  Both paths end in the same
+// engineering cap, and dominance everywhere goes through the shared
+// `dominates` helper so the epsilon cannot drift between push-time tests
+// (Solution::dominated_by) and prune-time sweeps.
+// ---------------------------------------------------------------------------
 
-  // Optional quantization: snap load/area into bins, keep the best required
-  // time per bin (ties toward less wire).  This bounds the paper's q.
+// Engineering cap.  All survivors are non-inferior, so the cap is purely
+// about which part of the frontier to keep.  We always keep the three
+// extreme points (max required time, min load, min area) and fill the rest
+// with an even spread along the load axis — load is what decides whether a
+// solution stays useful after more upstream wire, so spreading over it
+// preserves downstream feasibility far better than spreading over area
+// (which is frequently constant across a young curve).
+template <typename T>
+void apply_curve_cap(std::vector<T>& v, const PruneConfig& cfg) {
+  if (cfg.max_solutions == 0 || v.size() <= cfg.max_solutions) return;
+  std::sort(v.begin(), v.end(), [](const T& a, const T& b) {
+    if (a.load != b.load) return a.load < b.load;
+    return a.area < b.area;
+  });
+  const std::size_t n = v.size();
+  const std::size_t m = cfg.max_solutions;
+  std::size_t best_rt = 0, min_area = 0, best_scalar = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i].req_time > v[best_rt].req_time) best_rt = i;
+    if (v[i].area < v[min_area].area) min_area = i;
+    if (cfg.ref_res > 0.0 &&
+        v[i].req_time - cfg.ref_res * v[i].load >
+            v[best_scalar].req_time - cfg.ref_res * v[best_scalar].load)
+      best_scalar = i;
+  }
+  std::size_t must[4] = {0, best_rt, min_area, 0};
+  std::size_t n_must = 3;
+  if (cfg.ref_res > 0.0) must[n_must++] = best_scalar;
+  std::sort(must, must + n_must);
+  n_must = static_cast<std::size_t>(std::unique(must, must + n_must) - must);
+
+  thread_local std::vector<std::size_t> pick;
+  pick.assign(must, must + n_must);
+  for (std::size_t j = 0; j < m && pick.size() < m + n_must; ++j)
+    pick.push_back(m == 1 ? best_rt : j * (n - 1) / (m - 1));
+  std::sort(pick.begin(), pick.end());
+  pick.erase(std::unique(pick.begin(), pick.end()), pick.end());
+  // Trim middle samples (never the must-keeps) down to the cap.
+  for (std::size_t j = 1; pick.size() > std::max(m, n_must);) {
+    if (j + 1 >= pick.size()) break;
+    if (!std::binary_search(must, must + n_must, pick[j]))
+      pick.erase(pick.begin() + static_cast<std::ptrdiff_t>(j));
+    else
+      ++j;
+  }
+  // `pick` is strictly increasing, so pick[t] >= t: gathering forward in
+  // place never reads a slot already written.
+  for (std::size_t t = 0; t < pick.size(); ++t)
+    if (pick[t] != t) v[t] = std::move(v[pick[t]]);
+  v.resize(pick.size());
+}
+
+// Exact Pareto prune of already-materialized tuples via the kernel: sort an
+// index array into the canonical order (the original position is the
+// sequence tie-break, so the order is total and which duplicate survives is
+// pinned), sweep through a SoA frontier, and gather the survivors.  `T`
+// must expose req_time/load/area/wirelen; used both for stored Solutions
+// and for not-yet-allocated candidates.
+template <typename T>
+void exact_prune(std::vector<T>& v) {
+  thread_local std::vector<std::uint32_t> order;
+  order.resize(v.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const T& x = v[a];
+    const T& y = v[b];
+    if (x.load != y.load) return x.load < y.load;
+    if (x.area != y.area) return x.area < y.area;
+    if (x.req_time != y.req_time) return x.req_time > y.req_time;
+    if (x.wirelen != y.wirelen) return x.wirelen < y.wirelen;
+    return a < b;
+  });
+
+  thread_local FrontierSoA frontier;
+  frontier.clear();
+  for (const std::uint32_t i : order) {
+    frontier.accept(
+        CurveCand{v[i].req_time, v[i].load, v[i].area, v[i].wirelen, i});
+  }
+  if (frontier.size() == v.size()) {
+    // Everything survived: just reorder in place via the sorted index.
+    thread_local std::vector<T> tmp;
+    tmp.clear();
+    for (const std::uint32_t i : order) tmp.push_back(std::move(v[i]));
+    v.swap(tmp);
+    tmp.clear();
+    return;
+  }
+  thread_local std::vector<T> tmp;
+  tmp.clear();
+  for (std::size_t k = 0; k < frontier.size(); ++k)
+    tmp.push_back(std::move(v[static_cast<std::size_t>(frontier[k].seq)]));
+  v.swap(tmp);
+  tmp.clear();
+}
+
+// Pre-kernel reference path, retained for quantized configs: snap load/area
+// into bins, keep the best required time per bin (ties toward less wire) —
+// this bounds the paper's q — then run the classic sort + backward-scan
+// exact sweep over the bin winners.
+template <typename T>
+void quantized_prune(std::vector<T>& v, const PruneConfig& cfg) {
   auto bin = [](double x, double q) {
     return q > 0.0 ? std::floor(x / q) : x;
   };
-  if (cfg.load_quantum > 0.0 || cfg.area_quantum > 0.0) {
-    std::sort(v.begin(), v.end(), [&](const T& a, const T& b) {
-      const double la = bin(a.load, cfg.load_quantum);
-      const double lb = bin(b.load, cfg.load_quantum);
-      if (la != lb) return la < lb;
-      const double aa = bin(a.area, cfg.area_quantum);
-      const double ab = bin(b.area, cfg.area_quantum);
-      if (aa != ab) return aa < ab;
-      if (a.req_time != b.req_time) return a.req_time > b.req_time;
-      return a.wirelen < b.wirelen;
-    });
-    std::size_t w = 0;
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      const bool same_bin =
-          w > 0 &&
-          bin(v[w - 1].load, cfg.load_quantum) == bin(v[i].load, cfg.load_quantum) &&
-          bin(v[w - 1].area, cfg.area_quantum) == bin(v[i].area, cfg.area_quantum);
-      if (!same_bin) {
-        if (w != i) v[w] = std::move(v[i]);
-        ++w;
-      }
+  std::sort(v.begin(), v.end(), [&](const T& a, const T& b) {
+    const double la = bin(a.load, cfg.load_quantum);
+    const double lb = bin(b.load, cfg.load_quantum);
+    if (la != lb) return la < lb;
+    const double aa = bin(a.area, cfg.area_quantum);
+    const double ab = bin(b.area, cfg.area_quantum);
+    if (aa != ab) return aa < ab;
+    if (a.req_time != b.req_time) return a.req_time > b.req_time;
+    return a.wirelen < b.wirelen;
+  });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const bool same_bin =
+        w > 0 &&
+        bin(v[w - 1].load, cfg.load_quantum) == bin(v[i].load, cfg.load_quantum) &&
+        bin(v[w - 1].area, cfg.area_quantum) == bin(v[i].area, cfg.area_quantum);
+    if (!same_bin) {
+      if (w != i) v[w] = std::move(v[i]);
+      ++w;
     }
-    v.resize(w);
   }
+  v.resize(w);
 
-  // Exact 3-D Pareto sweep (Def. 6).  After sorting by load, any dominator
-  // of v[i] appears before it, so one backward scan over the kept set works.
+  // Exact 3-D Pareto sweep (Def. 6) over the bin winners.  After sorting by
+  // load, any dominator of v[i] appears before it, so one backward scan over
+  // the kept set works.
   std::sort(v.begin(), v.end(), [](const T& a, const T& b) {
     if (a.load != b.load) return a.load < b.load;
     if (a.area != b.area) return a.area < b.area;
     if (a.req_time != b.req_time) return a.req_time > b.req_time;
     return a.wirelen < b.wirelen;
   });
-  std::size_t w = 0;
+  w = 0;
   for (std::size_t i = 0; i < v.size(); ++i) {
     bool is_dominated = false;
     for (std::size_t k = 0; k < w; ++k) {
@@ -75,67 +172,117 @@ void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
     }
   }
   v.resize(w);
+}
 
-  // Engineering cap.  All survivors are non-inferior, so the cap is purely
-  // about which part of the frontier to keep.  We always keep the three
-  // extreme points (max required time, min load, min area) and fill the rest
-  // with an even spread along the load axis — load is what decides whether a
-  // solution stays useful after more upstream wire, so spreading over it
-  // preserves downstream feasibility far better than spreading over area
-  // (which is frequently constant across a young curve).
-  if (cfg.max_solutions > 0 && v.size() > cfg.max_solutions) {
-    std::sort(v.begin(), v.end(), [](const T& a, const T& b) {
-      if (a.load != b.load) return a.load < b.load;
-      return a.area < b.area;
-    });
-    const std::size_t n = v.size();
-    const std::size_t m = cfg.max_solutions;
-    std::size_t best_rt = 0, min_area = 0, best_scalar = 0;
-    for (std::size_t i = 1; i < n; ++i) {
-      if (v[i].req_time > v[best_rt].req_time) best_rt = i;
-      if (v[i].area < v[min_area].area) min_area = i;
-      if (cfg.ref_res > 0.0 &&
-          v[i].req_time - cfg.ref_res * v[i].load >
-              v[best_scalar].req_time - cfg.ref_res * v[best_scalar].load)
-        best_scalar = i;
-    }
-    std::size_t must[4] = {0, best_rt, min_area, 0};
-    std::size_t n_must = 3;
-    if (cfg.ref_res > 0.0) must[n_must++] = best_scalar;
-    std::sort(must, must + n_must);
-    n_must = static_cast<std::size_t>(std::unique(must, must + n_must) - must);
+// Shared pruning core: kernel for exact semantics, reference path when the
+// config asks for quantization, one cap for both.
+template <typename T>
+void pareto_prune(std::vector<T>& v, const PruneConfig& cfg) {
+  if (v.empty()) return;
+  const std::size_t entering = v.size();
+  obs_gauge(cfg.obs, Gauge::kCurvePeakWidth, entering);
 
-    thread_local std::vector<std::size_t> pick;
-    pick.assign(must, must + n_must);
-    for (std::size_t j = 0; j < m && pick.size() < m + n_must; ++j)
-      pick.push_back(m == 1 ? best_rt : j * (n - 1) / (m - 1));
-    std::sort(pick.begin(), pick.end());
-    pick.erase(std::unique(pick.begin(), pick.end()), pick.end());
-    // Trim middle samples (never the must-keeps) down to the cap.
-    for (std::size_t j = 1; pick.size() > std::max(m, n_must);) {
-      if (j + 1 >= pick.size()) break;
-      if (!std::binary_search(must, must + n_must, pick[j]))
-        pick.erase(pick.begin() + static_cast<std::ptrdiff_t>(j));
-      else
-        ++j;
-    }
-    // `pick` is strictly increasing, so pick[t] >= t: gathering forward in
-    // place never reads a slot already written.
-    for (std::size_t t = 0; t < pick.size(); ++t)
-      if (pick[t] != t) v[t] = std::move(v[pick[t]]);
-    v.resize(pick.size());
-  }
+  if (cfg.load_quantum > 0.0 || cfg.area_quantum > 0.0)
+    quantized_prune(v, cfg);
+  else
+    exact_prune(v);
+  apply_curve_cap(v, cfg);
 
   obs_add(cfg.obs, Counter::kCurvePointsPushed, entering);
   obs_add(cfg.obs, Counter::kCurvePointsPruned, entering - v.size());
   obs_add(cfg.obs, Counter::kCurvePointsKept, v.size());
 }
 
-// Candidate tuple used by merge_curves: provenance by parent indices, node
-// allocation deferred until after pruning.
+// ---------------------------------------------------------------------------
+// Bucketed candidate generation for the batch ops.  Candidates are pushed
+// bucket by bucket; each push carries the global generation sequence number
+// (identical to the index the candidate would have had in the
+// materialize-everything reference path, so the canonical order's tie-break
+// agrees between the two).  The per-bucket prefilter kills most dominated
+// candidates in O(1) before they are stored; the rare bucket whose computed
+// keys come out of order (floating-point collapse of distinct source loads)
+// is sorted before the k-way sweep.
+// ---------------------------------------------------------------------------
+class BucketScratch {
+ public:
+  void clear() {
+    cands_.clear();
+    ends_.clear();
+    bucket_start_ = 0;
+    sorted_ = true;
+    has_last_ = false;
+  }
+
+  /// Pushes one candidate of the current bucket; returns false when the
+  /// prefilter rejected it (nothing stored).
+  bool push(const CurveCand& c) {
+    if (has_last_) {
+      if (prefilter_dominates(last_, c)) return false;
+      if (sorted_ && !cand_order_less(last_, c)) sorted_ = false;
+    }
+    cands_.push_back(c);
+    last_ = c;
+    has_last_ = true;
+    return true;
+  }
+
+  void end_bucket() {
+    if (!sorted_) {
+      std::sort(cands_.begin() + bucket_start_, cands_.end(),
+                cand_order_less);
+    }
+    ends_.push_back(static_cast<std::uint32_t>(cands_.size()));
+    bucket_start_ = static_cast<std::uint32_t>(cands_.size());
+    sorted_ = true;
+    has_last_ = false;
+  }
+
+  [[nodiscard]] const std::vector<CurveCand>& cands() const { return cands_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& ends() const { return ends_; }
+
+ private:
+  std::vector<CurveCand> cands_;
+  std::vector<std::uint32_t> ends_;
+  std::uint32_t bucket_start_ = 0;
+  bool sorted_ = true;
+  bool has_last_ = false;
+  CurveCand last_;
+};
+
+// Sweeps the buckets, applies the cap, and returns the final survivor
+// tuples in output order.  `generated` is the pre-prefilter candidate count
+// (what the reference path would have materialized); obs accounting uses it
+// so kernel and reference runs record identical counters.
+const std::vector<CurveCand>& sweep_and_cap(const BucketScratch& scratch,
+                                            std::size_t generated,
+                                            const PruneConfig& cfg) {
+  thread_local FrontierSoA frontier;
+  frontier.clear();
+  sweep_buckets(scratch.cands(), scratch.ends(), frontier);
+
+  thread_local std::vector<CurveCand> survivors;
+  survivors.clear();
+  for (std::size_t k = 0; k < frontier.size(); ++k)
+    survivors.push_back(frontier[k]);
+  apply_curve_cap(survivors, cfg);
+
+  obs_gauge(cfg.obs, Gauge::kCurvePeakWidth, generated);
+  obs_add(cfg.obs, Counter::kCurvePointsPushed, generated);
+  obs_add(cfg.obs, Counter::kCurvePointsPruned, generated - survivors.size());
+  obs_add(cfg.obs, Counter::kCurvePointsKept, survivors.size());
+  return survivors;
+}
+
+[[nodiscard]] bool wants_quantized(const PruneConfig& cfg) {
+  return cfg.load_quantum > 0.0 || cfg.area_quantum > 0.0;
+}
+
+// Candidate tuple used by the quantized-fallback merge path: provenance by
+// parent pointers, node allocation deferred until after pruning.
 struct MergeCand {
   double req_time, load, area, wirelen;
-  std::uint32_t il, ir;
+  const Solution* l;
+  const Solution* r;
 };
 
 }  // namespace
@@ -186,56 +333,21 @@ const Solution* SolutionCurve::min_area_meeting_req(double min_req) const {
 SolutionCurve merge_curves(SolutionArena& arena, const SolutionCurve& left,
                            const SolutionCurve& right, Point at,
                            const PruneConfig& cfg) {
-  // Candidate scratch is thread-local across calls: the DP engines call the
-  // algebra once per state, and a fresh vector here dominated their
-  // allocator traffic.  Single-threaded use per worker matches the arena's
-  // own ownership rule.
-  thread_local std::vector<MergeCand> cands;
-  cands.clear();
-  cands.reserve(left.size() * right.size());
-  for (std::uint32_t i = 0; i < left.size(); ++i) {
-    for (std::uint32_t j = 0; j < right.size(); ++j) {
-      const Solution& a = left[i];
-      const Solution& b = right[j];
-      cands.push_back(MergeCand{std::min(a.req_time, b.req_time),
-                                a.load + b.load, a.area + b.area,
-                                a.wirelen + b.wirelen, i, j});
-    }
-  }
-  obs_add(cfg.obs, Counter::kMergeCandidates, cands.size());
-  pareto_prune(cands, cfg);
-
   SolutionCurve out;
-  for (const MergeCand& c : cands) {
-    Solution s;
-    s.req_time = c.req_time;
-    s.load = c.load;
-    s.area = c.area;
-    s.wirelen = c.wirelen;
-    s.node = arena.make_merge(at, left[c.il].node, right[c.ir].node);
-    out.push(std::move(s));
-  }
+  const MergeJob job{&left, &right};
+  push_merged_options(arena, std::span<const MergeJob>(&job, 1), at, cfg, out);
   return out;
 }
 
 SolutionCurve extend_curve(SolutionArena& arena, const SolutionCurve& src,
                            Point from, Point to, const WireModel& wire,
                            const PruneConfig& cfg, double wire_width) {
-  const double len = static_cast<double>(manhattan(from, to));
-  const WireModel w = scaled_width(wire, wire_width);
   SolutionCurve out;
-  for (const Solution& s : src) {
-    Solution e = s;
-    if (len > 0.0) {
-      e.req_time = s.req_time - w.elmore_delay(len, s.load);
-      e.load = s.load + w.wire_cap(len);
-      e.wirelen = s.wirelen + len;
-      e.node = arena.make_wire(to, s.node, wire_width);
-    }
-    out.push(std::move(e));
-  }
-  obs_add(cfg.obs, Counter::kExtendCandidates, out.size());
-  out.prune(cfg);
+  const SolutionCurve* src_ptr = &src;
+  const double widths[] = {wire_width};
+  push_extended_options(arena, std::span<const SolutionCurve* const>(&src_ptr, 1),
+                        std::span<const Point>(&from, 1), to, wire, cfg, out,
+                        widths);
   return out;
 }
 
@@ -244,71 +356,122 @@ void push_buffered_options(SolutionArena& arena, const SolutionCurve& src,
                            SolutionCurve& dst, std::size_t stride,
                            ObsSink* obs) {
   if (stride == 0) stride = 1;
-  // Generate (solution, buffer) candidates, prune among themselves, then
-  // allocate provenance only for survivors.
-  struct BufCand {
-    double req_time, load, area, wirelen;
-    std::uint32_t is, ib;
-  };
   thread_local std::vector<std::uint32_t> tried;
   tried.clear();
   for (std::uint32_t b = 0; b < lib.size(); b += stride) tried.push_back(b);
   if (!lib.empty() && (tried.empty() || tried.back() + 1 != lib.size()))
     tried.push_back(static_cast<std::uint32_t>(lib.size()) - 1);  // strongest
 
-  thread_local std::vector<BufCand> cands;
-  cands.clear();
-  cands.reserve(src.size() * tried.size());
-  for (std::uint32_t i = 0; i < src.size(); ++i) {
-    const Solution& s = src[i];
-    for (std::uint32_t b : tried) {
-      const Buffer& buf = lib[b];
-      cands.push_back(BufCand{s.req_time - buf.delay_ps(s.load), buf.input_cap,
-                              s.area + buf.area, s.wirelen, i, b});
+  // Li–Shi bucketing: one bucket per tried buffer type.  Within a bucket
+  // the load lane is the buffer's input capacitance — constant — so
+  // same-bucket dominance degenerates to the 2-D (area, req_time) staircase
+  // the prefilter prunes as candidates stream by.  The sequence number is
+  // i * |tried| + t, the index the (source-major) reference enumeration
+  // would assign, so survivor payloads are recovered by plain division.
+  const std::size_t n_src = src.size();
+  const std::size_t n_tried = tried.size();
+  thread_local BucketScratch scratch;
+  scratch.clear();
+  for (std::size_t t = 0; t < n_tried; ++t) {
+    const Buffer& buf = lib[tried[t]];
+    for (std::size_t i = 0; i < n_src; ++i) {
+      const Solution& s = src[i];
+      scratch.push(CurveCand{s.req_time - buf.delay_ps(s.load), buf.input_cap,
+                             s.area + buf.area, s.wirelen,
+                             static_cast<std::uint64_t>(i) * n_tried + t});
     }
+    scratch.end_bucket();
   }
-  obs_add(obs, Counter::kBufferCandidates, cands.size());
+  const std::size_t generated = n_src * n_tried;
+  obs_add(obs, Counter::kBufferCandidates, generated);
   PruneConfig pc;
   pc.obs = obs;
-  pareto_prune(cands, pc);
-  for (const BufCand& c : cands) {
+  const std::vector<CurveCand>& survivors = sweep_and_cap(scratch, generated, pc);
+  for (const CurveCand& c : survivors) {
+    const std::size_t i = static_cast<std::size_t>(c.seq / n_tried);
+    const std::uint32_t b = tried[static_cast<std::size_t>(c.seq % n_tried)];
     Solution s;
     s.req_time = c.req_time;
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = arena.make_buffer(at, static_cast<std::int32_t>(c.ib),
-                               src[c.is].node);
+    s.node = arena.make_buffer(at, static_cast<std::int32_t>(b), src[i].node);
     dst.push(std::move(s));
   }
 }
 
 void push_merged_options(SolutionArena& arena, std::span<const MergeJob> jobs,
                          Point at, const PruneConfig& cfg, SolutionCurve& dst) {
-  struct Cand {
-    double req_time, load, area, wirelen;
-    const Solution* l;
-    const Solution* r;
-  };
-  thread_local std::vector<Cand> cands;
-  cands.clear();
-  for (const MergeJob& job : jobs) {
-    for (const Solution& a : *job.left) {
-      for (const Solution& b : *job.right) {
-        cands.push_back(Cand{std::min(a.req_time, b.req_time), a.load + b.load,
-                             a.area + b.area, a.wirelen + b.wirelen, &a, &b});
+  if (wants_quantized(cfg)) {
+    // Reference path: quantized semantics are outside the kernel's
+    // equivalence argument, so materialize every pair and prune post hoc.
+    thread_local std::vector<MergeCand> cands;
+    cands.clear();
+    for (const MergeJob& job : jobs) {
+      for (const Solution& a : *job.left) {
+        for (const Solution& b : *job.right) {
+          cands.push_back(MergeCand{std::min(a.req_time, b.req_time),
+                                    a.load + b.load, a.area + b.area,
+                                    a.wirelen + b.wirelen, &a, &b});
+        }
       }
     }
+    obs_add(cfg.obs, Counter::kMergeCandidates, cands.size());
+    pareto_prune(cands, cfg);
+    for (const MergeCand& c : cands) {
+      Solution s;
+      s.req_time = c.req_time;
+      s.load = c.load;
+      s.area = c.area;
+      s.wirelen = c.wirelen;
+      s.node = arena.make_merge(at, c.l->node, c.r->node);
+      dst.push(std::move(s));
+    }
+    return;
   }
-  obs_add(cfg.obs, Counter::kMergeCandidates, cands.size());
-  pareto_prune(cands, cfg);
-  for (const Cand& c : cands) {
+
+  // Bucketed kernel path: one bucket per (job, left solution).  A pruned
+  // right curve arrives in canonical order, so the bucket's computed keys
+  // are already sorted except when rounding collapses distinct loads — the
+  // scratch detects and repairs that case.
+  struct Bucket {
+    const Solution* left;
+    const SolutionCurve* right;
+    std::uint64_t seq_base;
+  };
+  thread_local std::vector<Bucket> buckets;
+  thread_local BucketScratch scratch;
+  buckets.clear();
+  scratch.clear();
+  std::uint64_t seq = 0;
+  for (const MergeJob& job : jobs) {
+    for (const Solution& a : *job.left) {
+      buckets.push_back(Bucket{&a, job.right, seq});
+      for (const Solution& b : *job.right) {
+        scratch.push(CurveCand{std::min(a.req_time, b.req_time),
+                               a.load + b.load, a.area + b.area,
+                               a.wirelen + b.wirelen, seq});
+        ++seq;
+      }
+      scratch.end_bucket();
+    }
+  }
+  obs_add(cfg.obs, Counter::kMergeCandidates, seq);
+  const std::vector<CurveCand>& survivors =
+      sweep_and_cap(scratch, static_cast<std::size_t>(seq), cfg);
+  for (const CurveCand& c : survivors) {
+    // Largest seq_base <= c.seq locates the bucket.
+    const auto it = std::upper_bound(
+        buckets.begin(), buckets.end(), c.seq,
+        [](std::uint64_t s, const Bucket& b) { return s < b.seq_base; });
+    const Bucket& bk = *(it - 1);
+    const Solution& b = (*bk.right)[static_cast<std::size_t>(c.seq - bk.seq_base)];
     Solution s;
     s.req_time = c.req_time;
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = arena.make_merge(at, c.l->node, c.r->node);
+    s.node = arena.make_merge(at, bk.left->node, b.node);
     dst.push(std::move(s));
   }
 }
@@ -320,39 +483,100 @@ void push_extended_options(SolutionArena& arena,
                            SolutionCurve& dst, std::span<const double> widths) {
   static constexpr double kDefaultWidth[] = {1.0};
   if (widths.empty()) widths = kDefaultWidth;
-  struct Cand {
-    double req_time, load, area, wirelen, width;
-    const Solution* src;
+
+  if (wants_quantized(cfg)) {
+    // Reference path (see push_merged_options).
+    struct Cand {
+      double req_time, load, area, wirelen, width;
+      const Solution* src;
+      bool zero_len;
+    };
+    thread_local std::vector<Cand> cands;
+    cands.clear();
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      if (srcs[i] == nullptr) continue;
+      const double len = static_cast<double>(manhattan(src_pts[i], to));
+      if (len == 0.0) {
+        for (const Solution& s : *srcs[i])
+          cands.push_back(Cand{s.req_time, s.load, s.area, s.wirelen, 1.0, &s, true});
+        continue;
+      }
+      for (const double width : widths) {
+        const WireModel w = scaled_width(wire, width);
+        for (const Solution& s : *srcs[i]) {
+          cands.push_back(Cand{s.req_time - w.elmore_delay(len, s.load),
+                               s.load + w.wire_cap(len), s.area,
+                               s.wirelen + len, width, &s, false});
+        }
+      }
+    }
+    obs_add(cfg.obs, Counter::kExtendCandidates, cands.size());
+    pareto_prune(cands, cfg);
+    for (const Cand& c : cands) {
+      Solution s;
+      s.req_time = c.req_time;
+      s.load = c.load;
+      s.area = c.area;
+      s.wirelen = c.wirelen;
+      s.node = c.zero_len ? c.src->node : arena.make_wire(to, c.src->node, c.width);
+      dst.push(std::move(s));
+    }
+    return;
+  }
+
+  // Bucketed kernel path: one bucket per (source curve, wire width) — a
+  // zero-length source contributes a single identity bucket, whose
+  // survivors reuse the child provenance node unchanged.
+  struct Bucket {
+    const SolutionCurve* src;
+    double width;
     bool zero_len;
+    std::uint64_t seq_base;
   };
-  thread_local std::vector<Cand> cands;
-  cands.clear();
+  thread_local std::vector<Bucket> buckets;
+  thread_local BucketScratch scratch;
+  buckets.clear();
+  scratch.clear();
+  std::uint64_t seq = 0;
   for (std::size_t i = 0; i < srcs.size(); ++i) {
     if (srcs[i] == nullptr) continue;
     const double len = static_cast<double>(manhattan(src_pts[i], to));
     if (len == 0.0) {
-      for (const Solution& s : *srcs[i])
-        cands.push_back(Cand{s.req_time, s.load, s.area, s.wirelen, 1.0, &s, true});
+      buckets.push_back(Bucket{srcs[i], 1.0, true, seq});
+      for (const Solution& s : *srcs[i]) {
+        scratch.push(CurveCand{s.req_time, s.load, s.area, s.wirelen, seq});
+        ++seq;
+      }
+      scratch.end_bucket();
       continue;
     }
     for (const double width : widths) {
       const WireModel w = scaled_width(wire, width);
+      buckets.push_back(Bucket{srcs[i], width, false, seq});
       for (const Solution& s : *srcs[i]) {
-        cands.push_back(Cand{s.req_time - w.elmore_delay(len, s.load),
-                             s.load + w.wire_cap(len), s.area,
-                             s.wirelen + len, width, &s, false});
+        scratch.push(CurveCand{s.req_time - w.elmore_delay(len, s.load),
+                               s.load + w.wire_cap(len), s.area,
+                               s.wirelen + len, seq});
+        ++seq;
       }
+      scratch.end_bucket();
     }
   }
-  obs_add(cfg.obs, Counter::kExtendCandidates, cands.size());
-  pareto_prune(cands, cfg);
-  for (const Cand& c : cands) {
+  obs_add(cfg.obs, Counter::kExtendCandidates, seq);
+  const std::vector<CurveCand>& survivors =
+      sweep_and_cap(scratch, static_cast<std::size_t>(seq), cfg);
+  for (const CurveCand& c : survivors) {
+    const auto it = std::upper_bound(
+        buckets.begin(), buckets.end(), c.seq,
+        [](std::uint64_t s, const Bucket& b) { return s < b.seq_base; });
+    const Bucket& bk = *(it - 1);
+    const Solution& from = (*bk.src)[static_cast<std::size_t>(c.seq - bk.seq_base)];
     Solution s;
     s.req_time = c.req_time;
     s.load = c.load;
     s.area = c.area;
     s.wirelen = c.wirelen;
-    s.node = c.zero_len ? c.src->node : arena.make_wire(to, c.src->node, c.width);
+    s.node = bk.zero_len ? from.node : arena.make_wire(to, from.node, bk.width);
     dst.push(std::move(s));
   }
 }

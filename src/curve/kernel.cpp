@@ -1,0 +1,140 @@
+#include "curve/kernel.h"
+
+#include <algorithm>
+
+#if defined(MERLIN_SIMD) && MERLIN_SIMD
+#if defined(__SSE2__) || defined(__AVX2__)
+#include <immintrin.h>
+#define MERLIN_SIMD_ACTIVE 1
+#endif
+#endif
+
+namespace merlin {
+
+bool kernel_simd_enabled() {
+#ifdef MERLIN_SIMD_ACTIVE
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Both paths evaluate the identical predicate
+//   load_[k] <= load + eps && area_[k] <= area + eps && req_[k] >= req - eps
+// with the three bounds computed once, scalar, before the loop — the vector
+// path only widens the *comparisons*, never the arithmetic, which is what
+// keeps MERLIN_SIMD=ON and OFF bit-identical.
+bool FrontierSoA::dominated_scalar(double req_time, double load,
+                                   double area) const {
+  const double load_lim = load + kCurveEps;
+  const double area_lim = area + kCurveEps;
+  const double req_lim = req_time - kCurveEps;
+  const std::size_t n = load_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (load_[k] <= load_lim && area_[k] <= area_lim && req_[k] >= req_lim)
+      return true;
+  }
+  return false;
+}
+
+bool FrontierSoA::dominated(double req_time, double load, double area) const {
+#ifdef MERLIN_SIMD_ACTIVE
+  const double load_lim = load + kCurveEps;
+  const double area_lim = area + kCurveEps;
+  const double req_lim = req_time - kCurveEps;
+  const std::size_t n = load_.size();
+  std::size_t k = 0;
+#if defined(__AVX2__)
+  const __m256d ll4 = _mm256_set1_pd(load_lim);
+  const __m256d al4 = _mm256_set1_pd(area_lim);
+  const __m256d rl4 = _mm256_set1_pd(req_lim);
+  for (; k + 4 <= n; k += 4) {
+    const __m256d dom = _mm256_and_pd(
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(&load_[k]), ll4, _CMP_LE_OQ),
+            _mm256_cmp_pd(_mm256_loadu_pd(&area_[k]), al4, _CMP_LE_OQ)),
+        _mm256_cmp_pd(_mm256_loadu_pd(&req_[k]), rl4, _CMP_GE_OQ));
+    if (_mm256_movemask_pd(dom) != 0) return true;
+  }
+#endif
+  const __m128d ll2 = _mm_set1_pd(load_lim);
+  const __m128d al2 = _mm_set1_pd(area_lim);
+  const __m128d rl2 = _mm_set1_pd(req_lim);
+  for (; k + 2 <= n; k += 2) {
+    const __m128d dom =
+        _mm_and_pd(_mm_and_pd(_mm_cmple_pd(_mm_loadu_pd(&load_[k]), ll2),
+                              _mm_cmple_pd(_mm_loadu_pd(&area_[k]), al2)),
+                   _mm_cmpge_pd(_mm_loadu_pd(&req_[k]), rl2));
+    if (_mm_movemask_pd(dom) != 0) return true;
+  }
+  for (; k < n; ++k) {
+    if (load_[k] <= load_lim && area_[k] <= area_lim && req_[k] >= req_lim)
+      return true;
+  }
+  return false;
+#else
+  return dominated_scalar(req_time, load, area);
+#endif
+}
+
+std::size_t sweep_buckets(const std::vector<CurveCand>& cands,
+                          const std::vector<std::uint32_t>& bucket_ends,
+                          FrontierSoA& out) {
+  // Cursor per non-empty bucket, organized as a binary min-heap on the
+  // canonical order of each bucket's head candidate.  thread_local: the DP
+  // engines call this once per state and a heap allocation here would be a
+  // top allocation site (same rationale as curve.cpp's candidate scratch).
+  struct Cursor {
+    std::uint32_t pos, end;
+  };
+  thread_local std::vector<Cursor> heap;
+  heap.clear();
+  std::uint32_t start = 0;
+  for (const std::uint32_t end : bucket_ends) {
+    if (end > start) heap.push_back(Cursor{start, end});
+    start = end;
+  }
+  const auto head_less = [&](const Cursor& a, const Cursor& b) {
+    return cand_order_less(cands[a.pos], cands[b.pos]);
+  };
+
+  if (heap.size() == 1) {
+    // Single bucket (the common prune-one-curve case): no heap needed.
+    for (std::uint32_t i = heap[0].pos; i < heap[0].end; ++i)
+      out.accept(cands[i]);
+    return cands.size();
+  }
+
+  std::make_heap(heap.begin(), heap.end(),
+                 [&](const Cursor& a, const Cursor& b) {
+                   return head_less(b, a);  // min-heap
+                 });
+  const auto sift_down = [&] {
+    // Re-establish the min-heap after heap[0]'s head advanced (or replace
+    // the root with the last cursor when its bucket is exhausted).
+    std::size_t i = 0;
+    const std::size_t n = heap.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && head_less(heap[l], heap[best])) best = l;
+      if (r < n && head_less(heap[r], heap[best])) best = r;
+      if (best == i) break;
+      std::swap(heap[i], heap[best]);
+      i = best;
+    }
+  };
+  while (!heap.empty()) {
+    Cursor& top = heap[0];
+    out.accept(cands[top.pos]);
+    if (++top.pos == top.end) {
+      top = heap.back();
+      heap.pop_back();
+      if (heap.empty()) break;
+    }
+    sift_down();
+  }
+  return cands.size();
+}
+
+}  // namespace merlin

@@ -103,8 +103,9 @@ PTreeResult ptree_route(const Net& net, const Order& order,
         jobs.clear();
         for (std::size_t u = i; u < j; ++u)
           jobs.push_back(MergeJob{&table.at(i, u, p), &table.at(u + 1, j, p)});
+        // Fresh cell: push_merged_options output is already pruned with
+        // cfg.prune, so no re-prune is needed.
         push_merged_options(arena, jobs, pts[p], cfg.prune, cell);
-        cell.prune(cfg.prune);
       }
       std::vector<SolutionCurve> extended(k);
       for (std::size_t p = 0; p < k; ++p) {

@@ -102,7 +102,7 @@ VanGinnekenResult vangin_insert(const Net& net, const RoutingTree& unbuffered,
                                     std::span<const SolutionCurve* const>(&cur_ptr, 1),
                                     std::span<const Point>(&prev_pt, 1), st,
                                     net.wire, cfg.prune, stepped, widths);
-              stepped.prune(cfg.prune);
+              // `stepped` was empty: the batch extension already pruned it.
               cur = with_buffer_options(arena, stepped, st, lib, cfg.prune);
               prev = st;
             }

@@ -280,5 +280,116 @@ TEST(Algebra, PushExtendedOptionsPicksDominant) {
   EXPECT_NEAR(dst[0].wirelen, 10, 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Algebra edge cases: empty curves, single solutions, and candidate batches
+// where everything collapses onto one survivor.  These walk the bucketed
+// kernel's degenerate paths (zero buckets, one-candidate buckets, buckets
+// fully killed by the prefilter).
+// ---------------------------------------------------------------------------
+
+TEST(AlgebraEdge, MergeWithEmptyCurveIsEmpty) {
+  SolutionArena arena;
+  SolutionCurve full, empty;
+  Solution s = sol(100, 10, 5);
+  s.node = arena.make_sink({0, 0}, 0);
+  full.push(s);
+  EXPECT_TRUE(merge_curves(arena, empty, full, {0, 0}, {}).empty());
+  EXPECT_TRUE(merge_curves(arena, full, empty, {0, 0}, {}).empty());
+  EXPECT_TRUE(merge_curves(arena, empty, empty, {0, 0}, {}).empty());
+  EXPECT_EQ(arena.size(), 1u);  // no provenance allocated for empty merges
+}
+
+TEST(AlgebraEdge, ExtendEmptyCurveIsEmpty) {
+  SolutionArena arena;
+  SolutionCurve empty;
+  const SolutionCurve out =
+      extend_curve(arena, empty, {0, 0}, {50, 0}, WireModel{0.1, 0.2}, {});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(arena.size(), 0u);
+}
+
+TEST(AlgebraEdge, BufferedOptionsFromEmptySourceOrLibrary) {
+  SolutionArena arena;
+  SolutionCurve empty_src, dst;
+  push_buffered_options(arena, empty_src, {0, 0}, make_tiny_library(3), dst);
+  EXPECT_TRUE(dst.empty());
+
+  SolutionCurve src;
+  Solution s = sol(100, 10, 5);
+  s.node = arena.make_sink({0, 0}, 0);
+  src.push(s);
+  push_buffered_options(arena, src, {0, 0}, BufferLibrary{}, dst);
+  EXPECT_TRUE(dst.empty());
+  EXPECT_EQ(arena.size(), 1u);
+}
+
+TEST(AlgebraEdge, SingleSolutionThroughWholeAlgebra) {
+  const WireModel w{0.1, 0.2};
+  const BufferLibrary lib = make_tiny_library(2);
+  SolutionArena arena;
+  SolutionCurve a, b;
+  Solution s1 = sol(100, 10, 5);
+  s1.node = arena.make_sink({0, 0}, 0);
+  Solution s2 = sol(120, 8, 3);
+  s2.node = arena.make_sink({0, 0}, 1);
+  a.push(s1);
+  b.push(s2);
+  const SolutionCurve m = merge_curves(arena, a, b, {0, 0}, {});
+  ASSERT_EQ(m.size(), 1u);
+  const SolutionCurve e = extend_curve(arena, m, {0, 0}, {20, 0}, w, {});
+  ASSERT_EQ(e.size(), 1u);
+  SolutionCurve buffered;
+  push_buffered_options(arena, e, {20, 0}, lib, buffered);
+  EXPECT_GE(buffered.size(), 1u);
+  EXPECT_LE(buffered.size(), lib.size());
+}
+
+TEST(AlgebraEdge, AllDominatedMergeBatchKeepsOneSurvivor) {
+  SolutionArena arena;
+  SolutionCurve best_l, best_r, worse_l, worse_r;
+  Solution s = sol(100, 10, 5);
+  s.node = arena.make_sink({0, 0}, 0);
+  best_l.push(s);
+  s = sol(100, 10, 5);
+  s.node = arena.make_sink({0, 0}, 1);
+  best_r.push(s);
+  // Every (worse_l, worse_r) pair is strictly worse than (best_l, best_r).
+  for (int i = 0; i < 5; ++i) {
+    Solution wl = sol(90 - i, 12 + i, 6 + i);
+    wl.node = arena.make_sink({0, 0}, 2);
+    worse_l.push(wl);
+    Solution wr = sol(80 - i, 14 + i, 7 + i);
+    wr.node = arena.make_sink({0, 0}, 3);
+    worse_r.push(wr);
+  }
+  const std::size_t before = arena.size();
+  const std::vector<MergeJob> jobs{{&best_l, &best_r}, {&worse_l, &worse_r}};
+  SolutionCurve dst;
+  push_merged_options(arena, jobs, {0, 0}, {}, dst);
+  ASSERT_EQ(dst.size(), 1u);
+  EXPECT_DOUBLE_EQ(dst[0].load, 20);
+  // Provenance allocated for the single survivor only.
+  EXPECT_EQ(arena.size(), before + 1);
+}
+
+TEST(AlgebraEdge, AllDominatedExtensionBatchKeepsOneSurvivor) {
+  const WireModel w{0.1, 0.2};
+  SolutionArena arena;
+  // Same load and req_time, growing area: after any common extension the
+  // first solution dominates every other candidate.
+  SolutionCurve src;
+  for (int i = 0; i < 6; ++i) {
+    Solution s = sol(100, 10, 5 + i);
+    s.node = arena.make_sink({0, 0}, i);
+    src.push(s);
+  }
+  const std::size_t before = arena.size();
+  const SolutionCurve out =
+      extend_curve(arena, src, {0, 0}, {40, 0}, w, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].area, 5);
+  EXPECT_EQ(arena.size(), before + 1);
+}
+
 }  // namespace
 }  // namespace merlin

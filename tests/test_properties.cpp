@@ -9,6 +9,8 @@
 
 #include "buflib/library.h"
 #include "core/merlin.h"
+#include "curve/curve.h"
+#include "net/rng.h"
 #include "flow/flows.h"
 #include "lttree/lttree.h"
 #include "net/generator.h"
@@ -130,6 +132,150 @@ INSTANTIATE_TEST_SUITE_P(
     Nets, EngineSweep,
     ::testing::Combine(::testing::Values<std::size_t>(3, 5, 8, 11),
                        ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Pruning-kernel invariants (curve/kernel.h), config- and input-shape-swept.
+// The sharp kernel-vs-oracle assertions live in test_prune_differential.cpp;
+// these are the algebraic laws any correct prune must satisfy.
+// ---------------------------------------------------------------------------
+
+Solution psol(double rt, double load, double area, double wl) {
+  Solution s;
+  s.req_time = rt;
+  s.load = load;
+  s.area = area;
+  s.wirelen = wl;
+  return s;
+}
+
+// Mixed adversarial input: smooth tuples, exact duplicates, and
+// eps-boundary neighbors in one curve.
+std::vector<Solution> adversarial_batch(Rng& rng, std::size_t n) {
+  std::vector<Solution> v;
+  while (v.size() < n) {
+    const Solution base = psol(rng.uniform(0, 100), rng.uniform(1, 50),
+                               rng.uniform(0, 20), rng.uniform(0, 8));
+    v.push_back(base);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        v.push_back(base);  // exact duplicate
+        break;
+      case 1: {
+        Solution near = base;
+        near.load += kCurveEps;
+        v.push_back(near);
+        break;
+      }
+      case 2: {
+        Solution near = base;
+        near.req_time -= kCurveEps / 2;
+        v.push_back(near);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  v.resize(n);
+  return v;
+}
+
+// Integer-valued input: every pairwise gap is 0 or >= 1, far beyond eps.
+std::vector<Solution> coarse_batch(Rng& rng, std::size_t n) {
+  std::vector<Solution> v;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(psol(static_cast<double>(rng.uniform_int(0, 12)),
+                     static_cast<double>(rng.uniform_int(1, 12)),
+                     static_cast<double>(rng.uniform_int(0, 12)),
+                     static_cast<double>(rng.uniform_int(0, 3))));
+  return v;
+}
+
+std::vector<PruneConfig> swept_configs() {
+  std::vector<PruneConfig> cfgs;
+  cfgs.push_back({});                              // exact, uncapped
+  cfgs.push_back({0.0, 0.0, 6});                   // exact + cap
+  cfgs.push_back({0.5, 0.25, 0});                  // quantized fallback
+  cfgs.push_back({0.5, 0.25, 4, 2.0});             // quant + cap + ref_res
+  return cfgs;
+}
+
+SolutionCurve curve_of(const std::vector<Solution>& v) {
+  SolutionCurve c;
+  for (const Solution& s : v) c.push(s);
+  return c;
+}
+
+bool curves_bitwise_equal(const SolutionCurve& a, const SolutionCurve& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].req_time != b[i].req_time || a[i].load != b[i].load ||
+        a[i].area != b[i].area || a[i].wirelen != b[i].wirelen)
+      return false;
+  return true;
+}
+
+class PruneLaw : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PruneLaw, Idempotent) {
+  Rng rng(0x9A01 + GetParam());
+  for (const PruneConfig& cfg : swept_configs()) {
+    for (int shape = 0; shape < 2; ++shape) {
+      SolutionCurve c = curve_of(shape == 0 ? adversarial_batch(rng, 80)
+                                            : coarse_batch(rng, 80));
+      c.prune(cfg);
+      SolutionCurve once = c;
+      c.prune(cfg);
+      EXPECT_TRUE(curves_bitwise_equal(once, c))
+          << "second prune changed the curve (shape " << shape << ")";
+    }
+  }
+}
+
+TEST_P(PruneLaw, SurvivorSetPermutationInvariant) {
+  Rng rng(0x9A02 + GetParam());
+  std::vector<Solution> input = adversarial_batch(rng, 90);
+  SolutionCurve ref = curve_of(input);
+  ref.prune();
+  for (int round = 0; round < 4; ++round) {
+    // Fisher-Yates with the portable Rng: deterministic shuffles.
+    for (std::size_t i = input.size() - 1; i > 0; --i)
+      std::swap(input[i],
+                input[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i)))]);
+    SolutionCurve got = curve_of(input);
+    got.prune();
+    // The survivors arrive in canonical order and no two share all four
+    // metrics, so equality as *sequences* is set equality.
+    EXPECT_TRUE(curves_bitwise_equal(ref, got)) << "round " << round;
+  }
+}
+
+TEST_P(PruneLaw, NoSurvivorDominatesAnother) {
+  Rng rng(0x9A03 + GetParam());
+  // Strict (eps = 0) mutual non-dominance holds on any input, including
+  // eps-spaced adversarial ones...
+  SolutionCurve adv = curve_of(adversarial_batch(rng, 120));
+  adv.prune();
+  for (const Solution& a : adv)
+    for (const Solution& b : adv)
+      if (&a != &b) {
+        EXPECT_FALSE(dominates(a, b, 0.0));
+      }
+  // ...while the shared eps form additionally holds whenever distinct
+  // metric values are separated by much more than eps (eps-dominance is
+  // not transitive, so this is NOT guaranteed for eps-spaced inputs).
+  SolutionCurve coarse = curve_of(coarse_batch(rng, 120));
+  coarse.prune();
+  for (const Solution& a : coarse)
+    for (const Solution& b : coarse)
+      if (&a != &b) {
+        EXPECT_FALSE(dominates(a, b));
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneLaw,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
 }  // namespace merlin

@@ -15,6 +15,11 @@
 #   4. The span-name table in docs/OBSERVABILITY.md and the span_name()
 #      list in src/obs/trace.h must agree in BOTH directions, same deal:
 #      dotted `| `x.y`` rows vs the header's return "x.y" strings.
+#   5. The pruning-kernel entry table in docs/ALGORITHM.md (between the
+#      kernel-entries markers) and the `/// kernel-entry: <name>`
+#      annotations in src/curve/kernel.h must agree in BOTH directions —
+#      a renamed/added/removed public kernel entry point fails the build
+#      until the doc table matches.
 #
 # Exits non-zero with one line per violation.
 
@@ -108,6 +113,41 @@ if [ -f "$doc" ] && [ -f "$thdr" ]; then
   done
 else
   echo "MISSING: $doc or $thdr"
+  violations=$((violations + 1))
+fi
+
+# --- 5. kernel-entry table: docs/ALGORITHM.md <-> curve/kernel.h -----------
+adoc="docs/ALGORITHM.md"
+khdr="src/curve/kernel.h"
+if [ -f "$adoc" ] && [ -f "$khdr" ]; then
+  # Entries in the source: every "/// kernel-entry: Name" annotation.
+  src_entries="$(grep -oE '^/// kernel-entry: [A-Za-z_][A-Za-z0-9_]*' "$khdr" |
+                 sed -E 's|^/// kernel-entry: ||' | sort -u)"
+  # Entries in the doc: `| `Name`` rows between the kernel-entries markers
+  # (the markers scope the match so other tables' backticked rows — knobs,
+  # operations — stay out of it).
+  doc_entries="$(awk '/<!-- kernel-entries:begin -->/{f=1;next}
+                      /<!-- kernel-entries:end -->/{f=0} f' "$adoc" |
+                 grep -oE '^\| `[A-Za-z_][A-Za-z0-9_]*`' |
+                 sed -E 's/^\| `([A-Za-z0-9_]+)`$/\1/' | sort -u)"
+  for s in $src_entries; do
+    if ! printf '%s\n' "$doc_entries" | grep -qx "$s"; then
+      echo "UNDOCUMENTED ENTRY: $khdr annotates '$s' but $adoc's kernel table lacks it"
+      violations=$((violations + 1))
+    fi
+  done
+  for s in $doc_entries; do
+    if ! printf '%s\n' "$src_entries" | grep -qx "$s"; then
+      echo "STALE ENTRY: $adoc documents '$s' but $khdr does not annotate it"
+      violations=$((violations + 1))
+    fi
+  done
+  if [ -z "$src_entries" ] || [ -z "$doc_entries" ]; then
+    echo "EMPTY REGISTRY: kernel-entry annotations in $khdr or table in $adoc missing"
+    violations=$((violations + 1))
+  fi
+else
+  echo "MISSING: $adoc or $khdr"
   violations=$((violations + 1))
 fi
 
