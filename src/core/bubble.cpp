@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cache/shard.h"
 #include "core/grouping.h"
 #include "runtime/guard.h"
 
@@ -354,11 +355,7 @@ void enumerate_layer_sequences(const std::vector<Terminal>& base,
 
 BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                               const Order& order, const BubbleConfig& cfg_in,
-                              GammaCache* cache, SolutionArena* arena_opt) {
-  if (cache != nullptr && arena_opt == nullptr)
-    throw std::invalid_argument(
-        "bubble_construct: a GammaCache requires a caller-owned arena (cached "
-        "curves hold handles into it; see GammaCache docs)");
+                              CacheSession* cache, SolutionArena* arena_opt) {
   SolutionArena local_arena;
   SolutionArena& arena = arena_opt ? *arena_opt : local_arena;
   // Default the cap keep-point scalarization to a mid-library drive strength
@@ -391,6 +388,48 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
     if (ws.pts[p] == net.source) ws.source_p = p;
   if (ws.source_p == ws.k)
     throw std::logic_error("candidate set must contain the source");
+
+  // Context signature for cache keys (cache/signature.h): everything a
+  // stored group curve depends on besides the group itself — library cells,
+  // wire model, the realized candidate-location set (contents, not policy:
+  // two configs yielding the same points share entries), and every DP knob
+  // that shapes what survives into Gamma.  Mixed once per run; per-group
+  // keys fork from this digest.  Objective/obs/guard are deliberately
+  // excluded: they affect extraction and accounting, never stored curves.
+  CacheKey ctx{};
+  if (cache != nullptr) {
+    SigHasher h;
+    h.mix(lib.size());
+    for (const Buffer& b : lib) {
+      h.mix_double(b.input_cap);
+      h.mix_double(b.area);
+      h.mix_double(b.delay.p0);
+      h.mix_double(b.delay.p1);
+      h.mix_double(b.delay.p2);
+      h.mix_double(b.delay.p3);
+    }
+    h.mix_double(net.wire.res_per_um);
+    h.mix_double(net.wire.cap_per_um);
+    for (const double w : ws.widths()) h.mix_double(w);
+    h.mix(ws.k);
+    for (const Point& pt : ws.pts) {
+      h.mix_i32(pt.x);
+      h.mix_i32(pt.y);
+    }
+    h.mix(cfg.alpha);
+    for (const PruneConfig* pc : {&cfg.inner_prune, &cfg.group_prune}) {
+      h.mix_double(pc->load_quantum);
+      h.mix_double(pc->area_quantum);
+      h.mix(pc->max_solutions);
+      h.mix_double(pc->ref_res);
+    }
+    h.mix_bool(cfg.allow_unbuffered_groups);
+    h.mix(cfg.buffer_stride);
+    h.mix(cfg.extension_neighbors);
+    h.mix_bool(cfg.enable_bubbling);
+    h.mix(std::min<std::size_t>(cfg.max_internal_children, 2));
+    ctx = h.digest();
+  }
 
   const auto chis = [&](std::size_t len) {
     std::vector<Chi> cs{Chi::kChi0};
@@ -460,20 +499,35 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                                    std::min<std::size_t>(arena.size(), kNullSol)));
         guard_point(cfg.guard, FaultSite::kBubbleGroup);
 
-        // Section III.4 sub-problem reuse: a group's stored curves are a
-        // function of (structure, ordered member sinks) only, so runs over
-        // overlapping neighborhoods can copy instead of recompute.
-        std::string cache_key;
+        // Section III.4 sub-problem reuse: within the run context hashed
+        // above, a group's stored curves are a function of (structure,
+        // ordered member sinks) only — so runs over overlapping
+        // neighborhoods, other nets with matching structure, and published
+        // entries from a shared SubproblemCache can copy instead of
+        // recompute.  Hits materialize the arena-independent entry into
+        // this run's arena (cache/store.h).
+        CacheKey cache_key{};
         if (cache != nullptr && L < n) {
-          cache_key.push_back(static_cast<char>(E));
+          SigHasher h(ctx);
+          h.mix(static_cast<std::uint64_t>(E));
+          h.mix(L);
           for (const std::size_t mpos : Omega.member_positions()) {
             const std::uint32_t sid = order[mpos];
-            cache_key.append(reinterpret_cast<const char*>(&sid), sizeof(sid));
+            const Sink& s = net.sinks[sid];
+            h.mix(sid);
+            h.mix_i32(s.pos.x);
+            h.mix_i32(s.pos.y);
+            h.mix_double(s.load);
+            h.mix_double(s.req_time);
           }
-          if (const auto* cached = cache->find(cache_key)) {
+          cache_key = h.digest();
+          bool shared_hit = false;
+          if (const CacheEntry* hit = cache->find(cache_key, &shared_hit)) {
             obs_add(cfg.obs, Counter::kGammaCacheHits);
+            if (shared_hit) obs_add(cfg.obs, Counter::kCacheSharedHits);
+            std::vector<SolutionCurve> mat = materialize_entry(*hit, ws.arena);
             for (std::size_t p = 0; p < ws.k; ++p)
-              ws.gamma.at(L, E, R, p) = (*cached)[p];
+              ws.gamma.at(L, E, R, p) = std::move(mat[p]);
             continue;
           }
           obs_add(cfg.obs, Counter::kGammaCacheMisses);
@@ -571,7 +625,7 @@ BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
             ws.gamma.at(L, E, R, p) = std::move(acc[p]);
         } else {
           auto x = anchors_to_child(ws, acc);
-          if (cache != nullptr) cache->insert(std::move(cache_key), x);
+          if (cache != nullptr) cache->insert(cache_key, x, ws.arena);
           for (std::size_t p = 0; p < ws.k; ++p)
             ws.gamma.at(L, E, R, p) = std::move(x[p]);
         }

@@ -24,9 +24,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <span>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "buflib/library.h"
@@ -38,7 +35,8 @@
 
 namespace merlin {
 
-class NetGuard;  // runtime/guard.h
+class NetGuard;      // runtime/guard.h
+class CacheSession;  // cache/shard.h
 
 /// Which variant of the problem to solve (paper section III.1).
 enum class ObjectiveMode {
@@ -115,76 +113,6 @@ struct BubbleConfig {
   NetGuard* guard = nullptr;
 };
 
-/// Cross-iteration sub-problem cache (paper section III.4): the
-/// neighborhoods of two consecutive MERLIN iterations overlap heavily, so
-/// "keeping the solution curves of the very last iteration" and copying
-/// identical sub-problems trades memory for a large speed-up.  A sub-group's
-/// curves are fully determined by its grouping structure and the exact
-/// ordered list of member sinks, which is the cache key; entries hold the
-/// stored child-form curves for every candidate location.
-///
-/// A cache is only valid for one (net, library, config, candidate-set)
-/// combination — merlin_optimize owns one per run, or clears and reuses a
-/// caller-provided scratch cache (MerlinConfig::scratch_cache).
-///
-/// Arena coupling: cached curves hold SolNodeId handles into the
-/// SolutionArena of the bubble_construct run that inserted them, so a cache
-/// always travels with one arena of the same lifetime (bubble_construct
-/// enforces this by rejecting a cache without an arena).  Between runs the
-/// owner compacts the arena with the cache's curves as roots
-/// (collect_roots) and rewrites the handles (remap_nodes).
-///
-/// Thread ownership: the cache is not internally synchronized (even `find`
-/// mutates the hit/miss counters).  Exactly one thread may use a given
-/// instance at a time; parallel batch execution therefore keeps one scratch
-/// cache per pool worker rather than sharing one across workers.
-class GammaCache {
- public:
-  /// Returns the cached curves for `key`, or nullptr.
-  [[nodiscard]] const std::vector<SolutionCurve>* find(const std::string& key) const {
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
-      ++misses_;
-      return nullptr;
-    }
-    ++hits_;
-    return &it->second;
-  }
-
-  void insert(std::string key, std::vector<SolutionCurve> curves) {
-    map_.insert_or_assign(std::move(key), std::move(curves));
-  }
-
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t misses() const { return misses_; }
-
-  /// Appends every provenance handle held by the cached curves to `out`
-  /// (the cache's contribution to a SolutionArena::mark_compact root set).
-  void collect_roots(std::vector<SolNodeId>& out) const {
-    for (const auto& [key, curves] : map_)
-      for (const SolutionCurve& c : curves) c.collect_roots(out);
-  }
-
-  /// Rewrites every cached handle through a mark_compact remap table.
-  void remap_nodes(std::span<const SolNodeId> remap) {
-    for (auto& [key, curves] : map_)
-      for (SolutionCurve& c : curves) c.remap_nodes(remap);
-  }
-  /// Drops all entries and resets the hit/miss counters, returning the
-  /// instance to its freshly constructed state (allocation kept).
-  void clear() {
-    map_.clear();
-    hits_ = 0;
-    misses_ = 0;
-  }
-
- private:
-  std::unordered_map<std::string, std::vector<SolutionCurve>> map_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
-};
-
 /// Outcome of one BUBBLE_CONSTRUCT run.
 struct BubbleResult {
   RoutingTree tree;          ///< extracted best structure
@@ -199,18 +127,22 @@ struct BubbleResult {
 };
 
 /// Runs BUBBLE_CONSTRUCT for `net` with initial order `order`.  `cache`, if
-/// given, is consulted for sub-problems shared with earlier runs on the
-/// same net/config and updated with this run's groups (section III.4).
+/// given, is the run's CacheSession (cache/shard.h): sub-problem groups are
+/// keyed by a canonical structural signature (cache/signature.h) covering
+/// the library, wire model, candidate set, DP knobs and the exact ordered
+/// member sinks, so entries from earlier iterations, other nets and — when
+/// the session is attached to a SubproblemCache — other workers' published
+/// runs are copied instead of recomputed (paper section III.4).  Cache hits
+/// materialize arena-independent entries into the run arena, so the cache
+/// never constrains arena lifetime: `cache` works with or without `arena`.
 ///
-/// `arena` receives all provenance allocated by the run.  It is required
-/// whenever `cache` is given (cached curves reference the arena, so both
-/// must outlive the run together — see GammaCache); without a cache it may
-/// be nullptr, in which case a private arena backs the run and the result's
-/// curve handles dangle after return (tree/out_order/metrics stay valid).
+/// `arena` receives all provenance allocated by the run.  When nullptr a
+/// private arena backs the run and the result's curve handles dangle after
+/// return (tree/out_order/metrics stay valid).
 /// Preconditions: net has >= 1 sink, order is a permutation, alpha >= 2.
 BubbleResult bubble_construct(const Net& net, const BufferLibrary& lib,
                               const Order& order, const BubbleConfig& cfg = {},
-                              GammaCache* cache = nullptr,
+                              CacheSession* cache = nullptr,
                               SolutionArena* arena = nullptr);
 
 }  // namespace merlin

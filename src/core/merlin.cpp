@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "cache/shard.h"
+
 namespace merlin {
 
 namespace {
@@ -29,18 +31,19 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
   // clean convergence instead of a loop.
   std::set<std::vector<std::uint32_t>> seen;
 
-  GammaCache local_cache;
-  GammaCache* cache_ptr = nullptr;
+  CacheSession local_session;
+  CacheSession* cache_ptr = nullptr;
   if (cfg.reuse_subproblems) {
-    // A cache is only valid for one (net, config) combination, so a caller-
-    // provided scratch cache is cleared before use; what it buys is the
-    // reuse of the map's allocation across many nets on one worker thread.
-    cache_ptr = cfg.scratch_cache ? cfg.scratch_cache : &local_cache;
+    // The session's local table is cleared per run (its keys are canonical,
+    // but staged writes and counters are per-net facts); what a caller-
+    // provided session buys is allocation reuse across many nets on one
+    // worker thread plus, when attached, shared-store hits.
+    cache_ptr = cfg.cache_session ? cfg.cache_session : &local_session;
     cache_ptr->clear();
   }
-  // Likewise for provenance storage: the scratch arena is reset (capacity
-  // kept), and one arena then backs every iteration — cached curves carry
-  // handles into it, so cache and arena advance in lockstep.
+  // Provenance storage: the scratch arena is reset (capacity kept) and one
+  // arena then backs every iteration.  Cache entries are arena-independent
+  // copies, so the cache puts no constraint on the arena's lifetime.
   SolutionArena local_arena;
   SolutionArena& arena = cfg.scratch_arena ? *cfg.scratch_arena : local_arena;
   arena.reset();
@@ -79,16 +82,17 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
     pi = next;
 
     // Another neighborhood will be searched: squeeze the dead sub-DAGs of
-    // this iteration out of the arena.  Live are the cached group curves
-    // (next iteration's section III.4 hits) and the best result's own
-    // handles; everything else — the losing candidates of the iteration —
-    // is reclaimed.  Remapping never changes replayed structure, so results
-    // are unaffected (the arena tests pin this down).
+    // this iteration out of the arena.  Live are only the best result's own
+    // handles — cached sub-problems are arena-independent copies inside the
+    // CacheSession, so (unlike the old arena-coupled GammaCache) they
+    // neither pin arena nodes nor need remapping.  Everything else — the
+    // losing candidates of the iteration — is reclaimed.  Remapping never
+    // changes replayed structure, so results are unaffected (the arena
+    // tests pin this down).
     // The compact span closes with the iteration scope, after the remaps
     // below — exactly the window the compaction counters cover.
     TraceSpan compact_span(cfg.bubble.obs, SpanName::kMerlinCompact);
     live_roots.clear();
-    if (cache_ptr) cache_ptr->collect_roots(live_roots);
     res.best.root_curve.collect_roots(live_roots);
     if (res.best.chosen.node != kNullSol)
       live_roots.push_back(res.best.chosen.node);
@@ -97,7 +101,6 @@ MerlinResult merlin_optimize(const Net& net, const BufferLibrary& lib,
     obs_add(cfg.bubble.obs, Counter::kArenaCompactions);
     obs_add(cfg.bubble.obs, Counter::kArenaNodesCompacted,
             live_before - arena.stats().live_nodes);
-    if (cache_ptr) cache_ptr->remap_nodes(remap);
     res.best.root_curve.remap_nodes(remap);
     if (res.best.chosen.node != kNullSol)
       res.best.chosen.node = remap[res.best.chosen.node];

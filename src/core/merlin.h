@@ -26,21 +26,25 @@ struct MerlinConfig {
   /// (costs roughly 2x memory, saves most of the work after iteration 1).
   bool reuse_subproblems = true;
 
-  /// Optional externally owned scratch cache.  When set (and
-  /// reuse_subproblems is true) merlin_optimize clears and uses it instead
-  /// of a run-local cache, so a caller processing many nets can reuse the
-  /// map's allocation.  GammaCache is not internally synchronized: the
-  /// scratch cache must be owned by exactly one thread at a time — batch
-  /// execution keeps one per pool worker, never one shared across workers.
-  GammaCache* scratch_cache = nullptr;
+  /// Optional externally owned cache session (cache/shard.h).  When set
+  /// (and reuse_subproblems is true) merlin_optimize clears and uses it
+  /// instead of a run-local session, so a caller processing many nets can
+  /// reuse the allocation — and, when the session is attached to a shared
+  /// SubproblemCache, hit sub-problems published by earlier nets.  The run
+  /// only *stages* inserts; publication (CacheSession::take_flush →
+  /// SubproblemCache::apply) is the owner's call, which is how the batch
+  /// engine keeps the shared store deterministic.  A CacheSession must be
+  /// owned by exactly one thread at a time — batch execution keeps one per
+  /// pool worker.
+  CacheSession* cache_session = nullptr;
 
   /// Optional externally owned scratch arena for all provenance of the run.
   /// When set, merlin_optimize resets it at the start (slab capacity kept —
-  /// the allocation-reuse analogue of scratch_cache) and the returned
+  /// the allocation-reuse analogue of cache_session) and the returned
   /// best.root_curve / best.chosen handles stay resolvable in it until the
   /// caller resets it.  When null a run-local arena is used and those
   /// handles dangle after return.  Same single-thread ownership rule as
-  /// scratch_cache; the batch engine keeps one per pool worker.
+  /// cache_session; the batch engine keeps one per pool worker.
   SolutionArena* scratch_arena = nullptr;
 };
 

@@ -12,16 +12,18 @@
 //   * a handle is a dense 32-bit index (SolNodeId) — half the size of a
 //     pointer, trivially relocatable and serializable;
 //   * freeing is wholesale: reset() between independent DP invocations, or
-//     mark_compact() to squeeze dead sub-DAGs out while a GammaCache keeps
-//     older curves alive across neighborhood-search iterations.
+//     mark_compact() to squeeze dead sub-DAGs out while the best result's
+//     curves stay alive across neighborhood-search iterations.
 //
 // Ownership rules (see docs/ARCHITECTURE.md):
 //   * one arena per DP invocation — engines that take an optional arena use
 //     a private local one when none is supplied;
-//   * a GammaCache and the arena holding its curves' nodes must travel
-//     together and have the same lifetime;
+//   * cached sub-problems do NOT pin the arena: the cache subsystem
+//     (cache/store.h) copies survivor curves out into arena-independent
+//     entries and clones them back in via make_node() on a hit, so arenas
+//     and caches have fully independent lifetimes;
 //   * arenas are single-threaded; the batch engine gives each pool worker
-//     its own arena next to its scratch GammaCache.
+//     its own arena next to its CacheSession.
 
 #include <cstddef>
 #include <cstdint>
@@ -73,6 +75,11 @@ class SolutionArena {
   SolNodeId make_buffer(Point at, std::int32_t buf_idx, SolNodeId child) {
     return emplace(SolNode{StepKind::kBuffer, buf_idx, at, 1.0, child, kNullSol});
   }
+  /// Clones `n` verbatim — kind, idx, location, wire width and child
+  /// handles, which must already be valid ids of THIS arena (or kNullSol).
+  /// The cache subsystem uses it to materialize an arena-independent entry
+  /// back into a run arena, child before parent (cache/store.h).
+  SolNodeId make_node(const SolNode& n) { return emplace(n); }
 
   // -- access ----------------------------------------------------------------
 
@@ -101,8 +108,9 @@ class SolutionArena {
   /// order is preserved, and because children are always allocated before
   /// their parents, shared sub-DAGs (the paper's Lemma 7 sharing) stay
   /// shared: two parents of one child both see the same remapped id.
-  /// Callers must remap every surviving handle they hold (SolutionCurve::
-  /// remap_nodes, GammaCache::remap_nodes).
+  /// Callers must remap every surviving handle they hold
+  /// (SolutionCurve::remap_nodes).  Cache entries are arena-independent
+  /// copies (cache/store.h) and never need remapping.
   std::vector<SolNodeId> mark_compact(std::span<const SolNodeId> roots);
 
   [[nodiscard]] Stats stats() const;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "cache/shard.h"
 #include "runtime/pool.h"
 #include "tree/evaluate.h"
 
@@ -107,11 +108,22 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
                           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
     // Per-worker scratch; constructed before the pool so that if an
     // exception unwinds this scope, the pool's draining destructor (which
-    // may still run tasks referencing the caches/arenas) fires first.
-    // Each worker owns one GammaCache, one SolutionArena and (when the
+    // may still run tasks referencing the sessions/arenas) fires first.
+    // Each worker owns one CacheSession, one SolutionArena and (when the
     // caller wants observability) one ObsSink: no provenance allocation,
-    // and no stats recording, is ever shared across threads.
-    std::vector<GammaCache> caches(n_threads);
+    // and no stats recording, is ever shared across threads.  The shared
+    // SubproblemCache (if any) is only ever *read* during the parallel
+    // phase — sessions stage writes privately and the publish happens
+    // serially below.
+    SubproblemCache* shared_cache =
+        (opts_.cache != nullptr && opts_.cache->enabled() && !cache_env_off())
+            ? opts_.cache
+            : nullptr;
+    std::vector<CacheSession> sessions;
+    sessions.reserve(n_threads);
+    for (std::size_t w = 0; w < n_threads; ++w)
+      sessions.emplace_back(shared_cache);
+    std::vector<FlushBatch> flushes(jobs.size());
     std::vector<SolutionArena> arenas(n_threads);
     std::vector<ObsSink> sinks;
     if (kObsEnabled && opts_.obs != nullptr) {
@@ -252,9 +264,11 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
             case FlowKind::kFlow1: slot.result = run_flow1(job.net, lib_, cfg); break;
             case FlowKind::kFlow2: slot.result = run_flow2(job.net, lib_, cfg); break;
             case FlowKind::kFlow3:
-              // Worker-local scratch cache: reuses the map's allocation from
-              // net to net, owned by exactly one thread.
-              cfg.merlin.scratch_cache = &caches[pool.worker_index()];
+              // Worker-local cache session: reuses allocation from net to
+              // net, owned by exactly one thread, and (when a shared cache
+              // is attached) serves published sub-problems from earlier
+              // batches while staging this net's writes privately.
+              cfg.merlin.cache_session = &sessions[pool.worker_index()];
               slot.result = run_flow3(job.net, lib_, cfg);
               break;
           }
@@ -322,6 +336,21 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
           }
         }
 
+        if (shared_cache != nullptr) {
+          CacheSession& ses = sessions[pool.worker_index()];
+          if (slot.status == NetStatus::kOk) {
+            // Capture the net's staged cache writes into its own slot; the
+            // publish happens serially, in ascending net id, after the pool
+            // drains.
+            flushes[i] = ses.take_flush();
+          } else {
+            // Degraded/failed nets may hold partial stagings from an
+            // interrupted attempt (where a deadline fired is not
+            // deterministic) — discard rather than publish.
+            ses.clear();
+          }
+        }
+
         const bool has_tree =
             slot.status == NetStatus::kOk || slot.status == NetStatus::kDegraded ||
             opts_.fail_policy != FailPolicy::kAbort;
@@ -382,6 +411,34 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     out.stats.threads_used = pool.size();
     out.stats.steals = pool.steal_count();
     out.stats.worker_tasks = pool.executed_counts();
+
+    // Publish staged cache writes serially in ascending net id — the same
+    // deterministic-merge pattern as the stats reduction below, so the
+    // shared store's end state (contents, LRU recency, eviction victims)
+    // is a pure function of the workload, identical at any thread count.
+    if (shared_cache != nullptr) {
+      std::vector<std::size_t> flush_order(jobs.size());
+      for (std::size_t i = 0; i < flush_order.size(); ++i) flush_order[i] = i;
+      std::sort(flush_order.begin(), flush_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return jobs[a].driver_gate < jobs[b].driver_gate;
+                });
+      CacheApplyOutcome total;
+      for (const std::size_t i : flush_order) {
+        const CacheApplyOutcome oc = shared_cache->apply(std::move(flushes[i]));
+        total.staged += oc.staged;
+        total.inserted += oc.inserted;
+        total.duplicates += oc.duplicates;
+        total.evicted += oc.evicted;
+        total.rejected += oc.rejected;
+      }
+      obs_add(opts_.obs, Counter::kCacheEntriesStaged, total.staged);
+      obs_add(opts_.obs, Counter::kCacheEntriesFlushed, total.inserted);
+      obs_add(opts_.obs, Counter::kCacheEntriesEvicted, total.evicted);
+      obs_gauge(opts_.obs, Gauge::kCacheStoreEntries,
+                shared_cache->entry_count());
+      obs_gauge(opts_.obs, Gauge::kCacheStoreNodes, shared_cache->node_cost());
+    }
 
     // Fold the per-worker sinks into the caller's aggregate, serially, in
     // worker order.  Counter sums, gauge maxima and layer totals commute
@@ -516,6 +573,29 @@ bool batch_results_identical(const BatchResult& a, const BatchResult& b) {
   // its defaulted operator== is the whole stats comparison; wall times and
   // scheduling facts are structurally excluded.
   if (!(a.stats.det == b.stats.det)) return false;
+  const CircuitFlowResult &ca = a.circuit, &cb = b.circuit;
+  return ca.area == cb.area && ca.delay_ps == cb.delay_ps &&
+         ca.nets_routed == cb.nets_routed &&
+         ca.buffers_inserted == cb.buffers_inserted;
+}
+
+bool batch_results_equivalent(const BatchResult& a, const BatchResult& b) {
+  if (a.nets.size() != b.nets.size()) return false;
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    const BatchNetResult& x = a.nets[i];
+    const BatchNetResult& y = b.nets[i];
+    if (x.net_id != y.net_id || x.trivial != y.trivial ||
+        x.status != y.status || x.attempts != y.attempts ||
+        x.budget_trips != y.budget_trips || x.error != y.error ||
+        !trees_identical(x.result.tree, y.result.tree) ||
+        !evals_identical(x.result.eval, y.result.eval) ||
+        x.result.merlin_loops != y.result.merlin_loops)
+      return false;
+  }
+  BatchStatsDet da = a.stats.det, db = b.stats.det;
+  da.cache_hits = db.cache_hits = 0;
+  da.cache_misses = db.cache_misses = 0;
+  if (!(da == db)) return false;
   const CircuitFlowResult &ca = a.circuit, &cb = b.circuit;
   return ca.area == cb.area && ca.delay_ps == cb.delay_ps &&
          ca.nets_routed == cb.nets_routed &&

@@ -15,8 +15,12 @@
 //     never from a worker id or a global counter — so any randomized
 //     constructor still produces output independent of thread count and
 //     scheduling;
-//   * Flow III's GammaCache is per-worker scratch (cleared per net), never
-//     shared across threads.
+//   * Flow III's sub-problem caching runs through a per-worker CacheSession
+//     (cleared per net).  When BatchOptions::cache attaches a shared
+//     SubproblemCache, the shared store is read-only during the parallel
+//     phase and every staged write is published serially in ascending net
+//     id at reduction — so even the cache's end state is bit-identical at
+//     any thread count (cache/shard.h has the full contract).
 //
 // tests/test_batch_differential.cpp enforces the resulting invariant:
 // 1-thread and N-thread runs are bit-identical.
@@ -34,6 +38,8 @@
 #include "runtime/guard.h"
 
 namespace merlin {
+
+class SubproblemCache;  // cache/shard.h
 
 /// Which of the paper's flows the batch runs on every net.
 enum class FlowKind { kFlow1 = 1, kFlow2 = 2, kFlow3 = 3 };
@@ -106,6 +112,17 @@ struct BatchOptions {
   /// the 1-vs-N-thread identity (docs/ROBUSTNESS.md).
   GuardConfig guard{};
 
+  /// Optional shared cross-net sub-problem cache (cache/shard.h), used by
+  /// Flow III.  Read-only during the parallel phase: workers stage writes
+  /// in private CacheSessions and the runner publishes them serially in
+  /// ascending net id at reduction, so per-net results AND the cache's end
+  /// state stay bit-identical at any thread count.  Only nets whose first
+  /// attempt succeeds publish (degraded/failed nets' partial stagings are
+  /// discarded — they may depend on where an attempt was interrupted).
+  /// Null (or capacity 0, or MERLIN_CACHE=off in the environment) reduces
+  /// to per-worker scratch caching, the pre-cache-subsystem behavior.
+  SubproblemCache* cache = nullptr;
+
   /// What to do when a net's construction fails; see FailPolicy.
   FailPolicy fail_policy = FailPolicy::kDegrade;
 
@@ -152,7 +169,7 @@ struct BatchNetResult {
 struct BatchStatsDet {
   std::size_t net_count = 0;    ///< nets processed (including trivial)
   std::size_t trivial_nets = 0;
-  std::size_t cache_hits = 0;   ///< GammaCache totals (Flow III only)
+  std::size_t cache_hits = 0;   ///< CacheSession totals (Flow III only)
   std::size_t cache_misses = 0;
   std::size_t buffers_inserted = 0;
   double buffer_area = 0.0;
@@ -232,5 +249,12 @@ bool flow_results_identical(const FlowResult& a, const FlowResult& b);
 /// flow_results_identical over whole batches (net ids, trivial flags, trees,
 /// evals, `stats.det`, and the circuit-level outcome).
 bool batch_results_identical(const BatchResult& a, const BatchResult& b);
+
+/// batch_results_identical minus the cache counters: trees, evals, statuses
+/// and the circuit outcome must match, but cache hits/misses may differ.
+/// The warm-vs-cold comparisons (bench_cache, tests/test_cache.cpp) need
+/// this form — a warm rerun serves sub-problems from the shared store,
+/// turning misses into hits without changing any structure.
+bool batch_results_equivalent(const BatchResult& a, const BatchResult& b);
 
 }  // namespace merlin

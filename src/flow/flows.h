@@ -37,7 +37,8 @@ struct FlowConfig {
   /// flow runs allocates into it (the flow resets it first, keeping slab
   /// capacity), so a caller processing many nets on one thread reuses the
   /// memory — the batch engine keeps one per pool worker next to its
-  /// scratch GammaCache.  Single-thread ownership, like scratch_cache.
+  /// CacheSession.  Single-thread ownership, like MerlinConfig::
+  /// cache_session.
   /// For flow III it doubles as MerlinConfig::scratch_arena unless that is
   /// already set.
   SolutionArena* scratch_arena = nullptr;
@@ -59,7 +60,7 @@ struct FlowResult {
   EvalResult eval;
   double runtime_ms = 0.0;
   std::size_t merlin_loops = 0;  ///< flow III only: Table 1 "Loops" column
-  std::size_t cache_hits = 0;    ///< flow III only: GammaCache statistics
+  std::size_t cache_hits = 0;    ///< flow III only: CacheSession statistics
   std::size_t cache_misses = 0;  ///< (batch runs report circuit-wide totals)
 };
 

@@ -29,9 +29,17 @@ enum class Counter : std::uint16_t {
   kExtendCandidates,     ///< wire-extension candidates generated
   kBufferCandidates,     ///< (solution, buffer) candidates generated
 
-  // Sub-problem reuse (paper section III.4, Lemma 7 sharing).
+  // Sub-problem reuse (paper section III.4, Lemma 7 sharing) and the
+  // shared cross-net cache built on it (cache/shard.h).  Shared hits are
+  // the subset of gamma_cache_hits served by a SubproblemCache adoption;
+  // staged/flushed/evicted count the deterministic publish at batch
+  // reduction (flushed <= staged: duplicates and over-budget entries drop).
   kGammaCacheHits,
   kGammaCacheMisses,
+  kCacheSharedHits,
+  kCacheEntriesStaged,
+  kCacheEntriesFlushed,
+  kCacheEntriesEvicted,
 
   // Provenance arena (curve/arena.h).
   kArenaNodesAllocated,  ///< SolNodes allocated (per-run deltas, summed)
@@ -79,7 +87,9 @@ enum class Gauge : std::uint16_t {
   kArenaPeakLiveNodes,   ///< SolutionArena peak live SolNodes
   kArenaPeakBytes,       ///< peak live-node bytes
   kGammaPeakSolutions,   ///< most solutions stored in one Gamma table
-  kCachePeakEntries,     ///< largest GammaCache entry count
+  kCachePeakEntries,     ///< largest per-run CacheSession entry count
+  kCacheStoreEntries,    ///< shared SubproblemCache entries after a publish
+  kCacheStoreNodes,      ///< shared-store provenance nodes after a publish
   kGuardPeakNetSteps,    ///< most DP steps one net's guard charged
   kCount,
 };
@@ -110,6 +120,10 @@ inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCoun
     case Counter::kBufferCandidates: return "buffer_candidates";
     case Counter::kGammaCacheHits: return "gamma_cache_hits";
     case Counter::kGammaCacheMisses: return "gamma_cache_misses";
+    case Counter::kCacheSharedHits: return "cache_shared_hits";
+    case Counter::kCacheEntriesStaged: return "cache_entries_staged";
+    case Counter::kCacheEntriesFlushed: return "cache_entries_flushed";
+    case Counter::kCacheEntriesEvicted: return "cache_entries_evicted";
     case Counter::kArenaNodesAllocated: return "arena_nodes_allocated";
     case Counter::kArenaNodesCompacted: return "arena_nodes_compacted";
     case Counter::kArenaCompactions: return "arena_compactions";
@@ -148,6 +162,8 @@ inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCoun
     case Gauge::kArenaPeakBytes: return "arena_peak_bytes";
     case Gauge::kGammaPeakSolutions: return "gamma_peak_solutions";
     case Gauge::kCachePeakEntries: return "cache_peak_entries";
+    case Gauge::kCacheStoreEntries: return "cache_store_entries";
+    case Gauge::kCacheStoreNodes: return "cache_store_nodes";
     case Gauge::kGuardPeakNetSteps: return "guard_peak_net_steps";
     case Gauge::kCount: break;
   }

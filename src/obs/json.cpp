@@ -158,6 +158,30 @@ std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt) {
     w.end_obj();
   }
 
+  // Deterministic rollup of the sub-problem cache (cache/shard.h): the
+  // hit/miss split of every session lookup plus the shared store's publish
+  // totals and end size.  Redundant with `counters`/`gauges` by design —
+  // a schema-stable section tools can read without knowing enum order.
+  w.key("cache");
+  w.begin_obj();
+  {
+    const std::uint64_t hits = sink.counters.get(Counter::kGammaCacheHits);
+    const std::uint64_t misses = sink.counters.get(Counter::kGammaCacheMisses);
+    w.key("lookups"); w.num(hits + misses);
+    w.key("hits"); w.num(hits);
+    w.key("misses"); w.num(misses);
+    w.key("shared_hits"); w.num(sink.counters.get(Counter::kCacheSharedHits));
+    w.key("entries_staged");
+    w.num(sink.counters.get(Counter::kCacheEntriesStaged));
+    w.key("entries_flushed");
+    w.num(sink.counters.get(Counter::kCacheEntriesFlushed));
+    w.key("entries_evicted");
+    w.num(sink.counters.get(Counter::kCacheEntriesEvicted));
+    w.key("store_entries"); w.num(sink.gauges.get(Gauge::kCacheStoreEntries));
+    w.key("store_nodes"); w.num(sink.gauges.get(Gauge::kCacheStoreNodes));
+  }
+  w.end_obj();
+
   w.key("runtime");
   w.begin_obj();
   w.key("threads"); w.num(static_cast<std::uint64_t>(rt.threads));

@@ -21,8 +21,13 @@ namespace merlin {
 /// v2: the `runtime` section gained span-tracer rollups (`spans`,
 /// `span_count`, `spans_dropped`) — quarantined there because span wall
 /// times are scheduling facts, like everything else in `runtime`.
+///
+/// v3: new top-level `cache` section (a deterministic rollup of the
+/// sub-problem cache counters/gauges: lookups, hit/shared-hit/miss counts,
+/// publish totals and shared-store size), plus the new cache_* names in
+/// `counters`/`gauges` themselves.
 inline constexpr const char* kStatsSchemaName = "merlin.stats";
-inline constexpr int kStatsSchemaVersion = 2;
+inline constexpr int kStatsSchemaVersion = 3;
 
 /// Scheduling-dependent run facts.  Kept in a separate "runtime" JSON
 /// section so the deterministic sections (counters/gauges/layers/nets) can

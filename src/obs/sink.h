@@ -2,7 +2,7 @@
 // ObsSink — the per-Workspace collection point of the observability layer.
 //
 // Ownership rule: one ObsSink per worker (the batch engine allocates one per
-// pool worker, exactly like its per-worker GammaCache and SolutionArena) or
+// pool worker, exactly like its per-worker CacheSession and SolutionArena) or
 // one per single-threaded engine run.  A sink is deliberately NOT
 // thread-safe — it must never be shared across pool workers; per-worker
 // sinks are merged serially after the pool drains (merge_from), which keeps

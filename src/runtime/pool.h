@@ -72,7 +72,7 @@ class ThreadPool {
 
   /// Index of the calling thread within this pool, or `npos` when called
   /// from a thread this pool does not own.  Stable for the pool's lifetime —
-  /// batch runners key per-worker scratch state (e.g. GammaCache) off it.
+  /// batch runners key per-worker scratch state (e.g. CacheSession) off it.
   [[nodiscard]] std::size_t worker_index() const;
 
   /// Number of tasks a worker executed out of another worker's queue.

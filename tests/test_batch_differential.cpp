@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "buflib/library.h"
+#include "cache/shard.h"
 #include "flow/batch.h"
 #include "flow/circuit.h"
 #include "net/generator.h"
@@ -98,6 +99,44 @@ TEST(BatchDifferential, ArmedTracerPreservesBitIdentity) {
           << "circuit " << i << " flow " << static_cast<int>(flow) << " at "
           << threads << " threads changed under an armed tracer";
       if (kObsEnabled) EXPECT_GT(sink.spans().size(), 0u);
+    }
+  }
+}
+
+TEST(BatchDifferential, SharedCacheSerialVsParallelBitIdentical) {
+  // The cross-net SubproblemCache must not perturb the headline invariant:
+  // with a shared store armed, serial and parallel Flow III runs stay
+  // bit-identical — on the cold pass, on the warm pass, and in the store's
+  // own end state (entries are published serially in net-id order).
+  const BufferLibrary lib = make_standard_library();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Circuit ckt = random_circuit(i, lib);
+    const auto run = [&](SubproblemCache* cache, std::size_t threads) {
+      BatchOptions opts;
+      opts.threads = threads;
+      opts.flow = FlowKind::kFlow3;
+      opts.scaled_config = false;
+      opts.config = cheap_cfg();
+      opts.cache = cache;
+      return BatchRunner(lib, opts).run(ckt);
+    };
+    SubproblemCache serial_cache(CacheConfig{1u << 22, 8});
+    const BatchResult serial_cold = run(&serial_cache, 1);
+    const std::size_t serial_entries = serial_cache.entry_count();
+    const std::uint64_t serial_nodes = serial_cache.node_cost();
+    const BatchResult serial_warm = run(&serial_cache, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      SubproblemCache par_cache(CacheConfig{1u << 22, 8});
+      const BatchResult par_cold = run(&par_cache, threads);
+      EXPECT_TRUE(batch_results_identical(serial_cold, par_cold))
+          << "circuit " << i << ": cold cached run diverged at " << threads
+          << " threads";
+      EXPECT_EQ(par_cache.entry_count(), serial_entries);
+      EXPECT_EQ(par_cache.node_cost(), serial_nodes);
+      const BatchResult par_warm = run(&par_cache, threads);
+      EXPECT_TRUE(batch_results_identical(serial_warm, par_warm))
+          << "circuit " << i << ": warm cached run diverged at " << threads
+          << " threads";
     }
   }
 }

@@ -1,12 +1,13 @@
 // Tests for the paper-described extensions: the section III.4 sub-problem
-// cache (OVERLAP reuse) and the section 3.2.1 relaxed Ca_Trees (two internal
-// children per layer).
+// cache (OVERLAP reuse, now a CacheSession over cache/shard.h) and the
+// section 3.2.1 relaxed Ca_Trees (two internal children per layer).
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 
 #include "buflib/library.h"
+#include "cache/shard.h"
 #include "core/merlin.h"
 #include "net/generator.h"
 #include "order/tsp.h"
@@ -38,14 +39,14 @@ Net small_net(std::size_t n, std::uint64_t seed, const BufferLibrary& lib) {
 // Sub-problem cache (section III.4).
 // ---------------------------------------------------------------------------
 
-TEST(GammaCache, IdenticalRunIsFullyCached) {
+TEST(CacheSession, IdenticalRunIsFullyCached) {
   const BufferLibrary lib = make_standard_library();
   const Net net = small_net(7, 1, lib);
   const Order order = tsp_order(net);
   const BubbleConfig cfg = fast_cfg();
 
-  GammaCache cache;
-  SolutionArena arena;  // cached curves hold handles into it
+  CacheSession cache(nullptr);  // local-only session, no shared store
+  SolutionArena arena;
   const BubbleResult first =
       bubble_construct(net, lib, order, cfg, &cache, &arena);
   EXPECT_EQ(cache.hits(), 0u);
@@ -61,14 +62,14 @@ TEST(GammaCache, IdenticalRunIsFullyCached) {
   EXPECT_NEAR(second.chosen.area, first.chosen.area, 1e-9);
 }
 
-TEST(GammaCache, CachedResultsAreBitIdentical) {
+TEST(CacheSession, CachedResultsAreBitIdentical) {
   const BufferLibrary lib = make_standard_library();
   const Net net = small_net(6, 2, lib);
   const Order order = tsp_order(net);
   const BubbleConfig cfg = fast_cfg();
 
   const BubbleResult plain = bubble_construct(net, lib, order, cfg, nullptr);
-  GammaCache cache;
+  CacheSession cache(nullptr);
   SolutionArena arena;
   bubble_construct(net, lib, order, cfg, &cache, &arena);  // warm
   const BubbleResult cached =
@@ -78,14 +79,14 @@ TEST(GammaCache, CachedResultsAreBitIdentical) {
   EXPECT_DOUBLE_EQ(plain.chosen.area, cached.chosen.area);
 }
 
-TEST(GammaCache, NeighborOrderReusesMostSubproblems) {
+TEST(CacheSession, NeighborOrderReusesMostSubproblems) {
   const BufferLibrary lib = make_standard_library();
   const Net net = small_net(8, 3, lib);
   const Order base = tsp_order(net);
   const Order neighbor = base.with_swap(2);
   const BubbleConfig cfg = fast_cfg();
 
-  GammaCache cache;
+  CacheSession cache(nullptr);
   SolutionArena arena;
   bubble_construct(net, lib, base, cfg, &cache, &arena);
   const std::size_t misses_cold = cache.misses();
@@ -98,7 +99,7 @@ TEST(GammaCache, NeighborOrderReusesMostSubproblems) {
   EXPECT_GT(cache.hits(), misses_cold / 10);
 }
 
-TEST(GammaCache, MerlinReportsCacheEffect) {
+TEST(CacheSession, MerlinReportsCacheEffect) {
   const BufferLibrary lib = make_standard_library();
   const Net net = small_net(7, 4, lib);
   MerlinConfig cfg;
@@ -115,12 +116,12 @@ TEST(GammaCache, MerlinReportsCacheEffect) {
   EXPECT_NEAR(r.best.driver_req_time, r2.best.driver_req_time, 1e-9);
 }
 
-TEST(GammaCache, ReuseSpeedsUpIteration) {
+TEST(CacheSession, ReuseSpeedsUpIteration) {
   const BufferLibrary lib = make_standard_library();
   const Net net = small_net(9, 5, lib);
   const Order order = tsp_order(net);
   const BubbleConfig cfg = fast_cfg();
-  GammaCache cache;
+  CacheSession cache(nullptr);
   SolutionArena arena;
   const auto t0 = std::chrono::steady_clock::now();
   bubble_construct(net, lib, order, cfg, &cache, &arena);

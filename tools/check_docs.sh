@@ -20,6 +20,10 @@
 #      annotations in src/curve/kernel.h must agree in BOTH directions —
 #      a renamed/added/removed public kernel entry point fails the build
 #      until the doc table matches.
+#   6. The cache-API table in docs/API.md (between the cache-api markers)
+#      and the `/// cache-entry: <name>` annotations in the src/cache/
+#      headers must agree in BOTH directions — renaming or adding a cache
+#      subsystem entry point fails the build until the doc table matches.
 #
 # Exits non-zero with one line per violation.
 
@@ -148,6 +152,40 @@ if [ -f "$adoc" ] && [ -f "$khdr" ]; then
   fi
 else
   echo "MISSING: $adoc or $khdr"
+  violations=$((violations + 1))
+fi
+
+# --- 6. cache-API table: docs/API.md <-> src/cache/ headers ----------------
+capi="docs/API.md"
+if [ -f "$capi" ] && [ -d "src/cache" ]; then
+  # Entries in the source: every "/// cache-entry: Name" annotation in the
+  # cache subsystem's headers.
+  src_cache="$(grep -hoE '^/// cache-entry: [A-Za-z_][A-Za-z0-9_]*' src/cache/*.h |
+               sed -E 's|^/// cache-entry: ||' | sort -u)"
+  # Entries in the doc: `| `Name`` rows between the cache-api markers (the
+  # markers scope the match so other backticked tables stay out of it).
+  doc_cache="$(awk '/<!-- cache-api:begin -->/{f=1;next}
+                    /<!-- cache-api:end -->/{f=0} f' "$capi" |
+               grep -oE '^\| `[A-Za-z_][A-Za-z0-9_]*`' |
+               sed -E 's/^\| `([A-Za-z0-9_]+)`$/\1/' | sort -u)"
+  for s in $src_cache; do
+    if ! printf '%s\n' "$doc_cache" | grep -qx "$s"; then
+      echo "UNDOCUMENTED CACHE API: src/cache annotates '$s' but $capi's cache-api table lacks it"
+      violations=$((violations + 1))
+    fi
+  done
+  for s in $doc_cache; do
+    if ! printf '%s\n' "$src_cache" | grep -qx "$s"; then
+      echo "STALE CACHE API: $capi documents '$s' but no src/cache header annotates it"
+      violations=$((violations + 1))
+    fi
+  done
+  if [ -z "$src_cache" ] || [ -z "$doc_cache" ]; then
+    echo "EMPTY REGISTRY: cache-entry annotations in src/cache or table in $capi missing"
+    violations=$((violations + 1))
+  fi
+else
+  echo "MISSING: $capi or src/cache"
   violations=$((violations + 1))
 fi
 

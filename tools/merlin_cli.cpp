@@ -12,6 +12,11 @@
 //     --circuit G SEED    circuit mode: generate a random G-gate circuit and
 //                         run the chosen flow on every net (batch engine)
 //     --threads N         circuit mode: worker threads (0 = all cores)
+//     --cache-mb N        circuit mode: shared cross-net sub-problem cache
+//                         budget in MB (default 64; 0 disables the store)
+//     --cache on|off      circuit mode: arm or drop the shared cache
+//                         (--cache=off also accepted; default on — the
+//                         MERLIN_CACHE=off environment override still wins)
 //     --stats-json FILE   write observability stats (counters, per-net
 //                         traces, latency percentiles) as JSON to FILE
 //     --trace-out FILE    write a Chrome trace-event timeline (open in
@@ -41,6 +46,7 @@
 #include <string>
 
 #include "buflib/library.h"
+#include "cache/shard.h"
 #include "flow/batch.h"
 #include "flow/circuit.h"
 #include "flow/flows.h"
@@ -69,6 +75,7 @@ constexpr int kExitGuardAbort = 5;
                "[--candidates K] [--svg FILE] [--print-tree] "
                "[--stats-json FILE] [--trace-out FILE]\n"
                "       merlin_cli --circuit G SEED [--flow 1|2|3] [--threads N] "
+               "[--cache-mb N] [--cache on|off] "
                "[--stats-json FILE] [--trace-out FILE] [--progress] "
                "[--net-step-budget N] [--net-deadline-ms T] "
                "[--fail-policy abort|skip|degrade] "
@@ -138,6 +145,8 @@ int main(int argc, char** argv) {
   std::size_t circuit_gates = 0;
   std::uint64_t circuit_seed = 1;
   std::size_t threads = 1;
+  std::size_t cache_mb = 64;
+  std::string cache_mode = "on";
   std::string stats_json_path;
   std::string trace_out_path;
   bool show_progress = false;
@@ -182,6 +191,14 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       need(1);
       threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--cache-mb") {
+      need(1);
+      cache_mb = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--cache") {
+      need(1);
+      cache_mode = argv[++i];
+    } else if (a.rfind("--cache=", 0) == 0) {
+      cache_mode = a.substr(std::strlen("--cache="));
     } else if (a == "--stats-json") {
       need(1);
       stats_json_path = argv[++i];
@@ -249,6 +266,18 @@ int main(int argc, char** argv) {
         injector.emplace(FaultInjector::parse(inject_spec));
         opts.inject = &*injector;
       }
+      // Shared cross-net sub-problem cache (src/cache/).  Budgeted in
+      // provenance nodes; results are bit-identical with it on or off.
+      std::optional<SubproblemCache> cache;
+      if (cache_mode == "on") {
+        CacheConfig cc;
+        cc.capacity_nodes = cache_mb * 1024ull * 1024ull / sizeof(SolNode);
+        cache.emplace(cc);
+        opts.cache = &*cache;
+      } else if (cache_mode != "off") {
+        throw std::invalid_argument("unknown --cache '" + cache_mode +
+                                    "' (expected on or off)");
+      }
       // One live stderr line, rewritten in place as nets retire.  The
       // callback runs on pool workers; the mutex serializes the ticker and
       // the max-done check drops out-of-order updates.
@@ -276,6 +305,13 @@ int main(int argc, char** argv) {
                   ckt.name.c_str(), ckt.gates.size(), flow, r.circuit.delay_ps,
                   r.circuit.area, r.circuit.runtime_ms);
       std::printf("batch: %s\n", r.stats.to_string().c_str());
+      if (cache && cache->enabled()) {
+        std::printf("cache: entries=%zu nodes=%llu budget=%lluMB%s\n",
+                    cache->entry_count(),
+                    static_cast<unsigned long long>(cache->node_cost()),
+                    static_cast<unsigned long long>(cache_mb),
+                    cache_env_off() ? " (detached: MERLIN_CACHE=off)" : "");
+      }
       if (!stats_json_path.empty()) {
         RuntimeInfo rt;
         rt.threads = r.stats.threads_used;
