@@ -1,0 +1,303 @@
+// Serving exhibit: what merlin_d's warm state (resident pool, per-worker
+// arenas, shared SubproblemCache) buys over a cold process, and what the
+// request pipeline sustains under concurrent clients.
+//
+// Legs:
+//   cold  — the daemon's very first submission of the workload circuit:
+//           every sub-problem is a miss, the store gets populated;
+//   warm  — repeat submissions of the same circuit (min over reps): the
+//           ECO / re-optimization scenario the daemon exists for.  The
+//           result digest must equal the cold run's (the determinism
+//           contract — cache state may never change answers);
+//   sweep — 1, 2 and 4 concurrent client connections, each submitting a
+//           small seed-rotated mix: per-request p50/p99 latency and
+//           aggregate req/s.  Jobs are dispatched serially (that is the
+//           determinism contract), so the sweep measures pipeline overhead
+//           and fairness, not parallel speedup.
+//
+// The headline numbers are digest_identical and warm_faster (hard CI
+// gates; warm_speedup additionally carries the >5x claim in the committed
+// baseline), with wall-clock metrics gated loosely.
+//
+// Usage: bench_serve (--daemon BIN | --socket PATH)
+//                    [--smoke] [--json FILE] [--reps N] [--shutdown]
+//   --daemon BIN  fork/exec BIN (a merlin_d build) on a private socket;
+//                 the daemon is shut down at the end and its exit status
+//                 must be 0 — a daemon that cannot drain fails the bench.
+//   --socket PATH attach to an already-running daemon instead.
+//   --smoke       tiny circuit + short sweep, for CI sanity legs.
+//   --gates/--seed override the workload circuit (exploration; the
+//                 committed BENCH_SERVE.json uses the defaults).
+//   --shutdown    with --socket: also shut the daemon down at the end.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/report.h"
+#include "serve/client.h"
+
+namespace {
+
+using namespace merlin;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Submit with backoff on err.queue_full (the bench must measure the
+/// pipeline, not abandon it at the first backpressure signal).
+ResultResp submit_retrying(ServeClient& client, std::uint64_t gates,
+                           std::uint64_t seed) {
+  for (;;) {
+    const SubmitReply r = client.submit_circuit(gates, seed);
+    if (r.ok) return r.result;
+    if (r.error.code != static_cast<std::uint8_t>(ServeError::kQueueFull)) {
+      std::fprintf(stderr, "bench_serve: submit failed: %s\n",
+                   r.error.message.c_str());
+      std::exit(1);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(r.error.retry_after_ms > 0
+                                      ? r.error.retry_after_ms
+                                      : 1));
+  }
+}
+
+struct SweepPoint {
+  int clients = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double req_s = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// `clients` connections, each submitting `reps` seed-rotated requests.
+SweepPoint run_sweep(const std::string& socket_path, int clients, int reps,
+                     std::uint64_t gates, std::uint64_t base_seed) {
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client(socket_path, /*retry_ms=*/2000);
+      for (int i = 0; i < reps; ++i) {
+        const auto r0 = Clock::now();
+        // Rotate over a small seed set: recurring work (cache hits) with
+        // some variety, like an ECO loop touching a few circuit variants.
+        (void)submit_retrying(client, gates, base_seed + (i % 3));
+        lat[static_cast<std::size_t>(c)].push_back(ms_since(r0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double total_ms = ms_since(t0);
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  SweepPoint pt;
+  pt.clients = clients;
+  pt.p50_ms = percentile(all, 0.50);
+  pt.p99_ms = percentile(all, 0.99);
+  pt.req_s = total_ms > 0.0
+                 ? static_cast<double>(all.size()) / (total_ms / 1000.0)
+                 : 0.0;
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string daemon_bin;
+  std::string socket_path;
+  std::string json_path;
+  bool smoke = false;
+  bool shutdown_at_end = false;
+  int reps = 0;
+  std::uint64_t gates_override = 0;
+  std::uint64_t seed_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--daemon") == 0 && i + 1 < argc)
+      daemon_bin = argv[++i];
+    else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+      socket_path = argv[++i];
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--gates") == 0 && i + 1 < argc)
+      gates_override = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed_override = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--shutdown") == 0)
+      shutdown_at_end = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_serve (--daemon BIN | --socket PATH) "
+                   "[--smoke] [--json FILE] [--reps N] [--gates N] "
+                   "[--seed N] [--shutdown]\n");
+      return 2;
+    }
+  }
+  if (daemon_bin.empty() == socket_path.empty()) {
+    std::fprintf(stderr,
+                 "bench_serve: exactly one of --daemon / --socket needed\n");
+    return 2;
+  }
+
+  // The workload: one deterministic circuit (plus two seed neighbors in
+  // the sweep).  Chosen so the optimization dominates the per-request
+  // constant costs — otherwise the warm speedup measures framing, not the
+  // cache.
+  const std::uint64_t gates = gates_override ? gates_override : (smoke ? 14 : 26);
+  const std::uint64_t seed = seed_override ? seed_override : (smoke ? 1000 : 7);
+  if (reps <= 0) reps = smoke ? 3 : 10;
+
+  pid_t daemon_pid = -1;
+  char sockdir[] = "/tmp/bench_serve_XXXXXX";
+  if (!daemon_bin.empty()) {
+    if (mkdtemp(sockdir) == nullptr) {
+      std::perror("bench_serve: mkdtemp");
+      return 1;
+    }
+    socket_path = std::string(sockdir) + "/d.sock";
+    daemon_pid = fork();
+    if (daemon_pid < 0) {
+      std::perror("bench_serve: fork");
+      return 1;
+    }
+    if (daemon_pid == 0) {
+      execl(daemon_bin.c_str(), "merlin_d", "--socket", socket_path.c_str(),
+            "--threads", "2", (char*)nullptr);
+      std::perror("bench_serve: exec");
+      _exit(127);
+    }
+    shutdown_at_end = true;
+  }
+
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  std::uint64_t cold_digest = 0;
+  std::uint64_t warm_digest = 0;
+  {
+    ServeClient client(socket_path, /*retry_ms=*/10000);
+
+    // cold: the daemon's first contact with this circuit.
+    {
+      const auto t0 = Clock::now();
+      const ResultResp r = submit_retrying(client, gates, seed);
+      cold_ms = ms_since(t0);
+      cold_digest = r.digest;
+    }
+
+    // warm: min over reps (the steady-state re-optimization cost).
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = Clock::now();
+      const ResultResp r = submit_retrying(client, gates, seed);
+      const double ms = ms_since(t0);
+      if (i == 0 || ms < warm_ms) warm_ms = ms;
+      warm_digest = r.digest;
+    }
+  }
+
+  // Concurrency sweep (fresh connections; the cold/warm client is closed).
+  const int sweep_reps = smoke ? 2 : reps;
+  std::vector<SweepPoint> sweep;
+  for (const int clients : {1, 2, 4})
+    sweep.push_back(run_sweep(socket_path, clients, sweep_reps, gates, seed));
+
+  int daemon_exit = -1;
+  if (shutdown_at_end) {
+    ServeClient(socket_path, /*retry_ms=*/2000).shutdown();
+    if (daemon_pid > 0) {
+      int status = 0;
+      if (waitpid(daemon_pid, &status, 0) != daemon_pid || !WIFEXITED(status)) {
+        std::fprintf(stderr, "bench_serve: daemon did not exit cleanly\n");
+        return 1;
+      }
+      daemon_exit = WEXITSTATUS(status);
+      std::remove(socket_path.c_str());
+      std::remove(sockdir);
+      if (daemon_exit != 0) {
+        std::fprintf(stderr, "bench_serve: daemon exit %d (want 0)\n",
+                     daemon_exit);
+        return 1;
+      }
+    }
+  }
+
+  const bool digest_identical = cold_digest == warm_digest;
+  const bool warm_faster = warm_ms < cold_ms;
+  const double warm_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+  TextTable t({"leg", "wall (ms)", "notes"});
+  t.begin_row();
+  t.cell("cold");
+  t.cell(cold_ms, 2);
+  t.cell("first submission, store cold");
+  t.begin_row();
+  t.cell("warm");
+  t.cell(warm_ms, 2);
+  t.cell("min of " + std::to_string(reps) + " reruns");
+  std::printf("%s\n", t.render().c_str());
+
+  TextTable s({"clients", "p50 (ms)", "p99 (ms)", "req/s"});
+  for (const SweepPoint& pt : sweep) {
+    s.begin_row();
+    s.cell(static_cast<std::uint64_t>(pt.clients));
+    s.cell(pt.p50_ms, 2);
+    s.cell(pt.p99_ms, 2);
+    s.cell(pt.req_s, 1);
+  }
+  std::printf("%s\n", s.render().c_str());
+  std::printf("digest identical: %s   warm faster: %s   warm speedup: %.2fx\n",
+              digest_identical ? "yes" : "NO", warm_faster ? "yes" : "NO",
+              warm_speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    out << "{\n"
+        << "  \"schema\": \"merlin.bench_serve\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"gates\": " << gates << ",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"cold_ms\": " << cold_ms << ",\n"
+        << "  \"warm_ms\": " << warm_ms << ",\n"
+        << "  \"warm_speedup\": " << warm_speedup << ",\n"
+        << "  \"digest_identical\": " << (digest_identical ? "true" : "false")
+        << ",\n"
+        << "  \"warm_faster\": " << (warm_faster ? "true" : "false") << ",\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& pt = sweep[i];
+      const std::string k = "c" + std::to_string(pt.clients);
+      out << "  \"" << k << "_p50_ms\": " << pt.p50_ms << ",\n"
+          << "  \"" << k << "_p99_ms\": " << pt.p99_ms << ",\n"
+          << "  \"" << k << "_req_s\": " << pt.req_s
+          << (i + 1 < sweep.size() ? ",\n" : ",\n");
+    }
+    out << "  \"daemon_exit\": " << daemon_exit << "\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return digest_identical && warm_faster ? 0 : 1;
+}

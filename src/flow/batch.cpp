@@ -7,6 +7,7 @@
 #include <cstring>
 #include <exception>
 #include <future>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -62,6 +63,73 @@ bool is_injected(const std::exception& e) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// BatchContext — warm pool + per-worker scratch, reused across runs.
+
+struct BatchContext::Impl {
+  // Same declaration order as run_jobs' per-run locals: sessions and arenas
+  // before the pool, so the pool's draining destructor (which may still run
+  // tasks referencing them) fires first during teardown.
+  SubproblemCache* cache = nullptr;
+  std::vector<CacheSession> sessions;
+  std::vector<SolutionArena> arenas;
+  ThreadPool pool;
+  std::atomic<bool> in_use{false};
+  std::atomic<std::uint64_t> runs{0};
+
+  Impl(std::size_t threads, SubproblemCache* shared)
+      : cache(shared != nullptr && shared->enabled() && !cache_env_off()
+                  ? shared
+                  : nullptr),
+        arenas(threads),
+        pool(threads) {
+    sessions.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) sessions.emplace_back(cache);
+  }
+};
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  return requested > 0
+             ? requested
+             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+/// Exclusive-run RAII for a shared BatchContext: acquired for the duration
+/// of run_jobs, released on any exit path (including exceptions).
+struct ContextLease {
+  explicit ContextLease(BatchContext::Impl* impl) : impl_(impl) {
+    if (impl_ != nullptr && impl_->in_use.exchange(true))
+      throw std::logic_error(
+          "BatchContext: concurrent runs on one context; serialize callers");
+  }
+  ~ContextLease() {
+    if (impl_ != nullptr) {
+      impl_->runs.fetch_add(1, std::memory_order_relaxed);
+      impl_->in_use.store(false);
+    }
+  }
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
+  BatchContext::Impl* impl_;
+};
+
+}  // namespace
+
+BatchContext::BatchContext(std::size_t threads, SubproblemCache* cache)
+    : impl_(std::make_unique<Impl>(resolve_threads(threads), cache)) {}
+
+BatchContext::~BatchContext() = default;
+
+std::size_t BatchContext::threads() const { return impl_->pool.size(); }
+
+SubproblemCache* BatchContext::cache() const { return impl_->cache; }
+
+std::uint64_t BatchContext::runs() const {
+  return impl_->runs.load(std::memory_order_relaxed);
+}
+
 std::uint64_t batch_net_seed(std::uint64_t base_seed, std::uint32_t net_id) {
   // One SplitMix64 scramble of (base, id): distinct, well-separated streams
   // per net, a pure function of the identifiers.
@@ -103,9 +171,14 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
   if (ckt) realized.resize(ckt->gates.size());
 
   {
+    // Warm-context runs borrow the context's pool and per-worker scratch;
+    // context-free runs build their own below.  The lease makes concurrent
+    // runs on one context a hard error instead of a data race.
+    BatchContext::Impl* ctx =
+        opts_.context != nullptr ? opts_.context->impl_.get() : nullptr;
+    ContextLease lease(ctx);
     const std::size_t n_threads =
-        opts_.threads > 0 ? opts_.threads
-                          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        ctx != nullptr ? ctx->pool.size() : resolve_threads(opts_.threads);
     // Per-worker scratch; constructed before the pool so that if an
     // exception unwinds this scope, the pool's draining destructor (which
     // may still run tasks referencing the sessions/arenas) fires first.
@@ -116,15 +189,24 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
     // phase — sessions stage writes privately and the publish happens
     // serially below.
     SubproblemCache* shared_cache =
-        (opts_.cache != nullptr && opts_.cache->enabled() && !cache_env_off())
-            ? opts_.cache
-            : nullptr;
-    std::vector<CacheSession> sessions;
-    sessions.reserve(n_threads);
-    for (std::size_t w = 0; w < n_threads; ++w)
-      sessions.emplace_back(shared_cache);
+        ctx != nullptr
+            ? ctx->cache
+            : ((opts_.cache != nullptr && opts_.cache->enabled() &&
+                !cache_env_off())
+                   ? opts_.cache
+                   : nullptr);
+    std::vector<CacheSession> local_sessions;
+    std::vector<SolutionArena> local_arenas(ctx != nullptr ? 0 : n_threads);
+    if (ctx == nullptr) {
+      local_sessions.reserve(n_threads);
+      for (std::size_t w = 0; w < n_threads; ++w)
+        local_sessions.emplace_back(shared_cache);
+    }
+    std::vector<CacheSession>& sessions =
+        ctx != nullptr ? ctx->sessions : local_sessions;
+    std::vector<SolutionArena>& arenas =
+        ctx != nullptr ? ctx->arenas : local_arenas;
     std::vector<FlushBatch> flushes(jobs.size());
-    std::vector<SolutionArena> arenas(n_threads);
     std::vector<ObsSink> sinks;
     if (kObsEnabled && opts_.obs != nullptr) {
       sinks.resize(n_threads);
@@ -139,13 +221,18 @@ BatchResult BatchRunner::run_jobs(const std::vector<CircuitNet>& jobs,
         sinks[w].set_span_capacity(opts_.obs->span_capacity());
       }
     }
-    ThreadPool pool(n_threads);
+    std::optional<ThreadPool> local_pool;
+    if (ctx == nullptr) local_pool.emplace(n_threads);
+    ThreadPool& pool = ctx != nullptr ? ctx->pool : *local_pool;
     const bool tracing = !sinks.empty() && opts_.obs->spans_armed();
-    if (tracing) {
+    if (tracing && ctx == nullptr) {
       // Bridge the pool's scheduling events onto the worker timelines.
       // Callbacks run on worker w's own thread and only touch sinks[w], so
       // they race with nothing; `sinks` outlives the pool by construction
-      // (declared before it, destroyed after).
+      // (declared before it, destroyed after).  A warm context's pool has
+      // already run tasks, so installing an observer there is illegal
+      // (ThreadPool::set_observer contract) — context runs trade the pool
+      // idle/steal spans away; net-attributed spans are unaffected.
       PoolObserver po;
       po.on_idle = [&sinks](std::size_t w, std::uint64_t b, std::uint64_t e) {
         SpanRecord r;
@@ -577,6 +664,69 @@ bool batch_results_identical(const BatchResult& a, const BatchResult& b) {
   return ca.area == cb.area && ca.delay_ps == cb.delay_ps &&
          ca.nets_routed == cb.nets_routed &&
          ca.buffers_inserted == cb.buffers_inserted;
+}
+
+namespace {
+
+/// FNV-1a, fed field-by-field.  Doubles go in as IEEE bit patterns (bitwise
+/// identity is exactly the contract the differentials enforce; two runs that
+/// differ only in -0.0 vs 0.0 or NaN payload SHOULD digest differently).
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t batch_result_digest(const BatchResult& r) {
+  Fnv1a d;
+  d.u64(r.nets.size());
+  for (const BatchNetResult& n : r.nets) {
+    d.u64(n.net_id);
+    d.u64(n.trivial ? 1 : 0);
+    d.u64(static_cast<std::uint64_t>(n.status));
+    d.u64(n.attempts);
+    d.u64(n.budget_trips);
+    const RoutingTree& t = n.result.tree;
+    d.u64(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const TreeNode& tn = t.node(i);
+      d.u64(static_cast<std::uint64_t>(tn.kind));
+      d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tn.at.x)));
+      d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tn.at.y)));
+      d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tn.idx)));
+      d.u64(tn.parent);
+      d.f64(tn.wire_width);
+      d.u64(tn.children.size());
+      for (const std::uint32_t c : tn.children) d.u64(c);
+    }
+    const EvalResult& e = n.result.eval;
+    d.f64(e.root_load);
+    d.f64(e.root_req_time);
+    d.f64(e.driver_delay);
+    d.f64(e.driver_req_time);
+    d.f64(e.buffer_area);
+    d.f64(e.wirelength);
+    d.u64(e.buffer_count);
+    d.u64(n.result.merlin_loops);
+  }
+  d.f64(r.circuit.area);
+  d.f64(r.circuit.delay_ps);
+  d.u64(r.circuit.nets_routed);
+  d.u64(r.circuit.buffers_inserted);
+  return d.h;
 }
 
 bool batch_results_equivalent(const BatchResult& a, const BatchResult& b) {

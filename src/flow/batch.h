@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,50 @@ enum class FailPolicy : std::uint8_t {
   return "unknown";
 }
 
+/// Warm, reusable batch execution state: a ThreadPool plus per-worker
+/// SolutionArenas and CacheSessions that survive from one run to the next,
+/// so a long-lived caller (merlin_d, repeated benchmarking legs) pays the
+/// thread spawn and slab/bucket allocation once instead of per run.
+///
+/// Attach via BatchOptions::context.  When set:
+///   * the context's pool decides the worker count (BatchOptions::threads is
+///     ignored), and the context's cache wins over BatchOptions::cache
+///     (MERLIN_CACHE=off is honored once, at context construction);
+///   * per-run state (ObsSinks, flush slots, result vectors) stays per-run,
+///     so results are bit-identical to a context-free run at the same thread
+///     count — the daemon-vs-CLI differential in tests/test_serve.cpp holds
+///     the two paths to that;
+///   * pool idle/steal spans are unavailable (a PoolObserver must be
+///     installed before the pool's first task, which a warm pool has long
+///     since run); net-attributed spans are unaffected.
+///
+/// A context serves ONE run at a time — concurrent run_jobs calls sharing a
+/// context throw std::logic_error.  Serialize externally (the daemon's
+/// scheduler thread does exactly that).
+class BatchContext {
+ public:
+  /// `threads` as in BatchOptions::threads (0 = hardware concurrency).
+  /// `cache` may be null: runs reduce to per-worker scratch caching.
+  explicit BatchContext(std::size_t threads, SubproblemCache* cache = nullptr);
+  ~BatchContext();
+  BatchContext(const BatchContext&) = delete;
+  BatchContext& operator=(const BatchContext&) = delete;
+
+  /// Resolved worker count (never 0).
+  [[nodiscard]] std::size_t threads() const;
+  /// The attached shared cache after the MERLIN_CACHE gate (may be null).
+  [[nodiscard]] SubproblemCache* cache() const;
+  /// Runs completed through this context since construction.
+  [[nodiscard]] std::uint64_t runs() const;
+
+  /// Opaque warm state (pool, arenas, sessions); defined in batch.cpp.
+  struct Impl;
+
+ private:
+  friend class BatchRunner;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Batch execution knobs.
 struct BatchOptions {
   std::size_t threads = 1;  ///< worker count; 0 = hardware concurrency
@@ -100,7 +145,7 @@ struct BatchOptions {
 
   /// Optional aggregate observability sink.  The runner gives every pool
   /// worker a private ObsSink (same ownership discipline as the per-worker
-  /// GammaCache/SolutionArena), then merges them into this sink serially
+  /// CacheSession/SolutionArena), then merges them into this sink serially
   /// after the pool drains: counters/gauges/layer stats are commutative, and
   /// per-net trace rows are re-sorted by net id and capped at this sink's
   /// trace_capacity() — so everything except wall times and the `runtime`
@@ -140,6 +185,12 @@ struct BatchOptions {
   /// thread-safe.  Purely observational: results never depend on it.
   /// merlin_cli --progress hangs its stderr ticker here.
   std::function<void(std::size_t done, std::size_t total)> progress;
+
+  /// Optional warm execution state (pool + per-worker arenas/sessions)
+  /// reused across runs; see BatchContext.  When set, `threads` and `cache`
+  /// above are ignored in favor of the context's.  The context must outlive
+  /// every run that uses it.
+  BatchContext* context = nullptr;
 };
 
 /// Outcome of one net of the batch.
@@ -256,5 +307,15 @@ bool batch_results_identical(const BatchResult& a, const BatchResult& b);
 /// this form — a warm rerun serves sub-problems from the shared store,
 /// turning misses into hits without changing any structure.
 bool batch_results_equivalent(const BatchResult& a, const BatchResult& b);
+
+/// 64-bit FNV-1a digest of every scheduling-independent, cache-blind field
+/// of a batch result: per net — id, trivial flag, status, attempts, budget
+/// trips, the full tree (kind/position/idx/parent/wire width/child list),
+/// the evaluation's double bit patterns and the loop count — plus the
+/// circuit-level outcome.  Wall times and cache hit/miss counters are
+/// excluded, so a warm rerun digests identically to a cold one.  Equal
+/// digests are the daemon-vs-CLI differential's cheap transport: merlin_cli
+/// --digest prints it, merlin_d returns it with every result.
+std::uint64_t batch_result_digest(const BatchResult& r);
 
 }  // namespace merlin

@@ -77,11 +77,23 @@ class Writer {
 
 }  // namespace
 
-std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt) {
+std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt,
+                          const RequestInfo& req) {
   Writer w;
   w.begin_obj();
   w.key("schema"); w.str(kStatsSchemaName);
   w.key("schema_version"); w.num(static_cast<std::uint64_t>(kStatsSchemaVersion));
+
+  // v4: which request produced this document.  Always emitted so consumers
+  // need no presence check; the zero request with source "cli" is the
+  // one-shot shape.  queue_ms is a wall-clock fact (like `runtime`).
+  w.key("request");
+  w.begin_obj();
+  w.key("id"); w.num(req.id);
+  w.key("source"); w.str(req.source);
+  w.key("client"); w.num(req.client);
+  w.key("queue_ms"); w.num(req.queue_ms);
+  w.end_obj();
 
   w.key("counters");
   w.begin_obj();

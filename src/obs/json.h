@@ -26,8 +26,14 @@ namespace merlin {
 /// sub-problem cache counters/gauges: lookups, hit/shared-hit/miss counts,
 /// publish totals and shared-store size), plus the new cache_* names in
 /// `counters`/`gauges` themselves.
+///
+/// v4: new top-level `request` section identifying which request produced
+/// the document — always present; one-shot CLI runs emit the zero request
+/// with source "cli", merlin_d stamps the job id, the submitting client and
+/// the admission-queue wait (docs/SERVING.md).  v3 consumers that never
+/// look at unknown keys parse v4 documents unchanged.
 inline constexpr const char* kStatsSchemaName = "merlin.stats";
-inline constexpr int kStatsSchemaVersion = 3;
+inline constexpr int kStatsSchemaVersion = 4;
 
 /// Scheduling-dependent run facts.  Kept in a separate "runtime" JSON
 /// section so the deterministic sections (counters/gauges/layers/nets) can
@@ -39,11 +45,25 @@ struct RuntimeInfo {
   std::vector<std::uint64_t> worker_tasks;  ///< tasks executed per worker
 };
 
-/// Render the sink (plus optional runtime facts) as a JSON document:
-/// schema/version, counters, gauges, phases, layers, nets (trace rows),
-/// latency_us percentiles over the trace wall times, runtime.
+/// Identity of the request a stats document describes (the v4 `request`
+/// section).  The defaults describe a one-shot CLI run; merlin_d fills in
+/// the job id it assigned at admission, the client connection that submitted
+/// it, and the queue wait — wall-clock, hence quarantined alongside
+/// `runtime` rather than the deterministic sections.
+struct RequestInfo {
+  std::uint64_t id = 0;         ///< daemon-assigned job id (0 = one-shot run)
+  const char* source = "cli";   ///< "cli" or "serve"
+  std::uint64_t client = 0;     ///< submitting connection id (serve only)
+  double queue_ms = 0.0;        ///< admission-queue wait (serve only)
+};
+
+/// Render the sink (plus optional runtime/request facts) as a JSON
+/// document: schema/version, request, counters, gauges, phases, layers,
+/// nets (trace rows), latency_us percentiles over the trace wall times,
+/// cache, runtime.
 [[nodiscard]] std::string stats_to_json(const ObsSink& sink,
-                                        const RuntimeInfo& rt = {});
+                                        const RuntimeInfo& rt = {},
+                                        const RequestInfo& req = {});
 
 // -- minimal JSON value / parser -------------------------------------------
 

@@ -52,8 +52,10 @@ enum class SpanName : std::uint8_t {
   kVanginDp,         ///< one vangin_insert
   kPoolIdle,         ///< worker idle gap before picking up a task
   kPoolSteal,        ///< instant: the next task was stolen (FIFO victim)
+  kServeQueue,       ///< daemon job admission→dispatch wait (arg = job id)
+  kServeRequest,     ///< daemon job dispatch→completion (arg = job id)
 };
-inline constexpr std::size_t kSpanNameCount = 15;
+inline constexpr std::size_t kSpanNameCount = 17;
 
 [[nodiscard]] constexpr const char* span_name(SpanName s) {
   switch (s) {
@@ -72,6 +74,8 @@ inline constexpr std::size_t kSpanNameCount = 15;
     case SpanName::kVanginDp: return "vangin.dp";
     case SpanName::kPoolIdle: return "pool.idle";
     case SpanName::kPoolSteal: return "pool.steal";
+    case SpanName::kServeQueue: return "serve.queue";
+    case SpanName::kServeRequest: return "serve.request";
   }
   return "unknown";
 }

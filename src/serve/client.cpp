@@ -1,0 +1,181 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace merlin {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int connect_once(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path empty or too long: '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& socket_path, int retry_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    fd_ = connect_once(socket_path);
+    if (fd_ >= 0) return;
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw_errno("connect(" + socket_path + ")");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::send_bytes(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Frame ServeClient::read_reply() {
+  char tmp[4096];
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus st = decode_frame(rxbuf_, frame, consumed);
+    if (st == DecodeStatus::kFrame) {
+      rxbuf_.erase(0, consumed);
+      return frame;
+    }
+    if (st != DecodeStatus::kNeedMore)
+      throw std::runtime_error("malformed frame from daemon");
+    const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("daemon closed the connection");
+    rxbuf_.append(tmp, static_cast<std::size_t>(n));
+  }
+}
+
+Frame ServeClient::roundtrip(MsgType type, std::string_view payload) {
+  std::string frame;
+  append_frame(frame, type, payload);
+  send_bytes(frame);
+  return read_reply();
+}
+
+namespace {
+
+[[noreturn]] void throw_error_resp(const Frame& f) {
+  ErrorResp e;
+  if (f.type == MsgType::kRespError && e.decode(f.payload))
+    throw std::runtime_error(
+        std::string("daemon error ") +
+        serve_error_name(static_cast<ServeError>(e.code)) +
+        (e.message.empty() ? "" : ": " + e.message));
+  throw std::runtime_error(std::string("unexpected reply frame ") +
+                           msg_type_name(f.type));
+}
+
+}  // namespace
+
+PongResp ServeClient::ping() {
+  const Frame f = roundtrip(MsgType::kReqPing, {});
+  PongResp pong;
+  if (f.type != MsgType::kRespPong || !pong.decode(f.payload))
+    throw_error_resp(f);
+  return pong;
+}
+
+SubmitReply ServeClient::submit_circuit(std::uint64_t gates,
+                                        std::uint64_t seed,
+                                        std::uint8_t flow) {
+  SubmitCircuitReq req;
+  req.gates = gates;
+  req.seed = seed;
+  req.flow = flow;
+  const Frame f = roundtrip(MsgType::kReqSubmitCircuit, req.encode());
+  SubmitReply reply;
+  if (f.type == MsgType::kRespResult && reply.result.decode(f.payload)) {
+    reply.ok = true;
+    return reply;
+  }
+  if (f.type == MsgType::kRespError && reply.error.decode(f.payload))
+    return reply;
+  throw_error_resp(f);
+}
+
+SubmitReply ServeClient::submit_net(const std::string& net_text,
+                                    std::uint8_t flow) {
+  SubmitNetReq req;
+  req.flow = flow;
+  req.net_text = net_text;
+  const Frame f = roundtrip(MsgType::kReqSubmitNet, req.encode());
+  SubmitReply reply;
+  if (f.type == MsgType::kRespResult && reply.result.decode(f.payload)) {
+    reply.ok = true;
+    return reply;
+  }
+  if (f.type == MsgType::kRespError && reply.error.decode(f.payload))
+    return reply;
+  throw_error_resp(f);
+}
+
+StatusResp ServeClient::status(std::uint64_t job_id) {
+  JobReq req;
+  req.job_id = job_id;
+  const Frame f = roundtrip(MsgType::kReqStatus, req.encode());
+  StatusResp resp;
+  if (f.type != MsgType::kRespStatus || !resp.decode(f.payload))
+    throw_error_resp(f);
+  return resp;
+}
+
+StatsResp ServeClient::stats(std::uint64_t job_id) {
+  JobReq req;
+  req.job_id = job_id;
+  const Frame f = roundtrip(MsgType::kReqStats, req.encode());
+  StatsResp resp;
+  if (f.type != MsgType::kRespStats || !resp.decode(f.payload))
+    throw_error_resp(f);
+  return resp;
+}
+
+void ServeClient::drain() {
+  const Frame f = roundtrip(MsgType::kReqDrain, {});
+  if (f.type != MsgType::kRespOk) throw_error_resp(f);
+}
+
+void ServeClient::shutdown() {
+  const Frame f = roundtrip(MsgType::kReqShutdown, {});
+  if (f.type != MsgType::kRespBye) throw_error_resp(f);
+}
+
+}  // namespace merlin

@@ -1,0 +1,64 @@
+#pragma once
+// Blocking unix-socket client for merlin_d — the library bench_serve, the
+// serve tests and ad-hoc tooling drive the daemon with.  One request frame
+// out, one response frame back (the protocol is synchronous per
+// connection); run several clients for concurrency.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+namespace merlin {
+
+/// Submit verdict: either the job's result or the daemon's error (most
+/// interestingly err.queue_full, whose retry_after_ms feeds backoff).
+struct SubmitReply {
+  bool ok = false;
+  ResultResp result;  ///< valid when ok
+  ErrorResp error;    ///< valid when !ok
+};
+
+class ServeClient {
+ public:
+  /// Connects to the daemon.  retry_ms > 0 keeps retrying the connect for
+  /// that long (100 ms apart) — the just-forked-daemon race, where the
+  /// socket file appears a beat after the process.  Throws
+  /// std::runtime_error when the connection cannot be established.
+  explicit ServeClient(const std::string& socket_path, int retry_ms = 0);
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Typed helpers.  All throw std::runtime_error on transport failure;
+  /// the non-submit helpers also throw on a resp.error reply (its message
+  /// names the error).  Submit returns the error instead — backpressure is
+  /// an expected outcome, not an exception.
+  [[nodiscard]] PongResp ping();
+  [[nodiscard]] SubmitReply submit_circuit(std::uint64_t gates,
+                                           std::uint64_t seed,
+                                           std::uint8_t flow = 3);
+  [[nodiscard]] SubmitReply submit_net(const std::string& net_text,
+                                       std::uint8_t flow = 3);
+  [[nodiscard]] StatusResp status(std::uint64_t job_id);
+  [[nodiscard]] StatsResp stats(std::uint64_t job_id);
+  void drain();     ///< expects resp.ok
+  void shutdown();  ///< expects resp.bye
+
+  /// Raw exchange: one frame out, one frame back.  The escape hatch for
+  /// tests probing the daemon's error handling.
+  [[nodiscard]] Frame roundtrip(MsgType type, std::string_view payload);
+
+  /// Rawest exchange: arbitrary bytes out (valid frame or garbage), one
+  /// frame back.
+  void send_bytes(std::string_view bytes);
+  [[nodiscard]] Frame read_reply();
+
+ private:
+  int fd_ = -1;
+  std::string rxbuf_;
+};
+
+}  // namespace merlin

@@ -1,0 +1,88 @@
+#pragma once
+// Bounded, client-fair admission queue for merlin_d.
+//
+// Jobs enter per-client FIFO lanes and leave round-robin across the lanes
+// (in first-arrival order of the lanes), so one chatty client cannot starve
+// the others: with clients A and B enqueued A1 A2 A3 B1, dispatch order is
+// A1 B1 A2 A3.  Total occupancy is bounded; a push against a full queue
+// fails immediately (the backpressure signal the daemon converts into
+// err.queue_full + a retry-after hint).
+//
+// Thread model: every method takes the one internal mutex; pop_blocking
+// parks on a condition variable until a job, drain or close arrives.  One
+// scheduler thread popping and many connection threads pushing is the
+// intended shape.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace merlin {
+
+/// What a client asked the daemon to run.  Circuit jobs mirror merlin_cli
+/// --circuit; net jobs carry one netfile-text net.
+struct JobSpec {
+  enum class Kind : std::uint8_t { kCircuit, kNet };
+  Kind kind = Kind::kCircuit;
+  std::uint8_t flow = 3;
+  std::uint64_t gates = 0;   ///< kCircuit
+  std::uint64_t seed = 1;    ///< kCircuit
+  std::string net_text;      ///< kNet
+};
+
+/// One admitted job: the spec plus its admission identity.
+struct QueuedJob {
+  std::uint64_t job_id = 0;
+  std::uint64_t client = 0;  ///< submitting connection id
+  JobSpec spec;
+};
+
+/// See file comment.  Capacity counts queued (not yet dispatched) jobs.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits a job; false when the queue is at capacity or closed (the
+  /// caller replies err.queue_full / err.draining respectively — it knows
+  /// which from its own drain flag).
+  bool try_push(QueuedJob job);
+
+  /// Blocks until a job is available, returning it — or std::nullopt once
+  /// the queue is closed AND drained, the scheduler's exit signal.
+  std::optional<QueuedJob> pop_blocking();
+
+  /// Stops admission (try_push fails from now on) but keeps handing out
+  /// queued jobs; pop_blocking returns nullopt once empty.
+  void close();
+
+  /// 0-based dispatch distance of a queued job (how many pops before it
+  /// leaves), simulating the round-robin; std::nullopt when not queued.
+  [[nodiscard]] std::optional<std::size_t> position(std::uint64_t job_id) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+ private:
+  /// One client's FIFO lane.  Lanes are kept in first-arrival order and
+  /// rotate under `cursor_`; empty lanes are reaped on pop.
+  struct Lane {
+    std::uint64_t client = 0;
+    std::deque<QueuedJob> jobs;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;  ///< lane index the next pop serves
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace merlin

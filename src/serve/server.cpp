@@ -1,0 +1,543 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "flow/circuit.h"
+#include "io/netfile.h"
+#include "net/generator.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace merlin {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+// -- ServerCore -------------------------------------------------------------
+
+ServerCore::ServerCore(ServeOptions opts)
+    : opts_(opts),
+      lib_(make_standard_library()),
+      queue_(opts.queue_capacity) {
+  if (opts_.cache_on && opts_.cache_mb > 0) {
+    // Same sizing rule as merlin_cli --cache-mb: the budget is provenance
+    // nodes, converted from MB.  Sharing this construction is part of the
+    // determinism contract — the daemon and the CLI must build the same
+    // cache to produce the same cold-run results.
+    CacheConfig cc;
+    cc.capacity_nodes = opts_.cache_mb * 1024ull * 1024ull / sizeof(SolNode);
+    cache_.emplace(cc);
+  }
+  ctx_ = std::make_unique<BatchContext>(opts_.threads,
+                                        cache_ ? &*cache_ : nullptr);
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+ServerCore::~ServerCore() {
+  begin_drain();
+  wait_drained();
+}
+
+SubmitOutcome ServerCore::submit(std::uint64_t client, JobSpec spec) {
+  SubmitOutcome out;
+  if (draining_.load()) {
+    out.error = ServeError::kDraining;
+    return out;
+  }
+  QueuedJob job;
+  job.client = client;
+  job.spec = std::move(spec);
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    job.job_id = next_job_id_++;
+    JobRecord rec;
+    rec.state = JobState::kQueued;
+    rec.client = client;
+    rec.spec = job.spec;
+    rec.admit_ns = now_ns();
+    jobs_.emplace(job.job_id, std::move(rec));
+  }
+  const std::uint64_t id = job.job_id;
+  if (!queue_.try_push(std::move(job))) {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    jobs_.erase(id);
+    if (queue_.closed()) {
+      // Lost the race with a drain between the flag check and the push.
+      out.error = ServeError::kDraining;
+      return out;
+    }
+    out.error = ServeError::kQueueFull;
+    // Backpressure hint: recent mean job wall time scaled by the backlog a
+    // retry would sit behind.  A hint, not a promise — clients may retry
+    // sooner and simply risk another rejection.
+    const double per_job = wall_ewma_ms_ > 0.0 ? wall_ewma_ms_ : 50.0;
+    const double hint = per_job * static_cast<double>(queue_.size() + 1);
+    out.retry_after_ms = static_cast<std::uint32_t>(
+        hint < 1.0 ? 1.0 : (hint > 60000.0 ? 60000.0 : hint));
+    return out;
+  }
+  out.accepted = true;
+  out.job_id = id;
+  return out;
+}
+
+const JobOutcome* ServerCore::wait(std::uint64_t job_id) {
+  std::unique_lock<std::mutex> lk(jobs_mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return nullptr;
+  jobs_cv_.wait(lk, [&] { return it->second.state == JobState::kDone; });
+  // Map nodes are address-stable and records are never erased once their
+  // job ran, so the pointer stays valid for the core's lifetime.
+  return &it->second.outcome;
+}
+
+JobState ServerCore::status(std::uint64_t job_id,
+                            std::uint64_t& position) const {
+  position = 0;
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return JobState::kUnknown;
+  if (it->second.state == JobState::kQueued) {
+    if (const auto pos = queue_.position(job_id)) position = *pos;
+  }
+  return it->second.state;
+}
+
+std::optional<std::string> ServerCore::stats_json(std::uint64_t job_id) const {
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::kDone)
+    return std::nullopt;
+  return it->second.outcome.stats_json;
+}
+
+void ServerCore::begin_drain() {
+  draining_.store(true);
+  queue_.close();
+}
+
+void ServerCore::wait_drained() {
+  std::lock_guard<std::mutex> lk(join_mu_);
+  if (scheduler_joined_) return;
+  scheduler_.join();
+  scheduler_joined_ = true;
+}
+
+void ServerCore::scheduler_loop() {
+  // One job at a time, strictly in the queue's fair order — the warm
+  // BatchContext serves one run at a time by contract, and serial dispatch
+  // is also what keeps each job's parallelism (its own nets across the full
+  // pool) identical to a one-shot run's.
+  while (auto job = queue_.pop_blocking()) {
+    const std::int64_t dispatch_ns = now_ns();
+    std::int64_t admit_ns = dispatch_ns;
+    {
+      std::lock_guard<std::mutex> lk(jobs_mu_);
+      JobRecord& rec = jobs_.at(job->job_id);
+      rec.state = JobState::kRunning;
+      admit_ns = rec.admit_ns;
+    }
+    jobs_cv_.notify_all();
+    const double queue_ms = ns_to_ms(dispatch_ns - admit_ns);
+    JobOutcome outcome = run_one(*job, queue_ms, admit_ns);
+    {
+      std::lock_guard<std::mutex> lk(jobs_mu_);
+      JobRecord& rec = jobs_.at(job->job_id);
+      rec.outcome = std::move(outcome);
+      rec.state = JobState::kDone;
+      const double w = rec.outcome.wall_ms;
+      wall_ewma_ms_ = wall_ewma_ms_ > 0.0 ? 0.7 * wall_ewma_ms_ + 0.3 * w : w;
+    }
+    jobs_completed_.fetch_add(1);
+    jobs_cv_.notify_all();
+  }
+}
+
+JobOutcome ServerCore::run_one(const QueuedJob& job, double queue_ms,
+                               std::int64_t admit_ns) {
+  JobOutcome out;
+  out.queue_ms = queue_ms;
+  const std::int64_t t0 = now_ns();
+  ObsSink sink;
+  if (opts_.trace_spans) sink.set_span_capacity(ObsSink::kDefaultSpanCapacity);
+  try {
+    // Mirror merlin_cli's circuit mode field for field: same CircuitSpec,
+    // same BatchOptions defaults, same flow enum — any divergence here
+    // breaks the daemon-vs-CLI bit-identity the differential tests enforce.
+    BatchOptions bo;
+    bo.flow = static_cast<FlowKind>(job.spec.flow);
+    bo.obs = &sink;
+    bo.guard = opts_.guard;
+    bo.fail_policy = opts_.fail_policy;
+    bo.context = ctx_.get();
+    const BatchRunner runner(lib_, bo);
+
+    BatchResult r;
+    if (job.spec.kind == JobSpec::Kind::kCircuit) {
+      CircuitSpec cs;
+      cs.name = "ckt" + std::to_string(job.spec.gates);
+      cs.n_gates = job.spec.gates;
+      cs.seed = job.spec.seed;
+      const Circuit ckt = make_random_circuit(cs, lib_);
+      r = runner.run(ckt);
+      out.delay_ps = r.circuit.delay_ps;
+      out.area = r.circuit.area;
+      out.buffers = r.circuit.buffers_inserted;
+      out.nets = r.circuit.nets_routed;
+    } else {
+      std::istringstream in(job.spec.net_text);
+      const Net net = read_net(in);
+      r = runner.run_nets({net});
+      const BatchNetResult& nr = r.nets.at(0);
+      out.delay_ps = nr.result.eval.table_delay(net);
+      out.area = nr.result.eval.buffer_area;
+      out.buffers = nr.result.eval.buffer_count;
+      out.nets = 1;
+    }
+    out.digest = batch_result_digest(r);
+    out.wall_ms = ns_to_ms(now_ns() - t0);
+
+    if (kObsEnabled && sink.spans_armed()) {
+      // The request's own timeline: queue wait (admission → dispatch) and
+      // the run itself.  Scheduling spans by nature (net == kNoTraceNet),
+      // tagged with the job id so a Perfetto track reads per-request.
+      SpanRecord q;
+      q.begin_ns = static_cast<std::uint64_t>(admit_ns);
+      q.end_ns = static_cast<std::uint64_t>(t0);
+      q.arg = job.job_id;
+      q.name = SpanName::kServeQueue;
+      sink.record_span(q);
+      SpanRecord s;
+      s.begin_ns = static_cast<std::uint64_t>(t0);
+      s.end_ns = static_cast<std::uint64_t>(now_ns());
+      s.arg = job.job_id;
+      s.name = SpanName::kServeRequest;
+      sink.record_span(s);
+    }
+
+    RuntimeInfo rt;
+    rt.threads = r.stats.threads_used;
+    rt.steals = r.stats.steals;
+    rt.wall_ms = r.stats.wall_ms;
+    rt.worker_tasks = r.stats.worker_tasks;
+    RequestInfo req;
+    req.id = job.job_id;
+    req.source = "serve";
+    req.client = job.client;
+    req.queue_ms = queue_ms;
+    out.stats_json = stats_to_json(sink, rt, req);
+    if (opts_.keep_results)
+      out.result = std::make_shared<const BatchResult>(std::move(r));
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+    out.wall_ms = ns_to_ms(now_ns() - t0);
+  }
+  return out;
+}
+
+// -- SocketServer -----------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer; false on a broken peer (EPIPE & co).
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_msg(int fd, MsgType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  append_frame(frame, type, payload);
+  return send_all(fd, frame);
+}
+
+bool send_error(int fd, ServeError code, std::string message,
+                std::uint32_t retry_after_ms = 0) {
+  ErrorResp e;
+  e.code = static_cast<std::uint8_t>(code);
+  e.retry_after_ms = retry_after_ms;
+  e.message = std::move(message);
+  return send_msg(fd, MsgType::kRespError, e.encode());
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServerCore& core, std::string socket_path)
+    : core_(core), path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.empty() || path_.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path empty or too long: '" + path_ + "'");
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket(AF_UNIX)");
+  // A stale socket file from a killed daemon must not block the restart.
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("bind(" + path_ + ")");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    throw_errno("listen(" + path_ + ")");
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop_.store(true);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  close_connections();
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::close_connections() {
+  {
+    // Half-close every live connection so its thread's blocking recv
+    // returns 0 and the handler unwinds.  The fd itself is closed by
+    // handle_connection (which also removes it from live_fds_ first, under
+    // this same mutex — so nothing here can shut down a recycled fd).
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+}
+
+void SocketServer::run_until_shutdown(const std::atomic<bool>* external_stop) {
+  std::uint64_t next_client = 0;
+  while (!stop_.load() &&
+         (external_stop == nullptr || !external_stop->load())) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // The 200 ms tick bounds how long a stop request (shutdown frame or
+    // signal flag) waits before the loop notices it.
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::uint64_t client_id = ++next_client;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    live_fds_.push_back(fd);
+    connections_.emplace_back(
+        [this, fd, client_id] { handle_connection(fd, client_id); });
+  }
+  // Graceful drain: admission closes, queued and in-flight jobs run to
+  // completion (their clients get real results), THEN the connections are
+  // torn down and joined.
+  core_.begin_drain();
+  core_.wait_drained();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  close_connections();
+}
+
+void SocketServer::handle_connection(int fd, std::uint64_t client_id) {
+  std::string buf;
+  char tmp[4096];
+  bool open = true;
+  while (open) {
+    // Drain every complete frame already buffered before reading more.
+    for (;;) {
+      Frame frame;
+      std::size_t consumed = 0;
+      const DecodeStatus st = decode_frame(buf, frame, consumed);
+      if (st == DecodeStatus::kNeedMore) break;
+      if (st != DecodeStatus::kFrame) {
+        // Framing violations are unrecoverable on a stream: the reader can
+        // no longer find the next boundary.  One diagnostic, then hang up.
+        const char* what = st == DecodeStatus::kBadMagic ? "bad magic"
+                           : st == DecodeStatus::kOversize
+                               ? "payload exceeds kMaxFramePayload"
+                               : "unknown message type";
+        send_error(fd, ServeError::kBadFrame, what);
+        open = false;
+        break;
+      }
+      buf.erase(0, consumed);
+      if (!handle_frame(frame, client_id, fd)) {
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed (or the server is tearing down)
+    buf.append(tmp, static_cast<std::size_t>(n));
+  }
+  {
+    // Deregister BEFORE closing: close_connections only shuts down fds
+    // still in live_fds_, so a recycled fd number can never be hit.
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto it = live_fds_.begin(); it != live_fds_.end(); ++it) {
+      if (*it == fd) {
+        live_fds_.erase(it);
+        break;
+      }
+    }
+    ::close(fd);
+  }
+}
+
+bool SocketServer::handle_frame(const Frame& frame, std::uint64_t client_id,
+                                int fd) {
+  switch (frame.type) {
+    case MsgType::kReqPing: {
+      if (!frame.payload.empty())
+        return send_error(fd, ServeError::kBadRequest, "ping carries no payload");
+      PongResp pong;
+      pong.jobs_completed = core_.jobs_completed();
+      pong.draining = core_.draining() ? 1 : 0;
+      return send_msg(fd, MsgType::kRespPong, pong.encode());
+    }
+    case MsgType::kReqSubmitCircuit:
+    case MsgType::kReqSubmitNet: {
+      JobSpec spec;
+      if (frame.type == MsgType::kReqSubmitCircuit) {
+        SubmitCircuitReq req;
+        if (!req.decode(frame.payload))
+          return send_error(fd, ServeError::kBadRequest,
+                            "malformed submit_circuit payload");
+        spec.kind = JobSpec::Kind::kCircuit;
+        spec.flow = req.flow;
+        spec.gates = req.gates;
+        spec.seed = req.seed;
+      } else {
+        SubmitNetReq req;
+        if (!req.decode(frame.payload))
+          return send_error(fd, ServeError::kBadRequest,
+                            "malformed submit_net payload");
+        spec.kind = JobSpec::Kind::kNet;
+        spec.flow = req.flow;
+        spec.net_text = std::move(req.net_text);
+      }
+      const SubmitOutcome admitted = core_.submit(client_id, std::move(spec));
+      if (!admitted.accepted)
+        return send_error(fd, admitted.error,
+                          serve_error_name(admitted.error),
+                          admitted.retry_after_ms);
+      // Synchronous protocol: the submitting connection blocks until its
+      // job retires (concurrency = multiple connections).
+      const JobOutcome* oc = core_.wait(admitted.job_id);
+      if (oc == nullptr)
+        return send_error(fd, ServeError::kInternal, "job record vanished");
+      ResultResp resp;
+      resp.job_id = admitted.job_id;
+      resp.ok = oc->ok ? 1 : 0;
+      resp.delay_ps = oc->delay_ps;
+      resp.area = oc->area;
+      resp.buffers = oc->buffers;
+      resp.nets = oc->nets;
+      resp.digest = oc->digest;
+      resp.queue_ms = oc->queue_ms;
+      resp.wall_ms = oc->wall_ms;
+      resp.error = oc->error;
+      return send_msg(fd, MsgType::kRespResult, resp.encode());
+    }
+    case MsgType::kReqStatus: {
+      JobReq req;
+      if (!req.decode(frame.payload))
+        return send_error(fd, ServeError::kBadRequest, "malformed status payload");
+      std::uint64_t position = 0;
+      const JobState st = core_.status(req.job_id, position);
+      if (st == JobState::kUnknown)
+        return send_error(fd, ServeError::kUnknownJob,
+                          "job " + std::to_string(req.job_id) + " never admitted");
+      StatusResp resp;
+      resp.job_id = req.job_id;
+      resp.state = static_cast<std::uint8_t>(st);
+      resp.position = position;
+      return send_msg(fd, MsgType::kRespStatus, resp.encode());
+    }
+    case MsgType::kReqStats: {
+      JobReq req;
+      if (!req.decode(frame.payload))
+        return send_error(fd, ServeError::kBadRequest, "malformed stats payload");
+      const auto json = core_.stats_json(req.job_id);
+      if (!json)
+        return send_error(fd, ServeError::kUnknownJob,
+                          "job " + std::to_string(req.job_id) +
+                              " unknown or not finished");
+      StatsResp resp;
+      resp.job_id = req.job_id;
+      resp.json = *json;
+      return send_msg(fd, MsgType::kRespStats, resp.encode());
+    }
+    case MsgType::kReqDrain: {
+      core_.begin_drain();
+      return send_msg(fd, MsgType::kRespOk, {});
+    }
+    case MsgType::kReqShutdown: {
+      // Drain fully BEFORE acknowledging: once the client reads resp.bye,
+      // every admitted job has retired and the daemon is about to exit 0.
+      core_.begin_drain();
+      core_.wait_drained();
+      send_msg(fd, MsgType::kRespBye, {});
+      stop_.store(true);
+      return false;
+    }
+    default:
+      // A client sending response frames is talking the wrong direction.
+      send_error(fd, ServeError::kBadRequest, "response frame from client");
+      return false;
+  }
+}
+
+}  // namespace merlin

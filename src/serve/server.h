@@ -1,0 +1,192 @@
+#pragma once
+// merlin_d's engine room.
+//
+// ServerCore is the socket-free heart of the daemon: it owns the warm state
+// (buffer library, shared SubproblemCache, BatchContext with its resident
+// ThreadPool and per-worker arenas/sessions), the bounded fair admission
+// queue, the job registry, and ONE scheduler thread that dispatches queued
+// jobs onto the context strictly one at a time — which is what lets every
+// job reuse the warm pool, and what makes results bit-identical to one-shot
+// CLI runs (tests/test_serve.cpp holds both paths to that).  Being
+// socket-free, the whole admission/fairness/determinism surface is testable
+// in-process.
+//
+// SocketServer is the transport shell: a unix-domain stream listener, one
+// thread per connection, length-prefixed frames (serve/protocol.h), strictly
+// one response per request.  Malformed framing earns err.bad_frame and the
+// connection is closed; a well-framed payload that fails to decode earns
+// err.bad_request and the connection lives on.
+//
+// Lifecycle: warm (construction spawns pool + scheduler) → serving →
+// draining (admission closed, queued/in-flight jobs finish) → stopped.
+// Drain is irreversible.  docs/SERVING.md is the user-facing reference.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buflib/library.h"
+#include "cache/shard.h"
+#include "flow/batch.h"
+#include "runtime/guard.h"
+#include "serve/protocol.h"
+#include "serve/queue.h"
+
+namespace merlin {
+
+/// Daemon configuration (merlin_d's flags map 1:1 onto this).
+struct ServeOptions {
+  std::size_t threads = 1;        ///< batch workers (0 = all cores)
+  std::size_t cache_mb = 64;      ///< shared-cache budget (0 disables)
+  bool cache_on = true;           ///< arm the shared SubproblemCache
+  std::size_t queue_capacity = 64;  ///< admission-queue bound
+  GuardConfig guard{};            ///< per-job NetGuard budgets
+  FailPolicy fail_policy = FailPolicy::kDegrade;
+  bool trace_spans = false;       ///< arm per-job span rings (serve.* spans)
+  /// Keep each job's full BatchResult in its outcome — the in-process
+  /// differential tests compare them structurally.  Daemons serving real
+  /// traffic leave this off (outcomes hold only the summary + stats JSON).
+  bool keep_results = false;
+};
+
+/// Terminal record of a finished job.
+struct JobOutcome {
+  bool ok = false;
+  std::string error;          ///< what() of the failing exception
+  double delay_ps = 0.0;
+  double area = 0.0;
+  std::uint64_t buffers = 0;
+  std::uint64_t nets = 0;
+  std::uint64_t digest = 0;   ///< batch_result_digest of the full result
+  double queue_ms = 0.0;      ///< admission → dispatch wait
+  double wall_ms = 0.0;       ///< dispatch → completion
+  std::string stats_json;     ///< merlin.stats v4 (request.id = job id)
+  /// Full result, only under ServeOptions::keep_results.
+  std::shared_ptr<const BatchResult> result;
+};
+
+/// Admission verdict of ServerCore::submit.
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t job_id = 0;          ///< valid when accepted
+  ServeError error = ServeError::kInternal;  ///< valid when rejected
+  std::uint32_t retry_after_ms = 0;  ///< backpressure hint (err.queue_full)
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServeOptions opts = {});
+  /// Drains (admission closed, queued jobs run to completion) and joins.
+  ~ServerCore();
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Admits a job from `client` (a connection id; fairness is per client).
+  /// Rejection carries err.queue_full (+ retry-after hint scaled by the
+  /// current backlog) or err.draining.
+  SubmitOutcome submit(std::uint64_t client, JobSpec spec);
+
+  /// Blocks until `job_id` completes; nullptr for a job never admitted.
+  [[nodiscard]] const JobOutcome* wait(std::uint64_t job_id);
+
+  /// Non-blocking state probe; `position` is filled when queued.
+  [[nodiscard]] JobState status(std::uint64_t job_id,
+                                std::uint64_t& position) const;
+
+  /// The finished job's stats JSON; nullopt when unknown or not done yet.
+  [[nodiscard]] std::optional<std::string> stats_json(
+      std::uint64_t job_id) const;
+
+  /// Stops admission.  Queued and in-flight jobs still complete; call
+  /// wait_drained() to block until the scheduler retires the last one.
+  void begin_drain();
+  /// Joins the scheduler (implies the queue has fully drained).  Must be
+  /// preceded by begin_drain().
+  void wait_drained();
+
+  [[nodiscard]] bool draining() const { return draining_.load(); }
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_.load();
+  }
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+  /// The warm context's resolved worker count.
+  [[nodiscard]] std::size_t threads() const { return ctx_->threads(); }
+
+ private:
+  struct JobRecord {
+    JobState state = JobState::kQueued;
+    std::uint64_t client = 0;
+    JobSpec spec;
+    std::int64_t admit_ns = 0;
+    JobOutcome outcome;
+  };
+
+  void scheduler_loop();
+  [[nodiscard]] JobOutcome run_one(const QueuedJob& job, double queue_ms,
+                                   std::int64_t admit_ns);
+
+  ServeOptions opts_;
+  BufferLibrary lib_;
+  std::optional<SubproblemCache> cache_;
+  std::unique_ptr<BatchContext> ctx_;
+  AdmissionQueue queue_;
+
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  double wall_ewma_ms_ = 0.0;  ///< recent job wall time (retry-after hint)
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::thread scheduler_;
+  bool scheduler_joined_ = false;
+  std::mutex join_mu_;
+};
+
+/// Unix-domain transport for a ServerCore.  One accept loop (poll with a
+/// 200 ms tick so stop requests and signals are honored promptly), one
+/// thread per connection, one response frame per request frame.
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// unlinked first — stale sockets from a killed daemon must not block a
+  /// restart).  Throws std::runtime_error on any socket-layer failure; the
+  /// daemon maps that to exit code 6.
+  SocketServer(ServerCore& core, std::string socket_path);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Serves until a shutdown request arrives or `external_stop` (optional,
+  /// e.g. a signal flag) becomes true.  On exit the listener is closed,
+  /// every connection thread has joined and the core has fully drained.
+  void run_until_shutdown(const std::atomic<bool>* external_stop = nullptr);
+
+  [[nodiscard]] const std::string& socket_path() const { return path_; }
+
+ private:
+  void handle_connection(int fd, std::uint64_t client_id);
+  /// One request frame → one response frame; false closes the connection.
+  bool handle_frame(const Frame& frame, std::uint64_t client_id, int fd);
+  /// Wakes every connection thread parked in recv (shutdown(2) on the live
+  /// fds) and joins them — idle clients must not block a drain forever.
+  void close_connections();
+
+  ServerCore& core_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> live_fds_;  ///< fds of connections not yet torn down
+};
+
+}  // namespace merlin

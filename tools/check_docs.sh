@@ -24,14 +24,30 @@
 #      and the `/// cache-entry: <name>` annotations in the src/cache/
 #      headers must agree in BOTH directions — renaming or adding a cache
 #      subsystem entry point fails the build until the doc table matches.
+#   7. The wire-protocol tables in docs/SERVING.md (between the
+#      wire-protocol markers) and the msg_type_name()/serve_error_name()
+#      strings in src/serve/protocol.h must agree in BOTH directions — a
+#      renamed/added/removed message or error code fails the build until
+#      the doc tables match.
 #
-# Exits non-zero with one line per violation.
+# Exits non-zero with one line per violation; each violation is followed
+# by an "  at FILE:LINE: <text>" line pointing at the offending line.
 
 set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root" || exit 1
 
 violations=0
+
+# blame FILE NEEDLE — print the first line of FILE containing NEEDLE
+# (fixed-string match) as "  at FILE:LINE: <text>", so a violation can be
+# jumped to without re-grepping.
+blame() {
+  grep -nF -m 1 -- "$2" "$1" 2>/dev/null | head -n 1 |
+    while IFS=: read -r ln rest; do
+      printf '  at %s:%s:%s\n' "$1" "$ln" "$rest"
+    done
+}
 
 # --- 1. intra-repo markdown links ------------------------------------------
 while IFS= read -r md; do
@@ -45,6 +61,7 @@ while IFS= read -r md; do
     [ -z "$target" ] && continue
     if [ ! -e "$base/$target" ] && [ ! -e "./$target" ]; then
       echo "BROKEN LINK: $md -> $target"
+      blame "$md" "($target"
       violations=$((violations + 1))
     fi
   done < <(awk '/^```/{fence=!fence; next} !fence' "$md" |
@@ -59,6 +76,7 @@ if [ -f "$doc" ] && [ -f "$hdr" ]; then
   while IFS= read -r name; do
     if ! grep -q "\"$name\"" "$hdr"; then
       echo "STALE NAME: $doc documents \`$name\` but $hdr does not define it"
+      blame "$doc" "\`$name\`"
       violations=$((violations + 1))
     fi
   done < <(grep -oE '^\| `[a-z][a-z0-9_]*`' "$doc" | sed -E 's/^\| `([a-z0-9_]+)`$/\1/' | sort -u)
@@ -80,12 +98,14 @@ if [ -f "$rdoc" ] && [ -f "$fhdr" ]; then
   for s in $src_sites; do
     if ! printf '%s\n' "$doc_sites" | grep -qx "$s"; then
       echo "UNDOCUMENTED SITE: $fhdr defines '$s' but $rdoc's registry lacks it"
+      blame "$fhdr" "\"$s\""
       violations=$((violations + 1))
     fi
   done
   for s in $doc_sites; do
     if ! printf '%s\n' "$src_sites" | grep -qx "$s"; then
       echo "STALE SITE: $rdoc documents '$s' but $fhdr does not define it"
+      blame "$rdoc" "\`$s\`"
       violations=$((violations + 1))
     fi
   done
@@ -106,12 +126,14 @@ if [ -f "$doc" ] && [ -f "$thdr" ]; then
   for s in $src_spans; do
     if ! printf '%s\n' "$doc_spans" | grep -qx "$s"; then
       echo "UNDOCUMENTED SPAN: $thdr defines '$s' but $doc's span table lacks it"
+      blame "$thdr" "\"$s\""
       violations=$((violations + 1))
     fi
   done
   for s in $doc_spans; do
     if ! printf '%s\n' "$src_spans" | grep -qx "$s"; then
       echo "STALE SPAN: $doc documents '$s' but $thdr does not define it"
+      blame "$doc" "\`$s\`"
       violations=$((violations + 1))
     fi
   done
@@ -137,12 +159,14 @@ if [ -f "$adoc" ] && [ -f "$khdr" ]; then
   for s in $src_entries; do
     if ! printf '%s\n' "$doc_entries" | grep -qx "$s"; then
       echo "UNDOCUMENTED ENTRY: $khdr annotates '$s' but $adoc's kernel table lacks it"
+      blame "$khdr" "kernel-entry: $s"
       violations=$((violations + 1))
     fi
   done
   for s in $doc_entries; do
     if ! printf '%s\n' "$src_entries" | grep -qx "$s"; then
       echo "STALE ENTRY: $adoc documents '$s' but $khdr does not annotate it"
+      blame "$adoc" "\`$s\`"
       violations=$((violations + 1))
     fi
   done
@@ -171,12 +195,16 @@ if [ -f "$capi" ] && [ -d "src/cache" ]; then
   for s in $src_cache; do
     if ! printf '%s\n' "$doc_cache" | grep -qx "$s"; then
       echo "UNDOCUMENTED CACHE API: src/cache annotates '$s' but $capi's cache-api table lacks it"
+      for h in src/cache/*.h; do
+        grep -qF "cache-entry: $s" "$h" && { blame "$h" "cache-entry: $s"; break; }
+      done
       violations=$((violations + 1))
     fi
   done
   for s in $doc_cache; do
     if ! printf '%s\n' "$src_cache" | grep -qx "$s"; then
       echo "STALE CACHE API: $capi documents '$s' but no src/cache header annotates it"
+      blame "$capi" "\`$s\`"
       violations=$((violations + 1))
     fi
   done
@@ -186,6 +214,44 @@ if [ -f "$capi" ] && [ -d "src/cache" ]; then
   fi
 else
   echo "MISSING: $capi or src/cache"
+  violations=$((violations + 1))
+fi
+
+# --- 7. wire-protocol tables: docs/SERVING.md <-> serve/protocol.h ---------
+sdoc="docs/SERVING.md"
+phdr="src/serve/protocol.h"
+if [ -f "$sdoc" ] && [ -f "$phdr" ]; then
+  # Names in the source: every "dotted.name" string msg_type_name() /
+  # serve_error_name() return ("req.ping", "resp.result", "err.queue_full").
+  src_wire="$(grep -oE 'return "[a-z]+\.[a-z_]+"' "$phdr" |
+              sed -E 's/return "([a-z._]+)"/\1/' | sort -u)"
+  # Names in the doc: `| `dotted.name`` rows between the wire-protocol
+  # markers (the markers scope the match — SERVING.md also mentions the
+  # serve.* span names, which belong to OBSERVABILITY.md's gate 4).
+  doc_wire="$(awk '/<!-- wire-protocol:begin -->/{f=1;next}
+                   /<!-- wire-protocol:end -->/{f=0} f' "$sdoc" |
+              grep -oE '^\| `[a-z]+\.[a-z_]+`' |
+              sed -E 's/^\| `([a-z._]+)`$/\1/' | sort -u)"
+  for s in $src_wire; do
+    if ! printf '%s\n' "$doc_wire" | grep -qx "$s"; then
+      echo "UNDOCUMENTED WIRE NAME: $phdr defines '$s' but $sdoc's protocol tables lack it"
+      blame "$phdr" "\"$s\""
+      violations=$((violations + 1))
+    fi
+  done
+  for s in $doc_wire; do
+    if ! printf '%s\n' "$src_wire" | grep -qx "$s"; then
+      echo "STALE WIRE NAME: $sdoc documents '$s' but $phdr does not define it"
+      blame "$sdoc" "\`$s\`"
+      violations=$((violations + 1))
+    fi
+  done
+  if [ -z "$src_wire" ] || [ -z "$doc_wire" ]; then
+    echo "EMPTY REGISTRY: protocol names in $phdr or wire tables in $sdoc missing"
+    violations=$((violations + 1))
+  fi
+else
+  echo "MISSING: $sdoc or $phdr"
   violations=$((violations + 1))
 fi
 

@@ -28,6 +28,9 @@
 //     --fail-policy P     circuit mode: abort | skip | degrade (default)
 //     --inject SPEC       circuit mode: arm the deterministic fault injector,
 //                         SPEC = KIND:RATE:SEED[:SITE] (docs/ROBUSTNESS.md)
+//     --digest            circuit mode: print the 64-bit result digest
+//                         (batch_result_digest) — the daemon-vs-CLI
+//                         differential's transport (docs/SERVING.md)
 //
 // Exit codes (each failure prints one line to stderr):
 //   0  success
@@ -79,7 +82,7 @@ constexpr int kExitGuardAbort = 5;
                "[--stats-json FILE] [--trace-out FILE] [--progress] "
                "[--net-step-budget N] [--net-deadline-ms T] "
                "[--fail-policy abort|skip|degrade] "
-               "[--inject KIND:RATE:SEED[:SITE]]\n");
+               "[--inject KIND:RATE:SEED[:SITE]] [--digest]\n");
   std::exit(kExitUsage);
 }
 
@@ -154,6 +157,7 @@ int main(int argc, char** argv) {
   double net_deadline_ms = 0.0;
   std::string fail_policy = "degrade";
   std::string inject_spec;
+  bool print_digest = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -219,6 +223,8 @@ int main(int argc, char** argv) {
     } else if (a == "--inject") {
       need(1);
       inject_spec = argv[++i];
+    } else if (a == "--digest") {
+      print_digest = true;
     } else if (!a.empty() && a[0] == '-') {
       usage();
     } else {
@@ -305,6 +311,9 @@ int main(int argc, char** argv) {
                   ckt.name.c_str(), ckt.gates.size(), flow, r.circuit.delay_ps,
                   r.circuit.area, r.circuit.runtime_ms);
       std::printf("batch: %s\n", r.stats.to_string().c_str());
+      if (print_digest)
+        std::printf("digest=%016llx\n", static_cast<unsigned long long>(
+                                            batch_result_digest(r)));
       if (cache && cache->enabled()) {
         std::printf("cache: entries=%zu nodes=%llu budget=%lluMB%s\n",
                     cache->entry_count(),

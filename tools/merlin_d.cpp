@@ -1,0 +1,172 @@
+// merlin_d: the long-running buffered-routing optimization daemon.
+//
+//   merlin_d --socket PATH [options]
+//     --socket PATH       unix socket to listen on (required; a stale
+//                         socket file from a killed daemon is replaced)
+//     --threads N         batch workers (0 = all cores; default 1)
+//     --cache-mb N        shared cross-net sub-problem cache budget in MB
+//                         (default 64; 0 disables the store)
+//     --cache on|off      arm or drop the shared cache (default on; the
+//                         MERLIN_CACHE=off environment override still wins)
+//     --queue-depth N     admission-queue bound (default 64); a submit
+//                         against a full queue earns err.queue_full plus a
+//                         retry-after hint instead of blocking
+//     --net-step-budget N deterministic DP-step budget per net
+//     --fail-policy P     abort | skip | degrade (default)
+//     --trace-spans       arm per-job span rings (serve.queue/serve.request
+//                         land in each job's stats JSON)
+//
+// The daemon keeps the buffer library, thread pool, per-worker arenas and
+// the shared SubproblemCache warm across requests (flow/batch.h
+// BatchContext), so repeat submissions skip all startup and hit the cache
+// — the >5x warm-rerun speedup BENCH_SERVE.json gates on.  Results are
+// bit-identical to one-shot `merlin_cli --circuit` runs; docs/SERVING.md
+// has the wire protocol and the determinism contract.
+//
+// SIGINT/SIGTERM begin a graceful drain: admission closes, queued and
+// in-flight jobs finish, connections are answered, then the process exits.
+//
+// Exit codes (the merlin_cli taxonomy plus the server class):
+//   0  clean drain (shutdown request or signal)
+//   1  internal error (unexpected exception)
+//   2  usage error (bad flags / missing --socket)
+//   4  invalid configuration (bad --fail-policy, ...)
+//   6  server error (socket create/bind/listen failure)
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "serve/server.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 4;
+constexpr int kExitServer = 6;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: merlin_d --socket PATH [--threads N] [--cache-mb N] "
+               "[--cache on|off] [--queue-depth N] [--net-step-budget N] "
+               "[--fail-policy abort|skip|degrade] [--trace-spans]\n");
+  std::exit(kExitUsage);
+}
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace merlin;
+
+  std::string socket_path;
+  std::size_t threads = 1;
+  std::size_t cache_mb = 64;
+  std::string cache_mode = "on";
+  std::size_t queue_depth = 64;
+  std::uint64_t net_step_budget = 0;
+  std::string fail_policy = "degrade";
+  bool trace_spans = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](int more) {
+      if (i + more >= argc) usage();
+    };
+    if (a == "--socket") {
+      need(1);
+      socket_path = argv[++i];
+    } else if (a == "--threads") {
+      need(1);
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--cache-mb") {
+      need(1);
+      cache_mb = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--cache") {
+      need(1);
+      cache_mode = argv[++i];
+    } else if (a == "--queue-depth") {
+      need(1);
+      queue_depth = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--net-step-budget") {
+      need(1);
+      net_step_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--fail-policy") {
+      need(1);
+      fail_policy = argv[++i];
+    } else if (a == "--trace-spans") {
+      trace_spans = true;
+    } else {
+      usage();
+    }
+  }
+  if (socket_path.empty()) usage();
+
+  try {
+    ServeOptions opts;
+    opts.threads = threads;
+    opts.cache_mb = cache_mb;
+    opts.queue_capacity = queue_depth;
+    opts.guard.step_budget = net_step_budget;
+    opts.trace_spans = trace_spans;
+    if (cache_mode == "on") {
+      opts.cache_on = true;
+    } else if (cache_mode == "off") {
+      opts.cache_on = false;
+    } else {
+      throw std::invalid_argument("unknown --cache '" + cache_mode +
+                                  "' (expected on or off)");
+    }
+    if (fail_policy == "abort") {
+      opts.fail_policy = FailPolicy::kAbort;
+    } else if (fail_policy == "skip") {
+      opts.fail_policy = FailPolicy::kSkip;
+    } else if (fail_policy == "degrade") {
+      opts.fail_policy = FailPolicy::kDegrade;
+    } else {
+      throw std::invalid_argument("unknown --fail-policy '" + fail_policy +
+                                  "' (expected abort, skip or degrade)");
+    }
+
+    // Graceful drain on SIGINT/SIGTERM; SIGPIPE must not kill the daemon
+    // when a client hangs up mid-reply (sends also pass MSG_NOSIGNAL, this
+    // is the belt to that suspender).
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    ServerCore core(opts);
+    // The socket layer throws std::runtime_error on create/bind/listen
+    // failure — mapped to the server exit code, not the internal one.
+    int exit_code = kExitOk;
+    try {
+      SocketServer server(core, socket_path);
+      std::fprintf(stderr,
+                   "merlin_d: serving on %s (threads=%zu cache=%s%zuMB "
+                   "queue=%zu)\n",
+                   socket_path.c_str(), core.threads(),
+                   opts.cache_on ? "" : "off ", cache_mb, queue_depth);
+      server.run_until_shutdown(&g_stop);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "merlin_d: %s\n", e.what());
+      return kExitServer;
+    }
+    std::fprintf(stderr, "merlin_d: drained, %llu job(s) served\n",
+                 static_cast<unsigned long long>(core.jobs_completed()));
+    return exit_code;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "merlin_d: %s\n", e.what());
+    return kExitConfig;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merlin_d: %s\n", e.what());
+    return kExitInternal;
+  }
+}
