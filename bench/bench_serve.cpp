@@ -14,17 +14,26 @@
 //           aggregate req/s.  Jobs are dispatched serially (that is the
 //           determinism contract), so the sweep measures pipeline overhead
 //           and fairness, not parallel speedup.
+//   recovery — (--daemon mode only) drain the daemon (which writes its
+//           warm-cache snapshot), restart it on the same snapshot path and
+//           measure exec-to-first-result.  The restarted daemon's digest
+//           must equal the cold run's: a snapshot may speed the daemon up,
+//           never change its answers.
 //
-// The headline numbers are digest_identical and warm_faster (hard CI
-// gates; warm_speedup additionally carries the >5x claim in the committed
-// baseline), with wall-clock metrics gated loosely.
+// The headline numbers are digest_identical, warm_faster and
+// recovery_digest_identical (hard CI gates; warm_speedup additionally
+// carries the >5x claim in the committed baseline), with wall-clock
+// metrics gated loosely.
 //
 // Usage: bench_serve (--daemon BIN | --socket PATH)
 //                    [--smoke] [--json FILE] [--reps N] [--shutdown]
-//   --daemon BIN  fork/exec BIN (a merlin_d build) on a private socket;
-//                 the daemon is shut down at the end and its exit status
-//                 must be 0 — a daemon that cannot drain fails the bench.
-//   --socket PATH attach to an already-running daemon instead.
+//   --daemon BIN  fork/exec BIN (a merlin_d build) on a private socket
+//                 with a private --snapshot file; the daemon is shut down
+//                 at the end and its exit status must be 0 — a daemon that
+//                 cannot drain fails the bench.
+//   --socket PATH attach to an already-running daemon instead (the
+//                 recovery leg is skipped — the bench cannot restart a
+//                 daemon it does not own).
 //   --smoke       tiny circuit + short sweep, for CI sanity legs.
 //   --gates/--seed override the workload circuit (exploration; the
 //                 committed BENCH_SERVE.json uses the defaults).
@@ -86,6 +95,35 @@ double percentile(std::vector<double>& sorted, double p) {
   const auto idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Fork/exec a merlin_d on `socket_path` with a warm-cache snapshot at
+/// `snap_path`.  Returns the child pid (exits the bench on fork failure).
+pid_t spawn_daemon(const std::string& bin, const std::string& socket_path,
+                   const std::string& snap_path) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("bench_serve: fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    execl(bin.c_str(), "merlin_d", "--socket", socket_path.c_str(),
+          "--threads", "2", "--snapshot", snap_path.c_str(), (char*)nullptr);
+    std::perror("bench_serve: exec");
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Drain-wait for a spawned daemon; exits the bench unless it exits 0.
+void reap_daemon(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "bench_serve: daemon exit %d (want 0)\n",
+                 WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    std::exit(1);
+  }
 }
 
 /// `clients` connections, each submitting `reps` seed-rotated requests.
@@ -174,23 +212,15 @@ int main(int argc, char** argv) {
 
   pid_t daemon_pid = -1;
   char sockdir[] = "/tmp/bench_serve_XXXXXX";
+  std::string snap_path;
   if (!daemon_bin.empty()) {
     if (mkdtemp(sockdir) == nullptr) {
       std::perror("bench_serve: mkdtemp");
       return 1;
     }
     socket_path = std::string(sockdir) + "/d.sock";
-    daemon_pid = fork();
-    if (daemon_pid < 0) {
-      std::perror("bench_serve: fork");
-      return 1;
-    }
-    if (daemon_pid == 0) {
-      execl(daemon_bin.c_str(), "merlin_d", "--socket", socket_path.c_str(),
-            "--threads", "2", (char*)nullptr);
-      std::perror("bench_serve: exec");
-      _exit(127);
-    }
+    snap_path = std::string(sockdir) + "/cache.snap";
+    daemon_pid = spawn_daemon(daemon_bin, socket_path, snap_path);
     shutdown_at_end = true;
   }
 
@@ -219,6 +249,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // recovery: drain the daemon (its exit path writes the warm-cache
+  // snapshot), restart it on the same snapshot path, and measure
+  // exec-to-first-result.  Skipped in --socket mode.
+  double recovery_ms = 0.0;
+  bool recovery_digest_identical = true;
+  if (daemon_pid > 0) {
+    ServeClient(socket_path, /*retry_ms=*/10000).shutdown();
+    reap_daemon(daemon_pid);
+    const auto t0 = Clock::now();
+    daemon_pid = spawn_daemon(daemon_bin, socket_path, snap_path);
+    ServeClient client(socket_path, /*retry_ms=*/10000);
+    const ResultResp r = submit_retrying(client, gates, seed);
+    recovery_ms = ms_since(t0);
+    recovery_digest_identical = r.digest == cold_digest;
+  }
+
   // Concurrency sweep (fresh connections; the cold/warm client is closed).
   const int sweep_reps = smoke ? 2 : reps;
   std::vector<SweepPoint> sweep;
@@ -236,6 +282,7 @@ int main(int argc, char** argv) {
       }
       daemon_exit = WEXITSTATUS(status);
       std::remove(socket_path.c_str());
+      if (!snap_path.empty()) std::remove(snap_path.c_str());
       std::remove(sockdir);
       if (daemon_exit != 0) {
         std::fprintf(stderr, "bench_serve: daemon exit %d (want 0)\n",
@@ -258,6 +305,12 @@ int main(int argc, char** argv) {
   t.cell("warm");
   t.cell(warm_ms, 2);
   t.cell("min of " + std::to_string(reps) + " reruns");
+  if (daemon_pid > 0) {
+    t.begin_row();
+    t.cell("recovery");
+    t.cell(recovery_ms, 2);
+    t.cell("restart from snapshot to first result");
+  }
   std::printf("%s\n", t.render().c_str());
 
   TextTable s({"clients", "p50 (ms)", "p99 (ms)", "req/s"});
@@ -269,15 +322,17 @@ int main(int argc, char** argv) {
     s.cell(pt.req_s, 1);
   }
   std::printf("%s\n", s.render().c_str());
-  std::printf("digest identical: %s   warm faster: %s   warm speedup: %.2fx\n",
-              digest_identical ? "yes" : "NO", warm_faster ? "yes" : "NO",
-              warm_speedup);
+  std::printf(
+      "digest identical: %s   warm faster: %s   warm speedup: %.2fx   "
+      "recovery digest identical: %s\n",
+      digest_identical ? "yes" : "NO", warm_faster ? "yes" : "NO",
+      warm_speedup, recovery_digest_identical ? "yes" : "NO");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
     out << "{\n"
         << "  \"schema\": \"merlin.bench_serve\",\n"
-        << "  \"version\": 1,\n"
+        << "  \"version\": 2,\n"
         << "  \"gates\": " << gates << ",\n"
         << "  \"seed\": " << seed << ",\n"
         << "  \"reps\": " << reps << ",\n"
@@ -286,7 +341,10 @@ int main(int argc, char** argv) {
         << "  \"warm_speedup\": " << warm_speedup << ",\n"
         << "  \"digest_identical\": " << (digest_identical ? "true" : "false")
         << ",\n"
-        << "  \"warm_faster\": " << (warm_faster ? "true" : "false") << ",\n";
+        << "  \"warm_faster\": " << (warm_faster ? "true" : "false") << ",\n"
+        << "  \"recovery_ms\": " << recovery_ms << ",\n"
+        << "  \"recovery_digest_identical\": "
+        << (recovery_digest_identical ? "true" : "false") << ",\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
       const SweepPoint& pt = sweep[i];
       const std::string k = "c" + std::to_string(pt.clients);
@@ -299,5 +357,5 @@ int main(int argc, char** argv) {
         << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return digest_identical && warm_faster ? 0 : 1;
+  return digest_identical && warm_faster && recovery_digest_identical ? 0 : 1;
 }

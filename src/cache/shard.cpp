@@ -90,6 +90,18 @@ std::uint64_t SubproblemCache::node_cost() const {
   return n;
 }
 
+void SubproblemCache::for_each_entry_oldest_first(
+    const std::function<void(std::size_t, const CacheEntry&)>& fn) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    // lru front = most recent; walk back-to-front so the oldest entry is
+    // reported (and later re-inserted) first.
+    for (auto it = sh.lru.rbegin(); it != sh.lru.rend(); ++it)
+      fn(i, sh.store.get(sh.map.at(*it).id));
+  }
+}
+
 void SubproblemCache::clear() {
   for (Shard& sh : shards_) {
     std::lock_guard<std::mutex> lock(sh.mu);

@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <span>
@@ -99,6 +100,15 @@ class SubproblemCache {
 
   [[nodiscard]] std::size_t entry_count() const;
   [[nodiscard]] std::uint64_t node_cost() const;
+
+  /// Deterministic enumeration for cache/snapshot.h: `fn(shard, entry)` for
+  /// every entry — shards in index order, each shard's entries in LRU order
+  /// oldest first — each shard walked under its own lock.  Re-inserting the
+  /// entries in callback order through apply() reproduces the exact
+  /// content AND recency order, which is what makes a snapshot roundtrip
+  /// bit-identical.
+  void for_each_entry_oldest_first(
+      const std::function<void(std::size_t, const CacheEntry&)>& fn) const;
 
   /// Drops every entry in every shard (capacity budget unchanged).
   void clear();

@@ -78,6 +78,14 @@ enum class Counter : std::uint16_t {
   kGuardSteps,           ///< DP steps charged to net guards
   kFaultsInjected,       ///< injected faults that fired (chaos harness)
 
+  // Daemon survivability (serve/server.h; see docs/SERVING.md).  Stamped
+  // into a job's own sink, so they are per-request facts: whether THIS
+  // job's deadline died in the admission queue, whether THIS job ran under
+  // overload-tightened budgets.  Wall-clock-driven, hence (like
+  // deadline_trips) excluded from differential comparisons.
+  kServeDeadlineExpired, ///< request rejected at dispatch: deadline spent queued
+  kServeShedTightened,   ///< request ran with preemptively tightened budgets
+
   kCount,
 };
 
@@ -150,6 +158,8 @@ inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCoun
     case Counter::kDeadlineTrips: return "deadline_trips";
     case Counter::kGuardSteps: return "guard_steps";
     case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kServeDeadlineExpired: return "serve_deadline_expired";
+    case Counter::kServeShedTightened: return "serve_shed_tightened";
     case Counter::kCount: break;
   }
   return "unknown_counter";

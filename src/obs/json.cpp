@@ -78,7 +78,7 @@ class Writer {
 }  // namespace
 
 std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt,
-                          const RequestInfo& req) {
+                          const RequestInfo& req, const ServeInfo& serve) {
   Writer w;
   w.begin_obj();
   w.key("schema"); w.str(kStatsSchemaName);
@@ -192,6 +192,26 @@ std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt,
     w.key("store_entries"); w.num(sink.gauges.get(Gauge::kCacheStoreEntries));
     w.key("store_nodes"); w.num(sink.gauges.get(Gauge::kCacheStoreNodes));
   }
+  w.end_obj();
+
+  // v5: the daemon's survivability rollup.  Always emitted (the zero
+  // section with enabled 0 is the one-shot CLI shape); every value is a
+  // wall-clock or serving fact, quarantined from identity comparisons like
+  // `runtime` and `request`.
+  w.key("serve");
+  w.begin_obj();
+  w.key("enabled"); w.num(static_cast<std::uint64_t>(serve.enabled));
+  w.key("jobs_admitted"); w.num(serve.jobs_admitted);
+  w.key("jobs_rejected"); w.num(serve.jobs_rejected);
+  w.key("overload_rejections"); w.num(serve.overload_rejections);
+  w.key("deadline_expired"); w.num(serve.deadline_expired);
+  w.key("shed_tightened"); w.num(serve.shed_tightened);
+  w.key("reply_failures"); w.num(serve.reply_failures);
+  w.key("snapshot_saves"); w.num(serve.snapshot_saves);
+  w.key("snapshot_loads"); w.num(serve.snapshot_loads);
+  w.key("queue_depth"); w.num(serve.queue_depth);
+  w.key("ewma_ms"); w.num(serve.ewma_ms);
+  w.key("overloaded"); w.num(static_cast<std::uint64_t>(serve.overloaded));
   w.end_obj();
 
   w.key("runtime");

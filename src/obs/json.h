@@ -32,8 +32,16 @@ namespace merlin {
 /// with source "cli", merlin_d stamps the job id, the submitting client and
 /// the admission-queue wait (docs/SERVING.md).  v3 consumers that never
 /// look at unknown keys parse v4 documents unchanged.
+///
+/// v5: new top-level `serve` section — the daemon's survivability rollup
+/// (admission/rejection totals, overload state, deadline expiries, snapshot
+/// saves/loads; docs/SERVING.md).  Always present; one-shot CLI runs emit
+/// the zero section with enabled 0.  Like `runtime` and `request`, its
+/// values are wall-clock/serving facts and never join any identity
+/// comparison.  Plus the serve_* names in `counters`.  v4 readers that
+/// ignore unknown top-level keys parse v5 documents unchanged.
 inline constexpr const char* kStatsSchemaName = "merlin.stats";
-inline constexpr int kStatsSchemaVersion = 4;
+inline constexpr int kStatsSchemaVersion = 5;
 
 /// Scheduling-dependent run facts.  Kept in a separate "runtime" JSON
 /// section so the deterministic sections (counters/gauges/layers/nets) can
@@ -57,13 +65,33 @@ struct RequestInfo {
   double queue_ms = 0.0;        ///< admission-queue wait (serve only)
 };
 
-/// Render the sink (plus optional runtime/request facts) as a JSON
+/// Daemon survivability facts for the v5 `serve` section.  The totals are
+/// cumulative over the daemon's lifetime at the moment the document was
+/// produced; queue_depth/ewma_ms/overloaded are that moment's load state.
+/// One-shot CLI runs leave the defaults (enabled 0).
+struct ServeInfo {
+  std::uint8_t enabled = 0;        ///< 1 when a daemon produced the document
+  std::uint64_t jobs_admitted = 0;
+  std::uint64_t jobs_rejected = 0;       ///< queue_full + draining + overloaded
+  std::uint64_t overload_rejections = 0; ///< the err.overloaded subset
+  std::uint64_t deadline_expired = 0;    ///< jobs whose deadline died in queue
+  std::uint64_t shed_tightened = 0;      ///< jobs run with shed-tightened budgets
+  std::uint64_t reply_failures = 0;      ///< reply sends that failed (EPIPE &c)
+  std::uint64_t snapshot_saves = 0;
+  std::uint64_t snapshot_loads = 0;      ///< successful warm restores (0 or 1)
+  std::uint64_t queue_depth = 0;         ///< at this job's dispatch
+  double ewma_ms = 0.0;                  ///< recent mean job wall time
+  std::uint8_t overloaded = 0;           ///< shedding thresholds crossed
+};
+
+/// Render the sink (plus optional runtime/request/serve facts) as a JSON
 /// document: schema/version, request, counters, gauges, phases, layers,
 /// nets (trace rows), latency_us percentiles over the trace wall times,
-/// cache, runtime.
+/// cache, serve, runtime.
 [[nodiscard]] std::string stats_to_json(const ObsSink& sink,
                                         const RuntimeInfo& rt = {},
-                                        const RequestInfo& req = {});
+                                        const RequestInfo& req = {},
+                                        const ServeInfo& serve = {});
 
 // -- minimal JSON value / parser -------------------------------------------
 

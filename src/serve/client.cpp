@@ -59,7 +59,12 @@ void ServeClient::send_bytes(std::string_view bytes) {
         ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      throw_errno("send");
+      const int err = n < 0 ? errno : 0;
+      throw TransportError(
+          "send to daemon failed after " + std::to_string(off) + "/" +
+              std::to_string(bytes.size()) + " bytes" +
+              (err != 0 ? std::string(": ") + std::strerror(err) : ""),
+          err, off);
     }
     off += static_cast<std::size_t>(n);
   }
@@ -79,7 +84,15 @@ Frame ServeClient::read_reply() {
       throw std::runtime_error("malformed frame from daemon");
     const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) throw std::runtime_error("daemon closed the connection");
+    if (n < 0)
+      throw TransportError(std::string("recv from daemon failed: ") +
+                               std::strerror(errno),
+                           errno, 0);
+    if (n == 0)
+      throw TransportError(rxbuf_.empty()
+                               ? "daemon closed the connection"
+                               : "daemon closed mid-reply (torn frame)",
+                           0, 0);
     rxbuf_.append(tmp, static_cast<std::size_t>(n));
   }
 }
@@ -116,11 +129,13 @@ PongResp ServeClient::ping() {
 
 SubmitReply ServeClient::submit_circuit(std::uint64_t gates,
                                         std::uint64_t seed,
-                                        std::uint8_t flow) {
+                                        std::uint8_t flow,
+                                        std::uint32_t deadline_ms) {
   SubmitCircuitReq req;
   req.gates = gates;
   req.seed = seed;
   req.flow = flow;
+  req.deadline_ms = deadline_ms;
   const Frame f = roundtrip(MsgType::kReqSubmitCircuit, req.encode());
   SubmitReply reply;
   if (f.type == MsgType::kRespResult && reply.result.decode(f.payload)) {
@@ -133,10 +148,12 @@ SubmitReply ServeClient::submit_circuit(std::uint64_t gates,
 }
 
 SubmitReply ServeClient::submit_net(const std::string& net_text,
-                                    std::uint8_t flow) {
+                                    std::uint8_t flow,
+                                    std::uint32_t deadline_ms) {
   SubmitNetReq req;
   req.flow = flow;
   req.net_text = net_text;
+  req.deadline_ms = deadline_ms;
   const Frame f = roundtrip(MsgType::kReqSubmitNet, req.encode());
   SubmitReply reply;
   if (f.type == MsgType::kRespResult && reply.result.decode(f.payload)) {
@@ -176,6 +193,11 @@ void ServeClient::drain() {
 void ServeClient::shutdown() {
   const Frame f = roundtrip(MsgType::kReqShutdown, {});
   if (f.type != MsgType::kRespBye) throw_error_resp(f);
+}
+
+void ServeClient::snapshot() {
+  const Frame f = roundtrip(MsgType::kReqSnapshot, {});
+  if (f.type != MsgType::kRespOk) throw_error_resp(f);
 }
 
 }  // namespace merlin

@@ -117,6 +117,7 @@ std::string SubmitCircuitReq::encode() const {
   w.u64(gates);
   w.u64(seed);
   w.u8(flow);
+  w.u32(deadline_ms);
   return out;
 }
 
@@ -125,6 +126,7 @@ bool SubmitCircuitReq::decode(std::string_view payload) {
   gates = r.u64();
   seed = r.u64();
   flow = r.u8();
+  deadline_ms = r.u32();
   return r.exhausted() && gates > 0 && flow >= 1 && flow <= 3;
 }
 
@@ -133,6 +135,7 @@ std::string SubmitNetReq::encode() const {
   WireWriter w(out);
   w.u8(flow);
   w.str(net_text);
+  w.u32(deadline_ms);
   return out;
 }
 
@@ -140,6 +143,7 @@ bool SubmitNetReq::decode(std::string_view payload) {
   WireReader r(payload);
   flow = r.u8();
   net_text = r.str();
+  deadline_ms = r.u32();
   return r.exhausted() && !net_text.empty() && flow >= 1 && flow <= 3;
 }
 

@@ -31,8 +31,11 @@ namespace merlin {
 
 /// First four bytes of every frame, "MRLN" read as a little-endian u32.
 inline constexpr std::uint32_t kWireMagic = 0x4E4C524Du;
-/// Protocol revision, reported in PongResp.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// Protocol revision, reported in PongResp.  v2: submit payloads carry a
+/// trailing deadline_ms field, req.snapshot joined the request vocabulary,
+/// and err.deadline / err.overloaded / err.no_snapshot joined the error
+/// vocabulary (docs/SERVING.md, "Protocol revision 2").
+inline constexpr std::uint32_t kWireVersion = 2;
 /// Frame header bytes: u32 magic + u8 type + u32 payload length.
 inline constexpr std::size_t kFrameHeaderSize = 9;
 /// Hard payload cap; longer frames are rejected with err.bad_frame before
@@ -48,6 +51,7 @@ enum class MsgType : std::uint8_t {
   kReqStats = 5,          ///< job's merlin.stats JSON         → kRespStats
   kReqDrain = 6,          ///< stop admitting, finish in-flight → kRespOk
   kReqShutdown = 7,       ///< drain, then exit                → kRespBye
+  kReqSnapshot = 8,       ///< save the warm-cache snapshot now → kRespOk
   kRespPong = 64,
   kRespResult = 65,
   kRespStatus = 66,
@@ -58,7 +62,7 @@ enum class MsgType : std::uint8_t {
 };
 
 [[nodiscard]] constexpr bool msg_type_known(std::uint8_t raw) {
-  return (raw >= 1 && raw <= 7) || (raw >= 64 && raw <= 70);
+  return (raw >= 1 && raw <= 8) || (raw >= 64 && raw <= 70);
 }
 
 [[nodiscard]] constexpr const char* msg_type_name(MsgType t) {
@@ -70,6 +74,7 @@ enum class MsgType : std::uint8_t {
     case MsgType::kReqStats: return "req.stats";
     case MsgType::kReqDrain: return "req.drain";
     case MsgType::kReqShutdown: return "req.shutdown";
+    case MsgType::kReqSnapshot: return "req.snapshot";
     case MsgType::kRespPong: return "resp.pong";
     case MsgType::kRespResult: return "resp.result";
     case MsgType::kRespStatus: return "resp.status";
@@ -81,9 +86,10 @@ enum class MsgType : std::uint8_t {
   return "unknown";
 }
 
-/// Error vocabulary of ErrorResp.  err.queue_full and err.draining are
-/// admission outcomes (retriable — err.queue_full carries a retry-after
-/// hint); the rest are terminal for the offending request.
+/// Error vocabulary of ErrorResp.  err.queue_full, err.draining and
+/// err.overloaded are admission outcomes (retriable — err.queue_full and
+/// err.overloaded carry a retry-after hint); the rest are terminal for the
+/// offending request.
 enum class ServeError : std::uint8_t {
   kBadFrame = 1,    ///< bad magic / oversize length / unknown type
   kBadRequest = 2,  ///< well-framed payload that fails to decode or validate
@@ -91,6 +97,9 @@ enum class ServeError : std::uint8_t {
   kDraining = 4,    ///< daemon no longer admits jobs (drain/shutdown begun)
   kUnknownJob = 5,  ///< status/stats for a job id never admitted
   kInternal = 6,    ///< daemon-side exception while running the job
+  kDeadline = 7,    ///< the request's deadline_ms expired before it ran
+  kOverloaded = 8,  ///< admission tightened under load; retry after the hint
+  kNoSnapshot = 9,  ///< req.snapshot on a daemon with no --snapshot path
 };
 
 [[nodiscard]] constexpr const char* serve_error_name(ServeError e) {
@@ -101,6 +110,9 @@ enum class ServeError : std::uint8_t {
     case ServeError::kDraining: return "err.draining";
     case ServeError::kUnknownJob: return "err.unknown_job";
     case ServeError::kInternal: return "err.internal";
+    case ServeError::kDeadline: return "err.deadline";
+    case ServeError::kOverloaded: return "err.overloaded";
+    case ServeError::kNoSnapshot: return "err.no_snapshot";
   }
   return "unknown";
 }
@@ -184,6 +196,12 @@ struct SubmitCircuitReq {
   std::uint64_t gates = 0;
   std::uint64_t seed = 1;
   std::uint8_t flow = 3;
+  /// Whole-request deadline, milliseconds from admission (0 = none).  A job
+  /// whose deadline expires while queued earns err.deadline; one dispatched
+  /// with time remaining runs under a per-net NetGuard deadline budget and
+  /// degrades through the ladder instead of wedging the scheduler
+  /// (docs/SERVING.md, "Deadlines & cancellation").  v2 field.
+  std::uint32_t deadline_ms = 0;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] bool decode(std::string_view payload);
 };
@@ -192,6 +210,8 @@ struct SubmitCircuitReq {
 struct SubmitNetReq {
   std::uint8_t flow = 3;
   std::string net_text;
+  /// Same semantics as SubmitCircuitReq::deadline_ms.  v2 field.
+  std::uint32_t deadline_ms = 0;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] bool decode(std::string_view payload);
 };
@@ -269,7 +289,8 @@ struct StatsResp {
 /// resp.error.
 struct ErrorResp {
   std::uint8_t code = 0;             ///< ServeError
-  std::uint32_t retry_after_ms = 0;  ///< nonzero only for err.queue_full
+  /// Backoff hint; nonzero only for err.queue_full and err.overloaded.
+  std::uint32_t retry_after_ms = 0;
   std::string message;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] bool decode(std::string_view payload);

@@ -83,6 +83,13 @@ std::optional<std::size_t> AdmissionQueue::position(
   return std::nullopt;
 }
 
+std::size_t AdmissionQueue::lane_depth(std::uint64_t client) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Lane& l : lanes_)
+    if (l.client == client) return l.jobs.size();
+  return 0;
+}
+
 std::size_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lk(mu_);
   return count_;

@@ -33,6 +33,10 @@ struct JobSpec {
   std::uint64_t gates = 0;   ///< kCircuit
   std::uint64_t seed = 1;    ///< kCircuit
   std::string net_text;      ///< kNet
+  /// Whole-request deadline in ms from admission (0 = none).  Checked at
+  /// dispatch (expired → the typed err.deadline outcome) and carried into
+  /// the job's per-net NetGuard deadline budget when time remains.
+  std::uint32_t deadline_ms = 0;
 };
 
 /// One admitted job: the spec plus its admission identity.
@@ -67,6 +71,11 @@ class AdmissionQueue {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool closed() const;
+
+  /// Queued jobs currently in `client`'s lane (0 when it has none).  The
+  /// overload shedder compares this against its per-client lane cap before
+  /// admitting — a cheap read, not a reservation.
+  [[nodiscard]] std::size_t lane_depth(std::uint64_t client) const;
 
  private:
   /// One client's FIFO lane.  Lanes are kept in first-arrival order and

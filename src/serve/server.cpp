@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -49,9 +50,31 @@ ServerCore::ServerCore(ServeOptions opts)
     cc.capacity_nodes = opts_.cache_mb * 1024ull * 1024ull / sizeof(SolNode);
     cache_.emplace(cc);
   }
+  if (snapshot_armed()) {
+    // Warm restore before the first job can dispatch.  Any defect in the
+    // file — missing, torn, corrupted, wrong version — degrades to a cold
+    // cache; it never aborts the start-up.
+    const SnapshotLoadResult lr = load_cache_snapshot(*cache_, opts_.snapshot_path);
+    snapshot_note_ = std::string(snapshot_load_status_name(lr.status)) +
+                     (lr.detail.empty() ? "" : ": " + lr.detail);
+    if (lr.loaded()) snapshot_loads_.store(1);
+  }
   ctx_ = std::make_unique<BatchContext>(opts_.threads,
                                         cache_ ? &*cache_ : nullptr);
   scheduler_ = std::thread([this] { scheduler_loop(); });
+  if (opts_.snapshot_every_s > 0 && snapshot_armed()) {
+    snapshot_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lk(snapshot_cv_mu_);
+      const auto period = std::chrono::seconds(opts_.snapshot_every_s);
+      while (!snapshot_stop_) {
+        if (snapshot_cv_.wait_for(lk, period, [this] { return snapshot_stop_; }))
+          break;
+        lk.unlock();
+        save_snapshot();  // failures are counted facts, not fatal
+        lk.lock();
+      }
+    });
+  }
 }
 
 ServerCore::~ServerCore() {
@@ -62,7 +85,25 @@ ServerCore::~ServerCore() {
 SubmitOutcome ServerCore::submit(std::uint64_t client, JobSpec spec) {
   SubmitOutcome out;
   if (draining_.load()) {
+    jobs_rejected_.fetch_add(1);
     out.error = ServeError::kDraining;
+    return out;
+  }
+  double ewma = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    ewma = wall_ewma_ms_;
+  }
+  const bool overloaded = overloaded_now(ewma);
+  if (overloaded && opts_.shed_lane_cap > 0 &&
+      queue_.lane_depth(client) >= opts_.shed_lane_cap) {
+    // Under load, a client with a full lane of its own work queued gets
+    // shed before admission — it is the fairest place to cut, because every
+    // other client's latency is what its backlog is buying.
+    jobs_rejected_.fetch_add(1);
+    overload_rejections_.fetch_add(1);
+    out.error = ServeError::kOverloaded;
+    out.retry_after_ms = retry_hint(ewma, 2.0);
     return out;
   }
   QueuedJob job;
@@ -82,6 +123,7 @@ SubmitOutcome ServerCore::submit(std::uint64_t client, JobSpec spec) {
   if (!queue_.try_push(std::move(job))) {
     std::lock_guard<std::mutex> lk(jobs_mu_);
     jobs_.erase(id);
+    jobs_rejected_.fetch_add(1);
     if (queue_.closed()) {
       // Lost the race with a drain between the flag check and the push.
       out.error = ServeError::kDraining;
@@ -89,17 +131,71 @@ SubmitOutcome ServerCore::submit(std::uint64_t client, JobSpec spec) {
     }
     out.error = ServeError::kQueueFull;
     // Backpressure hint: recent mean job wall time scaled by the backlog a
-    // retry would sit behind.  A hint, not a promise — clients may retry
-    // sooner and simply risk another rejection.
-    const double per_job = wall_ewma_ms_ > 0.0 ? wall_ewma_ms_ : 50.0;
-    const double hint = per_job * static_cast<double>(queue_.size() + 1);
-    out.retry_after_ms = static_cast<std::uint32_t>(
-        hint < 1.0 ? 1.0 : (hint > 60000.0 ? 60000.0 : hint));
+    // retry would sit behind (doubled while shedding thresholds are
+    // crossed).  A hint, not a promise — clients may retry sooner and
+    // simply risk another rejection.
+    out.retry_after_ms = retry_hint(ewma, overloaded ? 2.0 : 1.0);
     return out;
   }
+  jobs_admitted_.fetch_add(1);
   out.accepted = true;
   out.job_id = id;
   return out;
+}
+
+bool ServerCore::overloaded_now(double ewma_ms) const {
+  // Both triggers default off (thresholds 0); either one crossing arms the
+  // shedding ladder.  Queue depth catches bursts, the EWMA catches a
+  // workload whose jobs got slow without the queue (yet) backing up.
+  if (opts_.shed_queue_depth > 0 && queue_.size() >= opts_.shed_queue_depth)
+    return true;
+  return opts_.shed_ewma_ms > 0.0 && ewma_ms > opts_.shed_ewma_ms;
+}
+
+std::uint32_t ServerCore::retry_hint(double ewma_ms, double scale) const {
+  const double per_job = ewma_ms > 0.0 ? ewma_ms : 50.0;
+  const double hint =
+      per_job * static_cast<double>(queue_.size() + 1) * scale;
+  return static_cast<std::uint32_t>(
+      hint < 1.0 ? 1.0 : (hint > 60000.0 ? 60000.0 : hint));
+}
+
+ServeInfo ServerCore::serve_info() const {
+  ServeInfo s;
+  s.enabled = 1;
+  s.jobs_admitted = jobs_admitted_.load();
+  s.jobs_rejected = jobs_rejected_.load();
+  s.overload_rejections = overload_rejections_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.shed_tightened = shed_tightened_.load();
+  s.reply_failures = reply_failures_.load();
+  s.snapshot_saves = snapshot_saves_.load();
+  s.snapshot_loads = snapshot_loads_.load();
+  s.queue_depth = queue_.size();
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    s.ewma_ms = wall_ewma_ms_;
+  }
+  s.overloaded = overloaded_now(s.ewma_ms) ? 1 : 0;
+  return s;
+}
+
+bool ServerCore::save_snapshot(std::string* error) {
+  if (!snapshot_armed()) {
+    if (error != nullptr) *error = "no snapshot path configured";
+    return false;
+  }
+  // One writer at a time: the cadence thread, a req.snapshot frame and the
+  // drain-time save may race, and the atomic temp+rename protocol assumes a
+  // single in-flight temp file per path.
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  std::string err;
+  if (!save_cache_snapshot(*cache_, opts_.snapshot_path, nullptr, &err)) {
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  snapshot_saves_.fetch_add(1);
+  return true;
 }
 
 const JobOutcome* ServerCore::wait(std::uint64_t job_id) {
@@ -142,6 +238,16 @@ void ServerCore::wait_drained() {
   if (scheduler_joined_) return;
   scheduler_.join();
   scheduler_joined_ = true;
+  {
+    std::lock_guard<std::mutex> clk(snapshot_cv_mu_);
+    snapshot_stop_ = true;
+  }
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  // Final save with the scheduler retired and the cadence thread joined:
+  // the cache is quiescent, so the snapshot captures every admitted job's
+  // contribution.  This is the SIGTERM-drain persistence path.
+  if (snapshot_armed()) save_snapshot();
 }
 
 void ServerCore::scheduler_loop() {
@@ -181,6 +287,27 @@ JobOutcome ServerCore::run_one(const QueuedJob& job, double queue_ms,
   const std::int64_t t0 = now_ns();
   ObsSink sink;
   if (opts_.trace_spans) sink.set_span_capacity(ObsSink::kDefaultSpanCapacity);
+  if (job.spec.deadline_ms > 0 &&
+      queue_ms >= static_cast<double>(job.spec.deadline_ms)) {
+    // The deadline died in the admission queue: reject without running —
+    // burning the pool on a result the client has already given up on only
+    // pushes every later job past ITS deadline.  The daemon keeps serving.
+    out.ok = false;
+    out.deadline_expired = true;
+    out.error = "deadline of " + std::to_string(job.spec.deadline_ms) +
+                " ms expired after " +
+                std::to_string(static_cast<std::uint64_t>(queue_ms)) +
+                " ms queued";
+    sink.counters.add(Counter::kServeDeadlineExpired);
+    deadline_expired_.fetch_add(1);
+    RequestInfo req;
+    req.id = job.job_id;
+    req.source = "serve";
+    req.client = job.client;
+    req.queue_ms = queue_ms;
+    out.stats_json = stats_to_json(sink, {}, req, serve_info());
+    return out;
+  }
   try {
     // Mirror merlin_cli's circuit mode field for field: same CircuitSpec,
     // same BatchOptions defaults, same flow enum — any divergence here
@@ -191,6 +318,34 @@ JobOutcome ServerCore::run_one(const QueuedJob& job, double queue_ms,
     bo.guard = opts_.guard;
     bo.fail_policy = opts_.fail_policy;
     bo.context = ctx_.get();
+    if (job.spec.deadline_ms > 0) {
+      // Whatever deadline budget survives the queue wait becomes this job's
+      // per-net guard deadline — the run degrades down the ladder instead
+      // of wedging the (serial) scheduler past the client's patience.
+      const double remaining =
+          static_cast<double>(job.spec.deadline_ms) - queue_ms;
+      bo.guard.deadline_ms = bo.guard.deadline_ms > 0
+                                 ? std::min(bo.guard.deadline_ms, remaining)
+                                 : remaining;
+    }
+    if (opts_.shed_step_budget > 0) {
+      double ewma = 0.0;
+      {
+        std::lock_guard<std::mutex> lk(jobs_mu_);
+        ewma = wall_ewma_ms_;
+      }
+      if (overloaded_now(ewma)) {
+        // Preemptive rung-down: under overload every job starts on a
+        // tighter step budget, trading per-net quality (via the existing
+        // degradation ladder) for queue drain rate.
+        bo.guard.step_budget =
+            bo.guard.step_budget > 0
+                ? std::min(bo.guard.step_budget, opts_.shed_step_budget)
+                : opts_.shed_step_budget;
+        sink.counters.add(Counter::kServeShedTightened);
+        shed_tightened_.fetch_add(1);
+      }
+    }
     const BatchRunner runner(lib_, bo);
 
     BatchResult r;
@@ -246,7 +401,7 @@ JobOutcome ServerCore::run_one(const QueuedJob& job, double queue_ms,
     req.source = "serve";
     req.client = job.client;
     req.queue_ms = queue_ms;
-    out.stats_json = stats_to_json(sink, rt, req);
+    out.stats_json = stats_to_json(sink, rt, req, serve_info());
     if (opts_.keep_results)
       out.result = std::make_shared<const BatchResult>(std::move(r));
     out.ok = true;
@@ -266,30 +421,33 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-/// Writes the whole buffer; false on a broken peer (EPIPE & co).
-bool send_all(int fd, std::string_view data) {
+/// Writes the whole buffer.  Returns 0 on success, otherwise the errno of
+/// the failing send (EPIPE for a hung-up peer, EAGAIN for a send-timeout
+/// expiry under SO_SNDTIMEO); a zero-byte send with no errno maps to EIO so
+/// a short write can never masquerade as success.
+int send_all(int fd, std::string_view data) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return false;
+      return n < 0 ? (errno != 0 ? errno : EIO) : EIO;
     }
     off += static_cast<std::size_t>(n);
   }
-  return true;
+  return 0;
 }
 
-bool send_msg(int fd, MsgType type, std::string_view payload) {
+int send_msg(int fd, MsgType type, std::string_view payload) {
   std::string frame;
   frame.reserve(kFrameHeaderSize + payload.size());
   append_frame(frame, type, payload);
   return send_all(fd, frame);
 }
 
-bool send_error(int fd, ServeError code, std::string message,
-                std::uint32_t retry_after_ms = 0) {
+int send_error(int fd, ServeError code, std::string message,
+               std::uint32_t retry_after_ms = 0) {
   ErrorResp e;
   e.code = static_cast<std::uint8_t>(code);
   e.retry_after_ms = retry_after_ms;
@@ -298,6 +456,23 @@ bool send_error(int fd, ServeError code, std::string message,
 }
 
 }  // namespace
+
+bool SocketServer::reply(int fd, MsgType type, std::string_view payload) {
+  if (send_msg(fd, type, payload) != 0) {
+    core_.note_reply_failure();
+    return false;
+  }
+  return true;
+}
+
+bool SocketServer::reply_error(int fd, ServeError code, std::string message,
+                               std::uint32_t retry_after_ms) {
+  if (send_error(fd, code, std::move(message), retry_after_ms) != 0) {
+    core_.note_reply_failure();
+    return false;
+  }
+  return true;
+}
 
 SocketServer::SocketServer(ServerCore& core, std::string socket_path)
     : core_(core), path_(std::move(socket_path)) {
@@ -309,8 +484,28 @@ SocketServer::SocketServer(ServerCore& core, std::string socket_path)
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket(AF_UNIX)");
-  // A stale socket file from a killed daemon must not block the restart.
-  ::unlink(path_.c_str());
+  // A stale socket file from a killed daemon must not block the restart —
+  // but blindly unlinking would also clobber a LIVE daemon's socket,
+  // stranding it listening on an fd no client can ever reach.  Probe
+  // first: a successful connect means someone is serving (refuse to
+  // start); ECONNREFUSED means a dead remnant (safe to unlink; Linux
+  // answers the same for a non-socket file, equally safe); ENOENT means
+  // nothing there.  Any other errno: leave the path alone and let bind
+  // report the real problem.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const int rc = ::connect(
+        probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    const int probe_errno = rc == 0 ? 0 : errno;
+    ::close(probe);
+    if (rc == 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("live daemon already serving on '" + path_ +
+                               "' (refusing to clobber its socket)");
+    }
+    if (probe_errno == ECONNREFUSED) ::unlink(path_.c_str());
+  }
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     ::close(listen_fd_);
@@ -389,6 +584,17 @@ void SocketServer::run_until_shutdown(const std::atomic<bool>* external_stop) {
 }
 
 void SocketServer::handle_connection(int fd, std::uint64_t client_id) {
+  if (const std::uint32_t ms = core_.options().io_timeout_ms; ms > 0) {
+    // Kernel-level read/write timeouts so one stalled peer (a slow-loris
+    // half-frame, or a client that stopped draining its socket) cannot pin
+    // this connection thread forever.  recv then fails EAGAIN; a mid-frame
+    // stall hangs up below, while an idle connection just keeps waiting.
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   std::string buf;
   char tmp[4096];
   bool open = true;
@@ -406,7 +612,7 @@ void SocketServer::handle_connection(int fd, std::uint64_t client_id) {
                            : st == DecodeStatus::kOversize
                                ? "payload exceeds kMaxFramePayload"
                                : "unknown message type";
-        send_error(fd, ServeError::kBadFrame, what);
+        reply_error(fd, ServeError::kBadFrame, what);
         open = false;
         break;
       }
@@ -419,6 +625,13 @@ void SocketServer::handle_connection(int fd, std::uint64_t client_id) {
     if (!open) break;
     const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired.  A half-delivered frame still buffered means
+      // the peer stalled mid-request: hang up.  An empty buffer is just an
+      // idle keep-alive connection — keep waiting (unless we're stopping).
+      if (!buf.empty() || stop_.load()) break;
+      continue;
+    }
     if (n <= 0) break;  // peer closed (or the server is tearing down)
     buf.append(tmp, static_cast<std::size_t>(n));
   }
@@ -441,11 +654,11 @@ bool SocketServer::handle_frame(const Frame& frame, std::uint64_t client_id,
   switch (frame.type) {
     case MsgType::kReqPing: {
       if (!frame.payload.empty())
-        return send_error(fd, ServeError::kBadRequest, "ping carries no payload");
+        return reply_error(fd, ServeError::kBadRequest, "ping carries no payload");
       PongResp pong;
       pong.jobs_completed = core_.jobs_completed();
       pong.draining = core_.draining() ? 1 : 0;
-      return send_msg(fd, MsgType::kRespPong, pong.encode());
+      return reply(fd, MsgType::kRespPong, pong.encode());
     }
     case MsgType::kReqSubmitCircuit:
     case MsgType::kReqSubmitNet: {
@@ -453,31 +666,35 @@ bool SocketServer::handle_frame(const Frame& frame, std::uint64_t client_id,
       if (frame.type == MsgType::kReqSubmitCircuit) {
         SubmitCircuitReq req;
         if (!req.decode(frame.payload))
-          return send_error(fd, ServeError::kBadRequest,
-                            "malformed submit_circuit payload");
+          return reply_error(fd, ServeError::kBadRequest,
+                             "malformed submit_circuit payload");
         spec.kind = JobSpec::Kind::kCircuit;
         spec.flow = req.flow;
         spec.gates = req.gates;
         spec.seed = req.seed;
+        spec.deadline_ms = req.deadline_ms;
       } else {
         SubmitNetReq req;
         if (!req.decode(frame.payload))
-          return send_error(fd, ServeError::kBadRequest,
-                            "malformed submit_net payload");
+          return reply_error(fd, ServeError::kBadRequest,
+                             "malformed submit_net payload");
         spec.kind = JobSpec::Kind::kNet;
         spec.flow = req.flow;
         spec.net_text = std::move(req.net_text);
+        spec.deadline_ms = req.deadline_ms;
       }
       const SubmitOutcome admitted = core_.submit(client_id, std::move(spec));
       if (!admitted.accepted)
-        return send_error(fd, admitted.error,
-                          serve_error_name(admitted.error),
-                          admitted.retry_after_ms);
+        return reply_error(fd, admitted.error,
+                           serve_error_name(admitted.error),
+                           admitted.retry_after_ms);
       // Synchronous protocol: the submitting connection blocks until its
       // job retires (concurrency = multiple connections).
       const JobOutcome* oc = core_.wait(admitted.job_id);
       if (oc == nullptr)
-        return send_error(fd, ServeError::kInternal, "job record vanished");
+        return reply_error(fd, ServeError::kInternal, "job record vanished");
+      if (oc->deadline_expired)
+        return reply_error(fd, ServeError::kDeadline, oc->error);
       ResultResp resp;
       resp.job_id = admitted.job_id;
       resp.ok = oc->ok ? 1 : 0;
@@ -489,53 +706,66 @@ bool SocketServer::handle_frame(const Frame& frame, std::uint64_t client_id,
       resp.queue_ms = oc->queue_ms;
       resp.wall_ms = oc->wall_ms;
       resp.error = oc->error;
-      return send_msg(fd, MsgType::kRespResult, resp.encode());
+      return reply(fd, MsgType::kRespResult, resp.encode());
     }
     case MsgType::kReqStatus: {
       JobReq req;
       if (!req.decode(frame.payload))
-        return send_error(fd, ServeError::kBadRequest, "malformed status payload");
+        return reply_error(fd, ServeError::kBadRequest, "malformed status payload");
       std::uint64_t position = 0;
       const JobState st = core_.status(req.job_id, position);
       if (st == JobState::kUnknown)
-        return send_error(fd, ServeError::kUnknownJob,
-                          "job " + std::to_string(req.job_id) + " never admitted");
+        return reply_error(fd, ServeError::kUnknownJob,
+                           "job " + std::to_string(req.job_id) + " never admitted");
       StatusResp resp;
       resp.job_id = req.job_id;
       resp.state = static_cast<std::uint8_t>(st);
       resp.position = position;
-      return send_msg(fd, MsgType::kRespStatus, resp.encode());
+      return reply(fd, MsgType::kRespStatus, resp.encode());
     }
     case MsgType::kReqStats: {
       JobReq req;
       if (!req.decode(frame.payload))
-        return send_error(fd, ServeError::kBadRequest, "malformed stats payload");
+        return reply_error(fd, ServeError::kBadRequest, "malformed stats payload");
       const auto json = core_.stats_json(req.job_id);
       if (!json)
-        return send_error(fd, ServeError::kUnknownJob,
-                          "job " + std::to_string(req.job_id) +
-                              " unknown or not finished");
+        return reply_error(fd, ServeError::kUnknownJob,
+                           "job " + std::to_string(req.job_id) +
+                               " unknown or not finished");
       StatsResp resp;
       resp.job_id = req.job_id;
       resp.json = *json;
-      return send_msg(fd, MsgType::kRespStats, resp.encode());
+      return reply(fd, MsgType::kRespStats, resp.encode());
+    }
+    case MsgType::kReqSnapshot: {
+      if (!frame.payload.empty())
+        return reply_error(fd, ServeError::kBadRequest,
+                           "snapshot carries no payload");
+      if (!core_.snapshot_armed())
+        return reply_error(fd, ServeError::kNoSnapshot,
+                           "daemon has no snapshot path configured");
+      std::string err;
+      if (!core_.save_snapshot(&err))
+        return reply_error(fd, ServeError::kInternal,
+                           "snapshot save failed: " + err);
+      return reply(fd, MsgType::kRespOk, {});
     }
     case MsgType::kReqDrain: {
       core_.begin_drain();
-      return send_msg(fd, MsgType::kRespOk, {});
+      return reply(fd, MsgType::kRespOk, {});
     }
     case MsgType::kReqShutdown: {
       // Drain fully BEFORE acknowledging: once the client reads resp.bye,
       // every admitted job has retired and the daemon is about to exit 0.
       core_.begin_drain();
       core_.wait_drained();
-      send_msg(fd, MsgType::kRespBye, {});
+      reply(fd, MsgType::kRespBye, {});
       stop_.store(true);
       return false;
     }
     default:
       // A client sending response frames is talking the wrong direction.
-      send_error(fd, ServeError::kBadRequest, "response frame from client");
+      reply_error(fd, ServeError::kBadRequest, "response frame from client");
       return false;
   }
 }

@@ -34,7 +34,9 @@
 
 #include "buflib/library.h"
 #include "cache/shard.h"
+#include "cache/snapshot.h"
 #include "flow/batch.h"
+#include "obs/json.h"
 #include "runtime/guard.h"
 #include "serve/protocol.h"
 #include "serve/queue.h"
@@ -54,11 +56,39 @@ struct ServeOptions {
   /// differential tests compare them structurally.  Daemons serving real
   /// traffic leave this off (outcomes hold only the summary + stats JSON).
   bool keep_results = false;
+
+  /// Warm-cache snapshot file ("" disables persistence).  Loaded on
+  /// construction (corruption cold-starts, never crashes), saved when the
+  /// drain completes, on the cadence below, and on a req.snapshot frame.
+  std::string snapshot_path;
+  /// Background snapshot cadence in seconds (0 = only drain/req.snapshot).
+  std::uint32_t snapshot_every_s = 0;
+
+  /// Per-connection socket recv/send timeout in ms (0 disables).  Bounds
+  /// how long a half-open peer can pin a connection thread mid-frame or
+  /// mid-reply; a connection idling *between* frames is unaffected.
+  std::uint32_t io_timeout_ms = 30000;
+
+  /// Overload shedding (docs/SERVING.md, "Overload shedding").  Shedding
+  /// arms when EITHER trigger fires: queued jobs >= shed_queue_depth
+  /// (0 = trigger off) or the wall-time EWMA > shed_ewma_ms (0 = off).
+  /// While armed: retry-after hints double, per-client lanes are capped at
+  /// shed_lane_cap queued jobs (0 = no cap; beyond it submits earn
+  /// err.overloaded), and jobs dispatch with their per-net step budget
+  /// tightened to shed_step_budget (0 = no tightening) so they degrade
+  /// down the ladder preemptively instead of holding the scheduler.
+  std::size_t shed_queue_depth = 0;
+  double shed_ewma_ms = 0.0;
+  std::size_t shed_lane_cap = 0;
+  std::uint64_t shed_step_budget = 0;
 };
 
 /// Terminal record of a finished job.
 struct JobOutcome {
   bool ok = false;
+  /// The request's deadline_ms was already spent when the scheduler reached
+  /// it — the job never ran; the transport replies err.deadline.
+  bool deadline_expired = false;
   std::string error;          ///< what() of the failing exception
   double delay_ps = 0.0;
   double area = 0.0;
@@ -67,7 +97,7 @@ struct JobOutcome {
   std::uint64_t digest = 0;   ///< batch_result_digest of the full result
   double queue_ms = 0.0;      ///< admission → dispatch wait
   double wall_ms = 0.0;       ///< dispatch → completion
-  std::string stats_json;     ///< merlin.stats v4 (request.id = job id)
+  std::string stats_json;     ///< merlin.stats v5 (request.id = job id)
   /// Full result, only under ServeOptions::keep_results.
   std::shared_ptr<const BatchResult> result;
 };
@@ -119,6 +149,31 @@ class ServerCore {
   /// The warm context's resolved worker count.
   [[nodiscard]] std::size_t threads() const { return ctx_->threads(); }
 
+  /// True when snapshot persistence is configured AND the cache can hold
+  /// state worth saving (a path with the cache off is inert, not an error).
+  [[nodiscard]] bool snapshot_armed() const {
+    return !opts_.snapshot_path.empty() && cache_ && cache_->enabled();
+  }
+  /// Saves the warm-cache snapshot now (req.snapshot, the cadence timer and
+  /// the end-of-drain save all land here; serialized by an internal mutex).
+  /// False with `error` filled when not armed or the write failed — the
+  /// previous snapshot on disk survives every failure.
+  bool save_snapshot(std::string* error = nullptr);
+  /// Human-readable one-liner describing the construction-time snapshot
+  /// load ("restored N entries...", "corrupt (cold start): ...", empty when
+  /// persistence is off) — merlin_d prints it at startup.
+  [[nodiscard]] const std::string& snapshot_note() const {
+    return snapshot_note_;
+  }
+
+  /// Reply-path send failure accounting (EPIPE, timeouts); the transport
+  /// reports each one here and the totals surface in the `serve` stats
+  /// section.
+  void note_reply_failure() { reply_failures_.fetch_add(1); }
+
+  /// The current survivability rollup (the v5 `serve` stats section shape).
+  [[nodiscard]] ServeInfo serve_info() const;
+
  private:
   struct JobRecord {
     JobState state = JobState::kQueued;
@@ -131,6 +186,12 @@ class ServerCore {
   void scheduler_loop();
   [[nodiscard]] JobOutcome run_one(const QueuedJob& job, double queue_ms,
                                    std::int64_t admit_ns);
+  /// Shedding predicate: either configured trigger crossed?  `ewma_ms` is
+  /// the caller's already-read copy of wall_ewma_ms_ (avoids re-locking).
+  [[nodiscard]] bool overloaded_now(double ewma_ms) const;
+  /// Backoff hint: recent mean job wall time scaled by the backlog, times
+  /// `scale` (2.0 under overload), clamped to [1 ms, 60 s].
+  [[nodiscard]] std::uint32_t retry_hint(double ewma_ms, double scale) const;
 
   ServeOptions opts_;
   BufferLibrary lib_;
@@ -149,6 +210,25 @@ class ServerCore {
   std::thread scheduler_;
   bool scheduler_joined_ = false;
   std::mutex join_mu_;
+
+  // Survivability accounting (the v5 `serve` stats section).
+  std::atomic<std::uint64_t> jobs_admitted_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> overload_rejections_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> shed_tightened_{0};
+  std::atomic<std::uint64_t> reply_failures_{0};
+  std::atomic<std::uint64_t> snapshot_saves_{0};
+  std::atomic<std::uint64_t> snapshot_loads_{0};
+
+  // Snapshot persistence: one save at a time; the cadence thread parks on
+  // the cv so drain can stop it promptly.
+  std::mutex snapshot_mu_;
+  std::string snapshot_note_;
+  std::thread snapshot_thread_;
+  std::mutex snapshot_cv_mu_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;
 };
 
 /// Unix-domain transport for a ServerCore.  One accept loop (poll with a
@@ -156,9 +236,11 @@ class ServerCore {
 /// thread per connection, one response frame per request frame.
 class SocketServer {
  public:
-  /// Binds and listens on `socket_path` (an existing socket file is
-  /// unlinked first — stale sockets from a killed daemon must not block a
-  /// restart).  Throws std::runtime_error on any socket-layer failure; the
+  /// Binds and listens on `socket_path`.  An existing socket file is first
+  /// probed with connect(2): a live daemon answering means this start-up
+  /// REFUSES to clobber it (std::runtime_error → exit code 6); only a dead
+  /// socket (ECONNREFUSED — the stale remnant of a killed daemon) is
+  /// unlinked.  Throws std::runtime_error on any socket-layer failure; the
   /// daemon maps that to exit code 6.
   SocketServer(ServerCore& core, std::string socket_path);
   ~SocketServer();
@@ -176,6 +258,13 @@ class SocketServer {
   void handle_connection(int fd, std::uint64_t client_id);
   /// One request frame → one response frame; false closes the connection.
   bool handle_frame(const Frame& frame, std::uint64_t client_id, int fd);
+  /// Reply senders.  A failed send (EPIPE, short write, send timeout) is a
+  /// typed event, not a silent drop: it is counted on the core and the
+  /// false return closes the connection — a peer that saw only part of a
+  /// frame can never be handed a next frame to mis-align against.
+  bool reply(int fd, MsgType type, std::string_view payload);
+  bool reply_error(int fd, ServeError code, std::string message,
+                   std::uint32_t retry_after_ms = 0);
   /// Wakes every connection thread parked in recv (shutdown(2) on the live
   /// fds) and joins them — idle clients must not block a drain forever.
   void close_connections();

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -15,6 +17,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -39,11 +42,12 @@ namespace {
 // -- ServeFrame: wire codec -------------------------------------------------
 
 TEST(ServeFrame, FrameRoundTripsEveryRequestAndResponseType) {
-  const std::array<MsgType, 14> types = {
+  const std::array<MsgType, 15> types = {
       MsgType::kReqPing,    MsgType::kReqSubmitCircuit,
       MsgType::kReqSubmitNet, MsgType::kReqStatus,
       MsgType::kReqStats,   MsgType::kReqDrain,
-      MsgType::kReqShutdown, MsgType::kRespPong,
+      MsgType::kReqShutdown, MsgType::kReqSnapshot,
+      MsgType::kRespPong,
       MsgType::kRespResult, MsgType::kRespStatus,
       MsgType::kRespStats,  MsgType::kRespOk,
       MsgType::kRespBye,    MsgType::kRespError,
@@ -66,19 +70,23 @@ TEST(ServeFrame, PayloadStructsRoundTrip) {
   c.gates = 123;
   c.seed = 456;
   c.flow = 2;
+  c.deadline_ms = 2500;
   SubmitCircuitReq c2;
   ASSERT_TRUE(c2.decode(c.encode()));
   EXPECT_EQ(c2.gates, 123u);
   EXPECT_EQ(c2.seed, 456u);
   EXPECT_EQ(c2.flow, 2);
+  EXPECT_EQ(c2.deadline_ms, 2500u);
 
   SubmitNetReq n;
   n.flow = 1;
+  n.deadline_ms = 77;
   const char raw[] = "net with\nnewlines and \0 binary";
   n.net_text.assign(raw, sizeof(raw) - 1);
   SubmitNetReq n2;
   ASSERT_TRUE(n2.decode(n.encode()));
   EXPECT_EQ(n2.net_text, n.net_text);
+  EXPECT_EQ(n2.deadline_ms, 77u);
 
   ResultResp r;
   r.job_id = 7;
@@ -320,7 +328,7 @@ TEST(ServeCore, StatsJsonCarriesTheRequestIdentity) {
   ASSERT_TRUE(oc->ok);
   const JsonValue doc = json_parse(oc->stats_json);
   EXPECT_EQ(doc.at("schema").string, "merlin.stats");
-  EXPECT_EQ(doc.at("schema_version").number, 4.0);
+  EXPECT_EQ(doc.at("schema_version").number, 5.0);
   const JsonValue& req = doc.at("request");
   EXPECT_EQ(req.at("id").number, static_cast<double>(sub.job_id));
   EXPECT_EQ(req.at("source").string, "serve");
@@ -423,6 +431,196 @@ TEST(ServeCore, UnknownJobsReportUnknown) {
   EXPECT_EQ(core.status(12345, pos), JobState::kUnknown);
   EXPECT_EQ(core.stats_json(12345), std::nullopt);
   EXPECT_EQ(core.wait(12345), nullptr);
+}
+
+// -- ServeSurvivability: deadlines, shedding, snapshots ---------------------
+
+TEST(ServeSurvivability, StatsJsonCarriesTheServeSection) {
+  ServerCore core(ServeOptions{});
+  const SubmitOutcome sub = core.submit(1, circuit_spec(16, 5));
+  ASSERT_TRUE(sub.accepted);
+  const JobOutcome* oc = core.wait(sub.job_id);
+  ASSERT_TRUE(oc->ok);
+  const JsonValue doc = json_parse(oc->stats_json);
+  const JsonValue& serve = doc.at("serve");
+  EXPECT_EQ(serve.at("enabled").number, 1.0);
+  EXPECT_GE(serve.at("jobs_admitted").number, 1.0);
+  EXPECT_EQ(serve.at("overload_rejections").number, 0.0);
+  EXPECT_EQ(serve.at("deadline_expired").number, 0.0);
+  EXPECT_EQ(serve.at("snapshot_loads").number, 0.0);
+  EXPECT_EQ(serve.at("overloaded").number, 0.0);
+}
+
+TEST(ServeSurvivability, ExpiredDeadlineRejectsWithoutRunningAndKeepsServing) {
+  ServeOptions so;
+  so.queue_capacity = 16;
+  ServerCore core(so);
+  // Three real jobs ahead guarantee the 1 ms deadline is long dead by the
+  // time the scheduler reaches the deadlined one.
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(core.submit(1, circuit_spec(16, 100 + i)).accepted);
+  JobSpec doomed = circuit_spec(16, 999);
+  doomed.deadline_ms = 1;
+  const SubmitOutcome sub = core.submit(1, std::move(doomed));
+  ASSERT_TRUE(sub.accepted);
+  const JobOutcome* oc = core.wait(sub.job_id);
+  ASSERT_NE(oc, nullptr);
+  EXPECT_FALSE(oc->ok);
+  EXPECT_TRUE(oc->deadline_expired);
+  EXPECT_NE(oc->error.find("deadline"), std::string::npos) << oc->error;
+  // The rejection produced a stats document that records the event.
+  const JsonValue doc = json_parse(oc->stats_json);
+  EXPECT_EQ(doc.at("counters").at("serve_deadline_expired").number, 1.0);
+  EXPECT_GE(doc.at("serve").at("deadline_expired").number, 1.0);
+  // The daemon keeps serving: a fresh undeadlined job completes normally.
+  const SubmitOutcome again = core.submit(1, circuit_spec(16, 42));
+  ASSERT_TRUE(again.accepted);
+  EXPECT_TRUE(core.wait(again.job_id)->ok);
+}
+
+TEST(ServeSurvivability, GenerousDeadlineDoesNotChangeTheResult) {
+  ServeOptions so;
+  so.keep_results = true;
+  ServerCore core(so);
+  JobSpec relaxed = circuit_spec(16, 5);
+  relaxed.deadline_ms = 10 * 60 * 1000;  // ten minutes: will never bind
+  const SubmitOutcome a = core.submit(1, std::move(relaxed));
+  ASSERT_TRUE(a.accepted);
+  const JobOutcome* oa = core.wait(a.job_id);
+  ASSERT_TRUE(oa->ok);
+
+  ServeOptions fo;
+  fo.keep_results = true;
+  ServerCore fresh(fo);
+  const SubmitOutcome b = fresh.submit(1, circuit_spec(16, 5));
+  ASSERT_TRUE(b.accepted);
+  const JobOutcome* ob = fresh.wait(b.job_id);
+  ASSERT_TRUE(ob->ok);
+  EXPECT_EQ(oa->digest, ob->digest);
+}
+
+TEST(ServeSurvivability, OverloadShedsFloodingClientWithTypedError) {
+  ServeOptions so;
+  so.queue_capacity = 32;
+  so.shed_queue_depth = 1;  // overloaded as soon as anything queues
+  so.shed_lane_cap = 1;     // and then one queued job per client is the cap
+  ServerCore core(so);
+  bool saw_overloaded = false;
+  for (int i = 0; i < 32 && !saw_overloaded; ++i) {
+    const SubmitOutcome sub = core.submit(7, circuit_spec(16, 11));
+    if (!sub.accepted) {
+      EXPECT_EQ(sub.error, ServeError::kOverloaded);
+      EXPECT_GT(sub.retry_after_ms, 0u);
+      saw_overloaded = true;
+    }
+  }
+  EXPECT_TRUE(saw_overloaded);
+}
+
+TEST(ServeSurvivability, SheddingOffByDefaultStillRejectsOnlyWhenFull) {
+  // With every shed threshold at its zero default, a flood earns
+  // err.queue_full (the pre-existing contract), never err.overloaded.
+  ServeOptions so;
+  so.queue_capacity = 1;
+  ServerCore core(so);
+  for (int i = 0; i < 32; ++i) {
+    const SubmitOutcome sub = core.submit(1, circuit_spec(16, 11));
+    if (!sub.accepted) {
+      EXPECT_EQ(sub.error, ServeError::kQueueFull);
+      return;
+    }
+  }
+  FAIL() << "queue of capacity 1 never rejected 32 submits";
+}
+
+/// A temp dir + snapshot path, cleaned up on destruction.
+struct SnapshotDir {
+  SnapshotDir() {
+    char tmpl[] = "/tmp/merlin_snap_XXXXXX";
+    dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    path = std::string(dir) + "/cache.snap";
+  }
+  ~SnapshotDir() {
+    std::remove(path.c_str());
+    if (dir != nullptr) rmdir(dir);
+  }
+  const char* dir = nullptr;
+  std::string path;
+};
+
+TEST(ServeSurvivability, WarmRestartFromSnapshotIsDigestIdenticalAndWarm) {
+  SnapshotDir snap;
+  std::uint64_t first_digest = 0;
+  {
+    ServeOptions so;
+    so.snapshot_path = snap.path;
+    ServerCore core(so);
+    const SubmitOutcome sub = core.submit(1, circuit_spec(18, 5));
+    ASSERT_TRUE(sub.accepted);
+    const JobOutcome* oc = core.wait(sub.job_id);
+    ASSERT_TRUE(oc->ok);
+    first_digest = oc->digest;
+    // Destruction drains, and the drain persists the warm cache.
+  }
+  {
+    ServeOptions so;
+    so.snapshot_path = snap.path;
+    ServerCore core(so);
+    const SubmitOutcome sub = core.submit(1, circuit_spec(18, 5));
+    ASSERT_TRUE(sub.accepted);
+    const JobOutcome* oc = core.wait(sub.job_id);
+    ASSERT_TRUE(oc->ok);
+    // Bit-identical answer from the restored store...
+    EXPECT_EQ(oc->digest, first_digest);
+    // ...and it genuinely ran warm: the restored entries were adopted.
+    const JsonValue doc = json_parse(oc->stats_json);
+    EXPECT_GT(doc.at("counters").at("cache_shared_hits").number, 0.0);
+    EXPECT_EQ(doc.at("serve").at("snapshot_loads").number, 1.0);
+    EXPECT_NE(core.snapshot_note().find("loaded"), std::string::npos)
+        << core.snapshot_note();
+  }
+}
+
+TEST(ServeSurvivability, CorruptSnapshotColdStartsTheDaemon) {
+  SnapshotDir snap;
+  {
+    ServeOptions so;
+    so.snapshot_path = snap.path;
+    ServerCore core(so);
+    ASSERT_TRUE(core.wait(core.submit(1, circuit_spec(16, 3)).job_id)->ok);
+  }
+  // Flip one byte in the middle of the file.
+  {
+    FILE* f = std::fopen(snap.path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 32);
+    std::fseek(f, size / 2, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  ServeOptions so;
+  so.snapshot_path = snap.path;
+  ServerCore core(so);  // must not crash
+  EXPECT_NE(core.snapshot_note().find("corrupt"), std::string::npos)
+      << core.snapshot_note();
+  const JobOutcome* oc = core.wait(core.submit(1, circuit_spec(16, 3)).job_id);
+  ASSERT_NE(oc, nullptr);
+  EXPECT_TRUE(oc->ok);  // cold but serving
+  const JsonValue doc = json_parse(oc->stats_json);
+  EXPECT_EQ(doc.at("serve").at("snapshot_loads").number, 0.0);
+}
+
+TEST(ServeSurvivability, SaveSnapshotRequiresAnArmedPath) {
+  ServerCore core(ServeOptions{});
+  EXPECT_FALSE(core.snapshot_armed());
+  std::string err;
+  EXPECT_FALSE(core.save_snapshot(&err));
+  EXPECT_FALSE(err.empty());
 }
 
 // -- ServeCliDifferential: against the real binary --------------------------
@@ -582,6 +780,110 @@ TEST(ServeSocket, ConcurrentClientsAllGetServed) {
   fx.shutdown_and_join();
 }
 
+TEST(ServeSocket, SnapshotFrameSavesOnDemand) {
+  SnapshotDir snap;
+  ServeOptions so;
+  so.snapshot_path = snap.path;
+  SocketFixture fx(so);
+  ServeClient client(fx.path());
+  ASSERT_TRUE(client.submit_circuit(16, 17).ok);
+  client.snapshot();  // resp.ok, or this throws
+  FILE* f = std::fopen(snap.path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "req.snapshot did not produce " << snap.path;
+  if (f != nullptr) std::fclose(f);
+  // No leftover temp file from the atomic write protocol.
+  FILE* tmp = std::fopen((snap.path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  fx.shutdown_and_join();
+}
+
+TEST(ServeSocket, SnapshotFrameWithoutAPathEarnsTypedError) {
+  SocketFixture fx;
+  ServeClient client(fx.path());
+  const Frame f = client.roundtrip(MsgType::kReqSnapshot, {});
+  ASSERT_EQ(f.type, MsgType::kRespError);
+  ErrorResp e;
+  ASSERT_TRUE(e.decode(f.payload));
+  EXPECT_EQ(e.code, static_cast<std::uint8_t>(ServeError::kNoSnapshot));
+  // The connection survives a refused snapshot.
+  EXPECT_EQ(client.ping().version, kWireVersion);
+  fx.shutdown_and_join();
+}
+
+TEST(ServeSocket, DeadlineExpiryCrossesTheWireAsTypedError) {
+  ServeOptions so;
+  so.queue_capacity = 16;
+  SocketFixture fx(so);
+  // Back the scheduler up from one connection...
+  std::thread busy([&] {
+    ServeClient c(fx.path());
+    for (int i = 0; i < 3; ++i) (void)c.submit_circuit(16, 300 + i);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // ...then a 1 ms deadline from another cannot survive the queue.
+  ServeClient client(fx.path());
+  const SubmitReply r = client.submit_circuit(16, 999, 3, /*deadline_ms=*/1);
+  busy.join();
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, static_cast<std::uint8_t>(ServeError::kDeadline));
+  EXPECT_NE(r.error.message.find("deadline"), std::string::npos)
+      << r.error.message;
+  // Daemon unharmed.
+  EXPECT_TRUE(client.submit_circuit(14, 1).ok);
+  fx.shutdown_and_join();
+}
+
+TEST(ServeSocket, LiveDaemonSocketIsNeverClobbered) {
+  SocketFixture fx;
+  // A second server on the same path must refuse to start — and the first
+  // must still be serving afterwards.
+  ServerCore core2{ServeOptions{}};
+  EXPECT_THROW(SocketServer(core2, fx.path()), std::runtime_error);
+  ServeClient client(fx.path());
+  EXPECT_EQ(client.ping().version, kWireVersion);
+  fx.shutdown_and_join();
+}
+
+TEST(ServeSocket, StaleSocketFileIsReplacedOnStartup) {
+  char tmpl[] = "/tmp/merlin_stale_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string path = std::string(dir) + "/d.sock";
+  {
+    // A dead socket file, the way kill -9 leaves one: bound, then the
+    // process gone with no unlink.  connect() on it gets ECONNREFUSED.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)), 0);
+    ::close(fd);  // the file stays on disk
+  }
+  ServerCore core2{ServeOptions{}};
+  EXPECT_NO_THROW({ SocketServer s2(core2, path); });
+  std::remove(path.c_str());
+  rmdir(dir);
+}
+
+TEST(ServeSocket, HangupSurfacesAsTransportError) {
+  SocketFixture fx;
+  ServeClient client(fx.path());
+  client.send_bytes("garbage that earns a disconnect");
+  (void)client.read_reply();  // the err.bad_frame diagnostic
+  // The daemon hung up: the next read is a typed transport failure (which
+  // still IS a runtime_error, so legacy catch sites keep working).
+  try {
+    (void)client.read_reply();
+    FAIL() << "read on a closed connection did not throw";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.bytes_written(), 0u);
+  }
+  fx.shutdown_and_join();
+}
+
 TEST(ServeSocket, ShutdownDrainsInFlightJobsFirst) {
   ServeOptions so;
   so.queue_capacity = 8;
@@ -638,6 +940,47 @@ TEST(ServeDaemon, ServesAndExitsZeroOnShutdownRequest) {
   EXPECT_EQ(WEXITSTATUS(status), 0);
   std::remove(sock.c_str());
   std::remove(dir);
+}
+
+TEST(ServeDaemon, SecondDaemonOnALiveSocketExitsSix) {
+  char tmpl[] = "/tmp/merlin_d_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string sock = std::string(dir) + "/d.sock";
+
+  const pid_t first = fork();
+  ASSERT_GE(first, 0);
+  if (first == 0) {
+    execl(MERLIN_D_PATH, "merlin_d", "--socket", sock.c_str(), (char*)nullptr);
+    _exit(127);
+  }
+  {
+    ServeClient client(sock, /*retry_ms=*/10000);
+    EXPECT_EQ(client.ping().version, kWireVersion);
+
+    // Second daemon, same socket: must refuse to clobber and exit 6.
+    const pid_t second = fork();
+    ASSERT_GE(second, 0);
+    if (second == 0) {
+      execl(MERLIN_D_PATH, "merlin_d", "--socket", sock.c_str(),
+            (char*)nullptr);
+      _exit(127);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(second, &status, 0), second);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 6);
+
+    // And the first daemon was untouched by the attempt.
+    EXPECT_TRUE(client.submit_circuit(14, 3).ok);
+    client.shutdown();
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(first, &status, 0), first);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::remove(sock.c_str());
+  rmdir(dir);
 }
 
 TEST(ServeDaemon, SocketFailureExitsSix) {

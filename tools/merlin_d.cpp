@@ -2,7 +2,9 @@
 //
 //   merlin_d --socket PATH [options]
 //     --socket PATH       unix socket to listen on (required; a stale
-//                         socket file from a killed daemon is replaced)
+//                         socket file from a killed daemon is replaced, but
+//                         a LIVE daemon's socket is never clobbered — the
+//                         second daemon refuses to start, exit 6)
 //     --threads N         batch workers (0 = all cores; default 1)
 //     --cache-mb N        shared cross-net sub-problem cache budget in MB
 //                         (default 64; 0 disables the store)
@@ -15,6 +17,25 @@
 //     --fail-policy P     abort | skip | degrade (default)
 //     --trace-spans       arm per-job span rings (serve.queue/serve.request
 //                         land in each job's stats JSON)
+//     --snapshot PATH     warm-cache snapshot file: loaded at startup (a
+//                         missing/torn/corrupt file cold-starts, never
+//                         crashes), rewritten atomically at drain, on
+//                         req.snapshot frames and on the cadence below
+//     --snapshot-every S  background snapshot cadence in seconds (0 =
+//                         drain/req.snapshot only; default 0)
+//     --io-timeout-ms N   per-connection socket recv/send timeout (default
+//                         30000; 0 disables) — bounds how long a stalled
+//                         peer pins a connection thread mid-frame
+//     --shed-queue-depth N  arm overload shedding when the queue holds >= N
+//                         jobs (0 = off)
+//     --shed-ewma-ms X    arm shedding when the job wall-time EWMA tops X
+//                         ms (0 = off)
+//     --shed-lane-cap N   while shedding: cap each client's queued jobs at
+//                         N; beyond it submits earn err.overloaded (0 = no
+//                         cap)
+//     --shed-step-budget N  while shedding: dispatch jobs with their
+//                         per-net step budget tightened to N so they
+//                         degrade down the ladder preemptively (0 = off)
 //
 // The daemon keeps the buffer library, thread pool, per-worker arenas and
 // the shared SubproblemCache warm across requests (flow/batch.h
@@ -54,7 +75,10 @@ constexpr int kExitServer = 6;
   std::fprintf(stderr,
                "usage: merlin_d --socket PATH [--threads N] [--cache-mb N] "
                "[--cache on|off] [--queue-depth N] [--net-step-budget N] "
-               "[--fail-policy abort|skip|degrade] [--trace-spans]\n");
+               "[--fail-policy abort|skip|degrade] [--trace-spans] "
+               "[--snapshot PATH] [--snapshot-every SECONDS] "
+               "[--io-timeout-ms N] [--shed-queue-depth N] [--shed-ewma-ms X] "
+               "[--shed-lane-cap N] [--shed-step-budget N]\n");
   std::exit(kExitUsage);
 }
 
@@ -75,6 +99,13 @@ int main(int argc, char** argv) {
   std::uint64_t net_step_budget = 0;
   std::string fail_policy = "degrade";
   bool trace_spans = false;
+  std::string snapshot_path;
+  std::uint32_t snapshot_every_s = 0;
+  std::uint32_t io_timeout_ms = 30000;
+  std::size_t shed_queue_depth = 0;
+  double shed_ewma_ms = 0.0;
+  std::size_t shed_lane_cap = 0;
+  std::uint64_t shed_step_budget = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -104,6 +135,29 @@ int main(int argc, char** argv) {
       fail_policy = argv[++i];
     } else if (a == "--trace-spans") {
       trace_spans = true;
+    } else if (a == "--snapshot") {
+      need(1);
+      snapshot_path = argv[++i];
+    } else if (a == "--snapshot-every") {
+      need(1);
+      snapshot_every_s =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--io-timeout-ms") {
+      need(1);
+      io_timeout_ms =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--shed-queue-depth") {
+      need(1);
+      shed_queue_depth = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--shed-ewma-ms") {
+      need(1);
+      shed_ewma_ms = std::strtod(argv[++i], nullptr);
+    } else if (a == "--shed-lane-cap") {
+      need(1);
+      shed_lane_cap = std::strtoul(argv[++i], nullptr, 10);
+    } else if (a == "--shed-step-budget") {
+      need(1);
+      shed_step_budget = std::strtoull(argv[++i], nullptr, 10);
     } else {
       usage();
     }
@@ -117,6 +171,13 @@ int main(int argc, char** argv) {
     opts.queue_capacity = queue_depth;
     opts.guard.step_budget = net_step_budget;
     opts.trace_spans = trace_spans;
+    opts.snapshot_path = snapshot_path;
+    opts.snapshot_every_s = snapshot_every_s;
+    opts.io_timeout_ms = io_timeout_ms;
+    opts.shed_queue_depth = shed_queue_depth;
+    opts.shed_ewma_ms = shed_ewma_ms;
+    opts.shed_lane_cap = shed_lane_cap;
+    opts.shed_step_budget = shed_step_budget;
     if (cache_mode == "on") {
       opts.cache_on = true;
     } else if (cache_mode == "off") {
@@ -144,6 +205,9 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
 
     ServerCore core(opts);
+    if (!core.snapshot_note().empty())
+      std::fprintf(stderr, "merlin_d: snapshot %s\n",
+                   core.snapshot_note().c_str());
     // The socket layer throws std::runtime_error on create/bind/listen
     // failure — mapped to the server exit code, not the internal one.
     int exit_code = kExitOk;
