@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "flow/report.h"
+#include "obs/hist.h"
 #include "serve/client.h"
 
 namespace {
@@ -86,15 +87,18 @@ ResultResp submit_retrying(ServeClient& client, std::uint64_t gates,
 struct SweepPoint {
   int clients = 0;
   double p50_ms = 0.0;
+  double p90_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   double req_s = 0.0;
 };
 
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
+/// The daemon's lifetime telemetry quantizes latency through the same
+/// LatencyHistogram — using it here too means bench_serve's p50/p99 and
+/// `merlin_stat`'s agree by construction (modulo queue-vs-client vantage),
+/// which the acceptance check leans on.
+double hist_ms(const LatencyHistogram& h, double p) {
+  return static_cast<double>(h.quantile(p)) / 1000.0;
 }
 
 /// Fork/exec a merlin_d on `socket_path` with a warm-cache snapshot at
@@ -127,9 +131,12 @@ void reap_daemon(pid_t pid) {
 }
 
 /// `clients` connections, each submitting `reps` seed-rotated requests.
+/// Each client thread records into its own histogram; the merged result is
+/// identical no matter how the threads interleaved (merge is commutative
+/// bucket addition) — the same discipline the daemon's registry uses.
 SweepPoint run_sweep(const std::string& socket_path, int clients, int reps,
                      std::uint64_t gates, std::uint64_t base_seed) {
-  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::vector<LatencyHistogram> lat(static_cast<std::size_t>(clients));
   std::vector<std::thread> threads;
   const auto t0 = Clock::now();
   for (int c = 0; c < clients; ++c) {
@@ -140,22 +147,24 @@ SweepPoint run_sweep(const std::string& socket_path, int clients, int reps,
         // Rotate over a small seed set: recurring work (cache hits) with
         // some variety, like an ECO loop touching a few circuit variants.
         (void)submit_retrying(client, gates, base_seed + (i % 3));
-        lat[static_cast<std::size_t>(c)].push_back(ms_since(r0));
+        lat[static_cast<std::size_t>(c)].record(
+            static_cast<std::uint64_t>(ms_since(r0) * 1000.0));
       }
     });
   }
   for (std::thread& t : threads) t.join();
   const double total_ms = ms_since(t0);
 
-  std::vector<double> all;
-  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
-  std::sort(all.begin(), all.end());
+  LatencyHistogram all;
+  for (const LatencyHistogram& h : lat) all.merge_from(h);
   SweepPoint pt;
   pt.clients = clients;
-  pt.p50_ms = percentile(all, 0.50);
-  pt.p99_ms = percentile(all, 0.99);
+  pt.p50_ms = hist_ms(all, 50.0);
+  pt.p90_ms = hist_ms(all, 90.0);
+  pt.p99_ms = hist_ms(all, 99.0);
+  pt.p999_ms = hist_ms(all, 99.9);
   pt.req_s = total_ms > 0.0
-                 ? static_cast<double>(all.size()) / (total_ms / 1000.0)
+                 ? static_cast<double>(all.count()) / (total_ms / 1000.0)
                  : 0.0;
   return pt;
 }
@@ -313,12 +322,15 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", t.render().c_str());
 
-  TextTable s({"clients", "p50 (ms)", "p99 (ms)", "req/s"});
+  TextTable s({"clients", "p50 (ms)", "p90 (ms)", "p99 (ms)", "p99.9 (ms)",
+               "req/s"});
   for (const SweepPoint& pt : sweep) {
     s.begin_row();
     s.cell(static_cast<std::uint64_t>(pt.clients));
     s.cell(pt.p50_ms, 2);
+    s.cell(pt.p90_ms, 2);
     s.cell(pt.p99_ms, 2);
+    s.cell(pt.p999_ms, 2);
     s.cell(pt.req_s, 1);
   }
   std::printf("%s\n", s.render().c_str());
@@ -332,7 +344,7 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path, std::ios::binary);
     out << "{\n"
         << "  \"schema\": \"merlin.bench_serve\",\n"
-        << "  \"version\": 2,\n"
+        << "  \"version\": 3,\n"
         << "  \"gates\": " << gates << ",\n"
         << "  \"seed\": " << seed << ",\n"
         << "  \"reps\": " << reps << ",\n"
@@ -349,7 +361,9 @@ int main(int argc, char** argv) {
       const SweepPoint& pt = sweep[i];
       const std::string k = "c" + std::to_string(pt.clients);
       out << "  \"" << k << "_p50_ms\": " << pt.p50_ms << ",\n"
+          << "  \"" << k << "_p90_ms\": " << pt.p90_ms << ",\n"
           << "  \"" << k << "_p99_ms\": " << pt.p99_ms << ",\n"
+          << "  \"" << k << "_p999_ms\": " << pt.p999_ms << ",\n"
           << "  \"" << k << "_req_s\": " << pt.req_s
           << (i + 1 < sweep.size() ? ",\n" : ",\n");
     }

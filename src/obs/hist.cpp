@@ -1,0 +1,35 @@
+#include "obs/hist.h"
+
+#include <cmath>
+
+namespace merlin {
+
+std::uint64_t LatencyHistogram::quantile(double p) const {
+  if (count_ == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return bucket_lower(i);
+  }
+  return bucket_lower(kSlots - 1);  // unreachable when counts are consistent
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& o) {
+  for (std::size_t i = 0; i < kSlots; ++i) buckets_[i] += o.buckets_[i];
+  count_ += o.count_;
+  sum_ += o.sum_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+void LatencyHistogram::clear() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+}  // namespace merlin

@@ -1,0 +1,97 @@
+#pragma once
+// LatencyHistogram — a fixed-size, log2-bucketed latency histogram
+// (HdrHistogram-lite).  The value range [0, 2^63] is covered by one
+// power-of-two bucket per magnitude, each split into kSub linear
+// sub-buckets, so relative quantization error is bounded by 1/kSub
+// (~3% at kSubBits = 5) at every magnitude while the whole bank stays a
+// POD array of ~2k u64 slots.
+//
+// Discipline mirrors ObsSink: record() is single-writer (plain stores, no
+// atomics — wait-free on the hot path) and a histogram must never be
+// shared across threads; per-thread histograms are merged serially with
+// merge_from(), which is a commutative elementwise sum, so merged
+// quantiles are independent of both merge order and the number of
+// recording threads for a fixed multiset of values (tests/test_registry.cpp
+// proves both).  quantile() is nearest-rank over bucket counts and returns
+// the *lower bound* of the selected bucket — a deterministic function of
+// the counts alone, never an interpolation.
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace merlin {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two magnitude (2^kSubBits).
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  /// Slot count: one linear block for values < kSub plus one block per
+  /// magnitude kSubBits..63.
+  static constexpr std::size_t kSlots =
+      static_cast<std::size_t>(64 - kSubBits + 1) << kSubBits;
+
+  /// Map a value to its bucket index (total order preserved).
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;
+    const unsigned shift = e - kSubBits;
+    return (static_cast<std::size_t>(shift + 1) << kSubBits) +
+           static_cast<std::size_t>((v >> shift) & (kSub - 1));
+  }
+
+  /// Smallest value mapping to bucket `i` (the value quantile() reports).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(std::size_t i) {
+    if (i < kSub) return static_cast<std::uint64_t>(i);
+    const std::size_t block = i >> kSubBits;  // >= 1
+    const std::uint64_t sub = static_cast<std::uint64_t>(i) & (kSub - 1);
+    return (kSub + sub) << (block - 1);
+  }
+
+  /// Record one value.  Single-writer; a handful of plain stores.
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)] += 1;
+    count_ += 1;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Exact maximum recorded value (not bucket-quantized).
+  [[nodiscard]] std::uint64_t max_value() const { return max_; }
+
+  /// Nearest-rank quantile, p in [0, 100]; returns the lower bound of the
+  /// bucket holding the selected rank (0 when empty).  Deterministic.
+  [[nodiscard]] std::uint64_t quantile(double p) const;
+
+  /// Fold another histogram in: buckets/count/sum add, max maximizes.
+  /// Commutative and associative — merge order never matters.
+  void merge_from(const LatencyHistogram& o);
+
+  void clear();
+
+  [[nodiscard]] const std::array<std::uint64_t, kSlots>& buckets() const {
+    return buckets_;
+  }
+  /// Raw bucket injection, used when reconstituting a histogram from its
+  /// serialized bucket array (json.h hist_from_json).  sum/max stay 0 —
+  /// the wire form carries them separately.
+  void add_bucket(std::size_t i, std::uint64_t n) {
+    buckets_[i] += n;
+    count_ += n;
+  }
+
+  friend bool operator==(const LatencyHistogram&,
+                         const LatencyHistogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kSlots> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace merlin

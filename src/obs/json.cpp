@@ -39,16 +39,6 @@ std::string fmt_double(double x) {
   return buf;
 }
 
-/// Percentile of a sorted sample by nearest-rank (p in [0, 100]).
-std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  if (rank == 0) rank = 1;
-  if (rank > sorted.size()) rank = sorted.size();
-  return sorted[rank - 1];
-}
-
 class Writer {
  public:
   void key(const char* k) {
@@ -75,10 +65,39 @@ class Writer {
   bool fresh_ = true;
 };
 
+/// One histogram object: count, nearest-rank quantiles (bucket lower
+/// bounds), exact max, and the bucket array in run-length form — pairs
+/// [count, run] covering all LatencyHistogram::kSlots slots in order.
+/// Mostly-zero banks collapse to a handful of pairs.
+void write_hist(Writer& w, const LatencyHistogram& h) {
+  w.begin_obj();
+  w.key("count"); w.num(h.count());
+  w.key("p50"); w.num(h.quantile(50));
+  w.key("p90"); w.num(h.quantile(90));
+  w.key("p99"); w.num(h.quantile(99));
+  w.key("p999"); w.num(h.quantile(99.9));
+  w.key("max"); w.num(h.max_value());
+  w.key("hist");
+  w.begin_arr();
+  const auto& b = h.buckets();
+  for (std::size_t i = 0; i < b.size();) {
+    std::size_t run = 1;
+    while (i + run < b.size() && b[i + run] == b[i]) ++run;
+    w.begin_arr();
+    w.num(b[i]);
+    w.num(static_cast<std::uint64_t>(run));
+    w.end_arr();
+    i += run;
+  }
+  w.end_arr();
+  w.end_obj();
+}
+
 }  // namespace
 
 std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt,
-                          const RequestInfo& req, const ServeInfo& serve) {
+                          const RequestInfo& req, const ServeInfo& serve,
+                          const LifetimeSnapshot* lifetime) {
   Writer w;
   w.begin_obj();
   w.key("schema"); w.str(kStatsSchemaName);
@@ -156,18 +175,13 @@ std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt,
   w.end_arr();
 
   {
-    std::vector<std::uint64_t> lat;
-    lat.reserve(sink.traces().size());
-    for (const TraceRecord& t : sink.traces()) lat.push_back(t.wall_us);
-    std::sort(lat.begin(), lat.end());
+    // v6: percentiles come from the shared histogram type (bucket lower
+    // bounds) so this section, bench_serve and the daemon's lifetime
+    // histograms all quantize identically.
+    LatencyHistogram lat;
+    for (const TraceRecord& t : sink.traces()) lat.record(t.wall_us);
     w.key("latency_us");
-    w.begin_obj();
-    w.key("count"); w.num(static_cast<std::uint64_t>(lat.size()));
-    w.key("p50"); w.num(percentile(lat, 50));
-    w.key("p90"); w.num(percentile(lat, 90));
-    w.key("p99"); w.num(percentile(lat, 99));
-    w.key("max"); w.num(lat.empty() ? 0 : lat.back());
-    w.end_obj();
+    write_hist(w, lat);
   }
 
   // Deterministic rollup of the sub-problem cache (cache/shard.h): the
@@ -212,6 +226,64 @@ std::string stats_to_json(const ObsSink& sink, const RuntimeInfo& rt,
   w.key("queue_depth"); w.num(serve.queue_depth);
   w.key("ewma_ms"); w.num(serve.ewma_ms);
   w.key("overloaded"); w.num(static_cast<std::uint64_t>(serve.overloaded));
+  w.end_obj();
+
+  // v6: the daemon's process-lifetime registry.  Always emitted; one-shot
+  // runs (and obs-off builds) emit the zero section with enabled 0.  The
+  // stage/phase histograms are wall-clock facts; net_buffers and
+  // net_curve_width are deterministic (docs/OBSERVABILITY.md).
+  w.key("lifetime");
+  w.begin_obj();
+  if (lifetime == nullptr || lifetime->enabled == 0) {
+    w.key("enabled"); w.num(std::uint64_t{0});
+  } else {
+    const LifetimeSnapshot& lt = *lifetime;
+    w.key("enabled"); w.num(std::uint64_t{1});
+    w.key("jobs"); w.num(lt.jobs);
+    w.key("counters");
+    w.begin_obj();
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      auto c = static_cast<Counter>(i);
+      w.key(counter_name(c));
+      w.num(lt.counters.get(c));
+    }
+    w.end_obj();
+    w.key("gauges");
+    w.begin_obj();
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      auto g = static_cast<Gauge>(i);
+      w.key(gauge_name(g));
+      w.num(lt.gauges.get(g));
+    }
+    w.end_obj();
+    w.key("hists");
+    w.begin_obj();
+    for (std::size_t i = 0; i < kLifetimeHistCount; ++i) {
+      w.key(lifetime_hist_name(static_cast<LifetimeHist>(i)));
+      write_hist(w, lt.hist[i]);
+    }
+    w.end_obj();
+    w.key("phases");
+    w.begin_obj();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (lt.phase_us[i].count() == 0) continue;  // keep the section compact
+      w.key(phase_name(static_cast<Phase>(i)));
+      write_hist(w, lt.phase_us[i]);
+    }
+    w.end_obj();
+    w.key("window_s"); w.num(static_cast<std::uint64_t>(lt.window_s));
+    w.key("windows");
+    w.begin_arr();
+    for (const WindowSample& s : lt.windows) {
+      w.begin_obj();
+      w.key("jobs"); w.num(s.jobs);
+      w.key("shed"); w.num(s.shed);
+      w.key("queue_depth"); w.num(s.queue_depth);
+      w.key("req_s"); w.num(s.req_s);
+      w.end_obj();
+    }
+    w.end_arr();
+  }
   w.end_obj();
 
   w.key("runtime");
@@ -418,6 +490,130 @@ class Parser {
 
 JsonValue json_parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+// -- Prometheus exposition --------------------------------------------------
+
+namespace {
+
+void prom_line(std::string& out, const char* metric, const char* labels,
+               std::uint64_t v) {
+  out += metric;
+  out += labels;
+  out.push_back(' ');
+  out += std::to_string(v);
+  out.push_back('\n');
+}
+
+void prom_line(std::string& out, const char* metric, const char* labels,
+               double v) {
+  out += metric;
+  out += labels;
+  out.push_back(' ');
+  out += fmt_double(v);
+  out.push_back('\n');
+}
+
+void prom_summary(std::string& out, const char* metric,
+                  const std::string& label_kv, const LatencyHistogram& h) {
+  struct Q { const char* q; double p; };
+  for (const Q& q : {Q{"0.5", 50.0}, Q{"0.9", 90.0}, Q{"0.99", 99.0},
+                     Q{"0.999", 99.9}}) {
+    out += metric;
+    out += "{" + label_kv + ",quantile=\"" + q.q + "\"} ";
+    out += std::to_string(h.quantile(q.p));
+    out.push_back('\n');
+  }
+  out += metric;
+  out += std::string("_sum{") + label_kv + "} " + std::to_string(h.sum()) + "\n";
+  out += metric;
+  out += std::string("_count{") + label_kv + "} " + std::to_string(h.count()) +
+         "\n";
+}
+
+}  // namespace
+
+std::string stats_to_prometheus(const LifetimeSnapshot& lifetime,
+                                const ServeInfo& serve) {
+  std::string out;
+  out += "# TYPE merlin_lifetime_enabled gauge\n";
+  prom_line(out, "merlin_lifetime_enabled", "",
+            static_cast<std::uint64_t>(lifetime.enabled));
+  out += "# TYPE merlin_jobs_total counter\n";
+  prom_line(out, "merlin_jobs_total", "", lifetime.jobs);
+  out += "# TYPE merlin_counter_total counter\n";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    auto c = static_cast<Counter>(i);
+    const std::string labels =
+        std::string("{name=\"") + counter_name(c) + "\"}";
+    prom_line(out, "merlin_counter_total", labels.c_str(),
+              lifetime.counters.get(c));
+  }
+  out += "# TYPE merlin_gauge gauge\n";
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    auto g = static_cast<Gauge>(i);
+    const std::string labels =
+        std::string("{name=\"") + gauge_name(g) + "\"}";
+    prom_line(out, "merlin_gauge", labels.c_str(), lifetime.gauges.get(g));
+  }
+  out += "# TYPE merlin_phase_ns_total counter\n";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::string labels =
+        std::string("{phase=\"") + phase_name(static_cast<Phase>(i)) + "\"}";
+    prom_line(out, "merlin_phase_ns_total", labels.c_str(),
+              lifetime.phase_ns[i]);
+  }
+  out += "# TYPE merlin_lifetime_hist summary\n";
+  for (std::size_t i = 0; i < kLifetimeHistCount; ++i) {
+    const std::string kv = std::string("hist=\"") +
+                           lifetime_hist_name(static_cast<LifetimeHist>(i)) +
+                           "\"";
+    prom_summary(out, "merlin_lifetime_hist", kv, lifetime.hist[i]);
+  }
+  out += "# TYPE merlin_serve_jobs_admitted_total counter\n";
+  prom_line(out, "merlin_serve_jobs_admitted_total", "", serve.jobs_admitted);
+  out += "# TYPE merlin_serve_jobs_rejected_total counter\n";
+  prom_line(out, "merlin_serve_jobs_rejected_total", "", serve.jobs_rejected);
+  out += "# TYPE merlin_serve_overload_rejections_total counter\n";
+  prom_line(out, "merlin_serve_overload_rejections_total", "",
+            serve.overload_rejections);
+  out += "# TYPE merlin_serve_deadline_expired_total counter\n";
+  prom_line(out, "merlin_serve_deadline_expired_total", "",
+            serve.deadline_expired);
+  out += "# TYPE merlin_serve_snapshot_saves_total counter\n";
+  prom_line(out, "merlin_serve_snapshot_saves_total", "",
+            serve.snapshot_saves);
+  out += "# TYPE merlin_serve_queue_depth gauge\n";
+  prom_line(out, "merlin_serve_queue_depth", "", serve.queue_depth);
+  out += "# TYPE merlin_serve_ewma_ms gauge\n";
+  prom_line(out, "merlin_serve_ewma_ms", "", serve.ewma_ms);
+  out += "# TYPE merlin_serve_overloaded gauge\n";
+  prom_line(out, "merlin_serve_overloaded", "",
+            static_cast<std::uint64_t>(serve.overloaded));
+  return out;
+}
+
+LatencyHistogram hist_from_json(const JsonValue& hist_obj) {
+  if (!hist_obj.is_object() || !hist_obj.has("hist") ||
+      !hist_obj.at("hist").is_array())
+    throw std::invalid_argument("hist_from_json: no hist bucket array");
+  LatencyHistogram h;
+  std::size_t slot = 0;
+  for (const JsonValue& pair : hist_obj.at("hist").array) {
+    if (!pair.is_array() || pair.array.size() != 2 ||
+        !pair.array[0].is_number() || !pair.array[1].is_number())
+      throw std::invalid_argument("hist_from_json: malformed [count, run]");
+    const auto count = static_cast<std::uint64_t>(pair.array[0].number);
+    const auto run = static_cast<std::size_t>(pair.array[1].number);
+    if (slot + run > LatencyHistogram::kSlots)
+      throw std::invalid_argument("hist_from_json: runs exceed slot count");
+    if (count != 0)
+      for (std::size_t i = 0; i < run; ++i) h.add_bucket(slot + i, count);
+    slot += run;
+  }
+  if (slot != LatencyHistogram::kSlots)
+    throw std::invalid_argument("hist_from_json: runs do not cover all slots");
+  return h;
 }
 
 }  // namespace merlin

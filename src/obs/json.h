@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/registry.h"
 #include "obs/sink.h"
 
 namespace merlin {
@@ -40,8 +41,19 @@ namespace merlin {
 /// values are wall-clock/serving facts and never join any identity
 /// comparison.  Plus the serve_* names in `counters`.  v4 readers that
 /// ignore unknown top-level keys parse v5 documents unchanged.
+///
+/// v6: `latency_us` gained `p999` and a compact `hist` bucket array
+/// (run-length pairs `[count, run]` over LatencyHistogram slots; see
+/// docs/OBSERVABILITY.md §"Lifetime telemetry"), and its percentiles are
+/// now histogram-bucket lower bounds rather than exact order statistics
+/// (quantization error <= 1/32 per magnitude).  New always-present
+/// top-level `lifetime` section — merlin_d's process-lifetime registry
+/// (jobs, lifetime counters/gauges, stage and per-phase histograms,
+/// window ring); one-shot CLI runs emit `{"enabled": 0}`.  v5 readers
+/// that ignore unknown keys and treat percentiles as approximations
+/// parse v6 documents unchanged.
 inline constexpr const char* kStatsSchemaName = "merlin.stats";
-inline constexpr int kStatsSchemaVersion = 5;
+inline constexpr int kStatsSchemaVersion = 6;
 
 /// Scheduling-dependent run facts.  Kept in a separate "runtime" JSON
 /// section so the deterministic sections (counters/gauges/layers/nets) can
@@ -84,14 +96,23 @@ struct ServeInfo {
   std::uint8_t overloaded = 0;           ///< shedding thresholds crossed
 };
 
-/// Render the sink (plus optional runtime/request/serve facts) as a JSON
-/// document: schema/version, request, counters, gauges, phases, layers,
-/// nets (trace rows), latency_us percentiles over the trace wall times,
-/// cache, serve, runtime.
+/// Render the sink (plus optional runtime/request/serve/lifetime facts)
+/// as a JSON document: schema/version, request, counters, gauges, phases,
+/// layers, nets (trace rows), latency_us percentiles over the trace wall
+/// times, cache, serve, lifetime, runtime.  `lifetime` may be null (the
+/// one-shot shape: `"lifetime": {"enabled": 0}`).
 [[nodiscard]] std::string stats_to_json(const ObsSink& sink,
                                         const RuntimeInfo& rt = {},
                                         const RequestInfo& req = {},
-                                        const ServeInfo& serve = {});
+                                        const ServeInfo& serve = {},
+                                        const LifetimeSnapshot* lifetime = nullptr);
+
+/// Render a registry snapshot (plus the serve rollup) in the Prometheus
+/// text exposition format — what `req.metrics` returns alongside the JSON
+/// and what the CI serve job format-checks.  Histograms surface as
+/// quantile summaries (merlin_<name>{quantile="..."} plus _count/_sum).
+[[nodiscard]] std::string stats_to_prometheus(const LifetimeSnapshot& lifetime,
+                                              const ServeInfo& serve);
 
 // -- minimal JSON value / parser -------------------------------------------
 
@@ -123,5 +144,13 @@ struct JsonValue {
 /// (including trailing garbage).  Supports the full JSON grammar minus
 /// \uXXXX escapes (which the exporter never emits).
 [[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// Reconstruct a LatencyHistogram from an exported histogram object (one
+/// carrying a `hist` run-length bucket array, e.g. `latency_us` or any
+/// `lifetime` histogram).  The rebuilt bucket counts — and therefore every
+/// quantile — match the exporter's exactly; sum/max are not part of the
+/// bucket array (read the object's own `max` key).  Throws
+/// std::invalid_argument on a malformed `hist` member.
+[[nodiscard]] LatencyHistogram hist_from_json(const JsonValue& hist_obj);
 
 }  // namespace merlin

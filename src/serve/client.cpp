@@ -185,6 +185,14 @@ StatsResp ServeClient::stats(std::uint64_t job_id) {
   return resp;
 }
 
+MetricsResp ServeClient::metrics() {
+  const Frame f = roundtrip(MsgType::kReqMetrics, {});
+  MetricsResp resp;
+  if (f.type != MsgType::kRespMetrics || !resp.decode(f.payload))
+    throw_error_resp(f);
+  return resp;
+}
+
 void ServeClient::drain() {
   const Frame f = roundtrip(MsgType::kReqDrain, {});
   if (f.type != MsgType::kRespOk) throw_error_resp(f);

@@ -71,6 +71,7 @@ class ServeClient {
                                        std::uint32_t deadline_ms = 0);
   [[nodiscard]] StatusResp status(std::uint64_t job_id);
   [[nodiscard]] StatsResp stats(std::uint64_t job_id);
+  [[nodiscard]] MetricsResp metrics();  ///< req.metrics; expects resp.metrics
   void drain();     ///< expects resp.ok
   void shutdown();  ///< expects resp.bye
   void snapshot();  ///< req.snapshot; expects resp.ok

@@ -240,6 +240,21 @@ bool StatsResp::decode(std::string_view payload) {
   return r.exhausted();
 }
 
+std::string MetricsResp::encode() const {
+  std::string out;
+  WireWriter w(out);
+  w.str(json);
+  w.str(prometheus);
+  return out;
+}
+
+bool MetricsResp::decode(std::string_view payload) {
+  WireReader r(payload);
+  json = r.str();
+  prometheus = r.str();
+  return r.exhausted();
+}
+
 std::string ErrorResp::encode() const {
   std::string out;
   WireWriter w(out);

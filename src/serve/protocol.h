@@ -34,8 +34,11 @@ inline constexpr std::uint32_t kWireMagic = 0x4E4C524Du;
 /// Protocol revision, reported in PongResp.  v2: submit payloads carry a
 /// trailing deadline_ms field, req.snapshot joined the request vocabulary,
 /// and err.deadline / err.overloaded / err.no_snapshot joined the error
-/// vocabulary (docs/SERVING.md, "Protocol revision 2").
-inline constexpr std::uint32_t kWireVersion = 2;
+/// vocabulary (docs/SERVING.md, "Protocol revision 2").  v3: req.metrics /
+/// resp.metrics joined the vocabulary — the daemon's process-lifetime
+/// telemetry in both merlin.stats v6 JSON and Prometheus text form
+/// (docs/SERVING.md, "Protocol revision 3").
+inline constexpr std::uint32_t kWireVersion = 3;
 /// Frame header bytes: u32 magic + u8 type + u32 payload length.
 inline constexpr std::size_t kFrameHeaderSize = 9;
 /// Hard payload cap; longer frames are rejected with err.bad_frame before
@@ -52,6 +55,7 @@ enum class MsgType : std::uint8_t {
   kReqDrain = 6,          ///< stop admitting, finish in-flight → kRespOk
   kReqShutdown = 7,       ///< drain, then exit                → kRespBye
   kReqSnapshot = 8,       ///< save the warm-cache snapshot now → kRespOk
+  kReqMetrics = 9,        ///< lifetime telemetry (JSON + Prometheus) → kRespMetrics
   kRespPong = 64,
   kRespResult = 65,
   kRespStatus = 66,
@@ -59,10 +63,11 @@ enum class MsgType : std::uint8_t {
   kRespOk = 68,
   kRespBye = 69,
   kRespError = 70,  ///< any request can fail with an ErrorResp payload
+  kRespMetrics = 71,
 };
 
 [[nodiscard]] constexpr bool msg_type_known(std::uint8_t raw) {
-  return (raw >= 1 && raw <= 8) || (raw >= 64 && raw <= 70);
+  return (raw >= 1 && raw <= 9) || (raw >= 64 && raw <= 71);
 }
 
 [[nodiscard]] constexpr const char* msg_type_name(MsgType t) {
@@ -75,6 +80,7 @@ enum class MsgType : std::uint8_t {
     case MsgType::kReqDrain: return "req.drain";
     case MsgType::kReqShutdown: return "req.shutdown";
     case MsgType::kReqSnapshot: return "req.snapshot";
+    case MsgType::kReqMetrics: return "req.metrics";
     case MsgType::kRespPong: return "resp.pong";
     case MsgType::kRespResult: return "resp.result";
     case MsgType::kRespStatus: return "resp.status";
@@ -82,6 +88,7 @@ enum class MsgType : std::uint8_t {
     case MsgType::kRespOk: return "resp.ok";
     case MsgType::kRespBye: return "resp.bye";
     case MsgType::kRespError: return "resp.error";
+    case MsgType::kRespMetrics: return "resp.metrics";
   }
   return "unknown";
 }
@@ -278,10 +285,22 @@ struct StatusResp {
   [[nodiscard]] bool decode(std::string_view payload);
 };
 
-/// resp.stats — the job's merlin.stats v4 JSON document.
+/// resp.stats — the job's merlin.stats JSON document (v6).
 struct StatsResp {
   std::uint64_t job_id = 0;
   std::string json;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] bool decode(std::string_view payload);
+};
+
+/// resp.metrics — the daemon's process-lifetime telemetry, rendered both
+/// ways at once: a merlin.stats v6 document whose `lifetime` section is
+/// populated (the `counters`/`nets` sections describe no single job and
+/// stay empty), and the same registry snapshot in Prometheus text
+/// exposition format for scrapers.  req.metrics carries no payload.  v3.
+struct MetricsResp {
+  std::string json;
+  std::string prometheus;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] bool decode(std::string_view payload);
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -59,10 +61,20 @@ ServerCore::ServerCore(ServeOptions opts)
                      (lr.detail.empty() ? "" : ": " + lr.detail);
     if (lr.loaded()) snapshot_loads_.store(1);
   }
+  if (!opts_.flightrec_path.empty()) {
+    // Arm the crash black box before the scheduler can dispatch anything,
+    // so the very first admit is on the ring.  Failure (or an obs-off
+    // build) is a printable note, never fatal: telemetry must not take the
+    // daemon down.
+    std::string err;
+    if (!flightrec_.open(opts_.flightrec_path, opts_.flightrec_events, &err))
+      flightrec_note_ = err;
+  }
   ctx_ = std::make_unique<BatchContext>(opts_.threads,
                                         cache_ ? &*cache_ : nullptr);
   scheduler_ = std::thread([this] { scheduler_loop(); });
-  if (opts_.snapshot_every_s > 0 && snapshot_armed()) {
+  if (opts_.snapshot_every_s > 0 &&
+      (snapshot_armed() || !opts_.metrics_out.empty())) {
     snapshot_thread_ = std::thread([this] {
       std::unique_lock<std::mutex> lk(snapshot_cv_mu_);
       const auto period = std::chrono::seconds(opts_.snapshot_every_s);
@@ -70,7 +82,10 @@ ServerCore::ServerCore(ServeOptions opts)
         if (snapshot_cv_.wait_for(lk, period, [this] { return snapshot_stop_; }))
           break;
         lk.unlock();
-        save_snapshot();  // failures are counted facts, not fatal
+        // Failures are counted facts, not fatal.  The metrics dump shares
+        // the snapshot cadence by design (one periodic-writeout rhythm).
+        if (snapshot_armed()) save_snapshot();
+        if (!opts_.metrics_out.empty()) dump_metrics();
         lk.lock();
       }
     });
@@ -102,6 +117,8 @@ SubmitOutcome ServerCore::submit(std::uint64_t client, JobSpec spec) {
     // other client's latency is what its backlog is buying.
     jobs_rejected_.fetch_add(1);
     overload_rejections_.fetch_add(1);
+    registry_.note_shed();
+    flightrec_.record(FlightEvent::kShed, 0, client);
     out.error = ServeError::kOverloaded;
     out.retry_after_ms = retry_hint(ewma, 2.0);
     return out;
@@ -138,6 +155,7 @@ SubmitOutcome ServerCore::submit(std::uint64_t client, JobSpec spec) {
     return out;
   }
   jobs_admitted_.fetch_add(1);
+  flightrec_.record(FlightEvent::kAdmit, id, client);
   out.accepted = true;
   out.job_id = id;
   return out;
@@ -195,6 +213,49 @@ bool ServerCore::save_snapshot(std::string* error) {
     return false;
   }
   snapshot_saves_.fetch_add(1);
+  flightrec_.record(FlightEvent::kSnapshot, 0, snapshot_saves_.load());
+  return true;
+}
+
+std::string ServerCore::metrics_json() const {
+  // A merlin.stats v6 document about the PROCESS, not any one job: the
+  // per-job sections (counters/nets/latency_us...) come from an empty sink
+  // and stay zero; `lifetime` carries the registry and `serve` the
+  // survivability rollup.  request.source "serve" with job id 0.
+  const ObsSink empty;
+  RequestInfo req;
+  req.source = "serve";
+  const LifetimeSnapshot snap = registry_.snapshot();
+  return stats_to_json(empty, {}, req, serve_info(), &snap);
+}
+
+std::string ServerCore::metrics_prometheus() const {
+  return stats_to_prometheus(registry_.snapshot(), serve_info());
+}
+
+bool ServerCore::dump_metrics(std::string* error) {
+  if (opts_.metrics_out.empty()) {
+    if (error != nullptr) *error = "no metrics-out path configured";
+    return false;
+  }
+  // Same single-writer discipline as save_snapshot: the cadence thread and
+  // the drain-time dump share one in-flight temp file per path.
+  std::lock_guard<std::mutex> lk(metrics_out_mu_);
+  const std::string doc = metrics_json();
+  const std::string tmp = opts_.metrics_out + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(doc.data(), static_cast<std::streamsize>(doc.size()))) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), opts_.metrics_out.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp;
+    std::remove(tmp.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -248,6 +309,8 @@ void ServerCore::wait_drained() {
   // the cache is quiescent, so the snapshot captures every admitted job's
   // contribution.  This is the SIGTERM-drain persistence path.
   if (snapshot_armed()) save_snapshot();
+  // Likewise the last metrics dump sees every job the daemon ever ran.
+  if (!opts_.metrics_out.empty()) dump_metrics();
 }
 
 void ServerCore::scheduler_loop() {
@@ -266,6 +329,7 @@ void ServerCore::scheduler_loop() {
     }
     jobs_cv_.notify_all();
     const double queue_ms = ns_to_ms(dispatch_ns - admit_ns);
+    flightrec_.record(FlightEvent::kDispatch, job->job_id, queue_.size());
     JobOutcome outcome = run_one(*job, queue_ms, admit_ns);
     {
       std::lock_guard<std::mutex> lk(jobs_mu_);
@@ -300,6 +364,11 @@ JobOutcome ServerCore::run_one(const QueuedJob& job, double queue_ms,
                 " ms queued";
     sink.counters.add(Counter::kServeDeadlineExpired);
     deadline_expired_.fetch_add(1);
+    flightrec_.record(FlightEvent::kDeadline, job.job_id,
+                      static_cast<std::uint64_t>(queue_ms));
+    // The job still counts into the lifetime registry (its sink carries
+    // serve_deadline_expired); run stage is 0 — it never dispatched work.
+    registry_.note_job(sink, queue_ms, 0.0, queue_ms, queue_.size());
     RequestInfo req;
     req.id = job.job_id;
     req.source = "serve";
@@ -410,6 +479,15 @@ JobOutcome ServerCore::run_one(const QueuedJob& job, double queue_ms,
     out.error = e.what();
     out.wall_ms = ns_to_ms(now_ns() - t0);
   }
+  // Lifetime accounting happens for every job that dispatched, failed or
+  // not: the registry folds the merged sink in (counters/gauges/phases,
+  // deterministic per-net histograms) plus the three wall-clock stages.
+  registry_.note_job(sink, queue_ms, out.wall_ms, queue_ms + out.wall_ms,
+                     queue_.size());
+  if (const std::uint64_t ev = sink.counters.get(Counter::kCacheEntriesEvicted);
+      ev > 0)
+    flightrec_.record(FlightEvent::kEvict, job.job_id, ev);
+  flightrec_.record(FlightEvent::kComplete, job.job_id, out.ok ? 1 : 0);
   return out;
 }
 
@@ -749,6 +827,15 @@ bool SocketServer::handle_frame(const Frame& frame, std::uint64_t client_id,
         return reply_error(fd, ServeError::kInternal,
                            "snapshot save failed: " + err);
       return reply(fd, MsgType::kRespOk, {});
+    }
+    case MsgType::kReqMetrics: {
+      if (!frame.payload.empty())
+        return reply_error(fd, ServeError::kBadRequest,
+                           "metrics carries no payload");
+      MetricsResp resp;
+      resp.json = core_.metrics_json();
+      resp.prometheus = core_.metrics_prometheus();
+      return reply(fd, MsgType::kRespMetrics, resp.encode());
     }
     case MsgType::kReqDrain: {
       core_.begin_drain();

@@ -36,7 +36,9 @@
 #include "cache/shard.h"
 #include "cache/snapshot.h"
 #include "flow/batch.h"
+#include "obs/flightrec.h"
 #include "obs/json.h"
+#include "obs/registry.h"
 #include "runtime/guard.h"
 #include "serve/protocol.h"
 #include "serve/queue.h"
@@ -81,6 +83,17 @@ struct ServeOptions {
   double shed_ewma_ms = 0.0;
   std::size_t shed_lane_cap = 0;
   std::uint64_t shed_step_budget = 0;
+
+  /// Flight-recorder ring file ("" disables).  A crash-surviving black box
+  /// of the last flightrec_events structured events (obs/flightrec.h);
+  /// merlin_d arms SIGSEGV/SIGABRT sync handlers when this is set.  Inert
+  /// under -DMERLIN_OBS=OFF (the daemon prints a note and serves on).
+  std::string flightrec_path;
+  std::uint32_t flightrec_events = FlightRecorder::kDefaultCapacity;
+  /// Lifetime-metrics JSON dump path ("" disables): the req.metrics
+  /// document, written atomically (temp + rename) on the snapshot cadence
+  /// (snapshot_every_s) and once more when the drain completes.
+  std::string metrics_out;
 };
 
 /// Terminal record of a finished job.
@@ -97,7 +110,7 @@ struct JobOutcome {
   std::uint64_t digest = 0;   ///< batch_result_digest of the full result
   double queue_ms = 0.0;      ///< admission → dispatch wait
   double wall_ms = 0.0;       ///< dispatch → completion
-  std::string stats_json;     ///< merlin.stats v5 (request.id = job id)
+  std::string stats_json;     ///< merlin.stats v6 (request.id = job id)
   /// Full result, only under ServeOptions::keep_results.
   std::shared_ptr<const BatchResult> result;
 };
@@ -174,6 +187,27 @@ class ServerCore {
   /// The current survivability rollup (the v5 `serve` stats section shape).
   [[nodiscard]] ServeInfo serve_info() const;
 
+  /// The process-lifetime telemetry registry (every completed job is folded
+  /// in by the scheduler; tests read it directly).
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  /// The req.metrics JSON: a merlin.stats v6 document whose `lifetime`
+  /// section carries the registry snapshot (no per-job sections).
+  [[nodiscard]] std::string metrics_json() const;
+  /// The same registry snapshot in Prometheus text exposition format.
+  [[nodiscard]] std::string metrics_prometheus() const;
+  /// Writes metrics_json() to ServeOptions::metrics_out atomically
+  /// (temp + rename).  False with `error` filled when unconfigured or the
+  /// write failed; a previous dump on disk survives every failure.
+  bool dump_metrics(std::string* error = nullptr);
+
+  /// The crash black box (armed when ServeOptions::flightrec_path is set);
+  /// merlin_d's signal handlers call its sigsync().
+  [[nodiscard]] FlightRecorder& flight_recorder() { return flightrec_; }
+  /// Start-up note for the flight recorder ("" when armed cleanly or off).
+  [[nodiscard]] const std::string& flightrec_note() const {
+    return flightrec_note_;
+  }
+
  private:
   struct JobRecord {
     JobState state = JobState::kQueued;
@@ -220,6 +254,15 @@ class ServerCore {
   std::atomic<std::uint64_t> reply_failures_{0};
   std::atomic<std::uint64_t> snapshot_saves_{0};
   std::atomic<std::uint64_t> snapshot_loads_{0};
+
+  // Process-lifetime telemetry (docs/OBSERVABILITY.md, "Lifetime
+  // telemetry"): the registry accumulates every completed job; the flight
+  // recorder rings the last N structured events in a crash-surviving
+  // mmap'd file.
+  MetricsRegistry registry_;
+  FlightRecorder flightrec_;
+  std::string flightrec_note_;
+  std::mutex metrics_out_mu_;
 
   // Snapshot persistence: one save at a time; the cadence thread parks on
   // the cv so drain can stop it promptly.

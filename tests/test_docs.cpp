@@ -19,7 +19,9 @@
 #include <string>
 
 #include "obs/counters.h"
+#include "obs/flightrec.h"
 #include "obs/json.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace merlin {
@@ -104,6 +106,19 @@ TEST(Docs, EveryObservableNameIsDocumented) {
   for (std::size_t i = 0; i < kSpanNameCount; ++i)
     EXPECT_NE(doc.find(span_name(static_cast<SpanName>(i))), std::string::npos)
         << "span `" << span_name(static_cast<SpanName>(i))
+        << "` missing from docs/OBSERVABILITY.md";
+  for (std::size_t i = 0; i < kLifetimeHistCount; ++i)
+    EXPECT_NE(doc.find(lifetime_hist_name(static_cast<LifetimeHist>(i))),
+              std::string::npos)
+        << "lifetime histogram `"
+        << lifetime_hist_name(static_cast<LifetimeHist>(i))
+        << "` missing from docs/OBSERVABILITY.md";
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(FlightEvent::kCount); ++i)
+    EXPECT_NE(doc.find(flight_event_name(static_cast<FlightEvent>(i))),
+              std::string::npos)
+        << "flight-recorder event `"
+        << flight_event_name(static_cast<FlightEvent>(i))
         << "` missing from docs/OBSERVABILITY.md";
 }
 

@@ -269,6 +269,76 @@ TEST(Json, ExportRoundTripsThroughTheParser) {
   EXPECT_EQ(layers.array[0].at("pushed").number, 100.0);
 }
 
+TEST(Json, LatencyHistogramSectionRoundTripsExactly) {
+  // v6: latency_us is a real histogram object (p50/p90/p99/p999 are bucket
+  // lower bounds, plus the RLE bucket array) instead of ad-hoc percentiles.
+  ObsSink sink;
+  sink.record_trace(TraceRecord{1, 4, 90, 10, 1, 2});
+  sink.record_trace(TraceRecord{2, 6, 250, 20, 1, 3});
+  sink.record_trace(TraceRecord{3, 8, 1000, 30, 2, 5});
+
+  const JsonValue doc = json_parse(stats_to_json(sink));
+  const JsonValue& lat = doc.at("latency_us");
+  for (const char* key : {"count", "p50", "p90", "p99", "p999", "max", "hist"})
+    ASSERT_TRUE(lat.has(key)) << key;
+  EXPECT_EQ(lat.at("count").number, 3.0);
+  EXPECT_EQ(lat.at("max").number, 1000.0);
+
+  LatencyHistogram expect;
+  for (const std::uint64_t us : {90u, 250u, 1000u}) expect.record(us);
+  EXPECT_EQ(lat.at("p50").number, static_cast<double>(expect.quantile(50)));
+  EXPECT_EQ(lat.at("p99").number, static_cast<double>(expect.quantile(99)));
+
+  // The RLE bucket array reconstructs the histogram bit-exactly (counts and
+  // therefore every quantile; sum/max ride separately).
+  const LatencyHistogram rebuilt = hist_from_json(lat);
+  EXPECT_EQ(rebuilt.count(), expect.count());
+  EXPECT_TRUE(rebuilt.buckets() == expect.buckets());
+  for (const double p : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(rebuilt.quantile(p), expect.quantile(p)) << p;
+
+  // Malformed bucket arrays are a typed parse error, never a bad histogram.
+  EXPECT_THROW((void)hist_from_json(json_parse(R"({"hist": [[1]]})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)hist_from_json(json_parse(R"({"hist": [[1, 4]]})")),
+               std::invalid_argument);  // runs must cover every slot
+  EXPECT_THROW((void)hist_from_json(json_parse(R"({"count": 0})")),
+               std::invalid_argument);
+}
+
+TEST(Json, LifetimeSectionHasDisabledAndEnabledShapes) {
+  // One-shot shape: no registry snapshot → `"lifetime": {"enabled": 0}`.
+  const JsonValue bare = json_parse(stats_to_json(ObsSink{}));
+  EXPECT_EQ(bare.at("lifetime").at("enabled").number, 0.0);
+  EXPECT_FALSE(bare.at("lifetime").has("jobs"));
+
+  // Daemon shape: a snapshot fills jobs/counters/hists/phases/windows.
+  LifetimeSnapshot snap;
+  snap.enabled = 1;
+  snap.jobs = 3;
+  snap.counters.add(Counter::kBuffersInserted, 7);
+  snap.hist[static_cast<std::size_t>(LifetimeHist::kE2eUs)].record(1500);
+  snap.phase_us[static_cast<std::size_t>(Phase::kBubbleConstruct)].record(40);
+  snap.window_s = 10;
+  snap.windows.push_back(WindowSample{3, 1, 2, 0.3});
+
+  const JsonValue doc =
+      json_parse(stats_to_json(ObsSink{}, {}, {}, {}, &snap));
+  const JsonValue& lt = doc.at("lifetime");
+  EXPECT_EQ(lt.at("enabled").number, 1.0);
+  EXPECT_EQ(lt.at("jobs").number, 3.0);
+  EXPECT_EQ(lt.at("counters").at("buffers_inserted").number, 7.0);
+  for (std::size_t i = 0; i < kLifetimeHistCount; ++i)
+    ASSERT_TRUE(lt.at("hists").has(
+        lifetime_hist_name(static_cast<LifetimeHist>(i))));
+  EXPECT_EQ(lt.at("hists").at("e2e_us").at("count").number, 1.0);
+  // Zero-count phase histograms are elided to keep the section compact.
+  EXPECT_TRUE(lt.at("phases").has("bubble_construct"));
+  EXPECT_EQ(lt.at("phases").object.size(), 1u);
+  ASSERT_EQ(lt.at("windows").array.size(), 1u);
+  EXPECT_EQ(lt.at("windows").array[0].at("req_s").number, 0.3);
+}
+
 TEST(Json, ParserHandlesEscapesNestingAndErrors) {
   const JsonValue v = json_parse(R"({"a": [1, -2.5, true, null, "x\"y"], "b": {"c": 1e3}})");
   ASSERT_TRUE(v.is_object());

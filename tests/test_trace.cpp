@@ -281,7 +281,7 @@ TEST(Trace, StatsJsonQuarantinesSpanRollupsInRuntime) {
   for (int i = 0; i < 6; ++i) sink.record_span(r);  // overflow: 2 dropped
 
   const JsonValue doc = json_parse(stats_to_json(sink));
-  EXPECT_EQ(doc.at("schema_version").number, 5.0);
+  EXPECT_EQ(doc.at("schema_version").number, kStatsSchemaVersion);
   const JsonValue& rt = doc.at("runtime");
   EXPECT_EQ(rt.at("span_count").number, 4.0);
   EXPECT_EQ(rt.at("spans_dropped").number, 2.0);

@@ -4,10 +4,11 @@
 #   1. Every intra-repo markdown link ([text](path) where path is not a URL
 #      or a pure #anchor) must resolve to an existing file or directory.
 #   2. Every snake_case name rendered as a `| `name`` table row in
-#      docs/OBSERVABILITY.md must exist verbatim in src/obs/counters.h —
-#      stale counter/gauge/phase names in the doc fail the build.  (The
-#      reverse direction — every name in counters.h is documented — is
-#      enforced by tests/test_docs.cpp.)
+#      docs/OBSERVABILITY.md must exist verbatim in src/obs/counters.h,
+#      src/obs/registry.h, or src/obs/flightrec.h — stale counter/gauge/
+#      phase/lifetime-histogram/flight-event names in the doc fail the
+#      build.  (The reverse direction — every name in those headers is
+#      documented — is enforced by tests/test_docs.cpp.)
 #   3. The injection site registry in docs/ROBUSTNESS.md and the
 #      fault_site_name() list in src/runtime/faultinject.h must agree in
 #      BOTH directions — a renamed/added/removed site fails the build until
@@ -29,6 +30,12 @@
 #      strings in src/serve/protocol.h must agree in BOTH directions — a
 #      renamed/added/removed message or error code fails the build until
 #      the doc tables match.
+#   8. The lifetime-telemetry tables in docs/OBSERVABILITY.md (between the
+#      lifetime-telemetry markers) and the lifetime_hist_name() /
+#      flight_event_name() strings in src/obs/registry.h and
+#      src/obs/flightrec.h must agree in BOTH directions — a renamed/
+#      added/removed lifetime histogram or flight-recorder event fails
+#      the build until the doc tables match.
 #
 # Exits non-zero with one line per violation; each violation is followed
 # by an "  at FILE:LINE: <text>" line pointing at the offending line.
@@ -72,16 +79,18 @@ done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*' \
 # --- 2. observable names referenced by the doc exist in the source ---------
 doc="docs/OBSERVABILITY.md"
 hdr="src/obs/counters.h"
-if [ -f "$doc" ] && [ -f "$hdr" ]; then
+reghdr="src/obs/registry.h"
+flthdr="src/obs/flightrec.h"
+if [ -f "$doc" ] && [ -f "$hdr" ] && [ -f "$reghdr" ] && [ -f "$flthdr" ]; then
   while IFS= read -r name; do
-    if ! grep -q "\"$name\"" "$hdr"; then
-      echo "STALE NAME: $doc documents \`$name\` but $hdr does not define it"
+    if ! grep -q "\"$name\"" "$hdr" "$reghdr" "$flthdr"; then
+      echo "STALE NAME: $doc documents \`$name\` but no obs header defines it"
       blame "$doc" "\`$name\`"
       violations=$((violations + 1))
     fi
   done < <(grep -oE '^\| `[a-z][a-z0-9_]*`' "$doc" | sed -E 's/^\| `([a-z0-9_]+)`$/\1/' | sort -u)
 else
-  echo "MISSING: $doc or $hdr"
+  echo "MISSING: $doc, $hdr, $reghdr, or $flthdr"
   violations=$((violations + 1))
 fi
 
@@ -252,6 +261,45 @@ if [ -f "$sdoc" ] && [ -f "$phdr" ]; then
   fi
 else
   echo "MISSING: $sdoc or $phdr"
+  violations=$((violations + 1))
+fi
+
+# --- 8. lifetime-telemetry tables: docs/OBSERVABILITY.md <-> registry.h +
+#        flightrec.h -----------------------------------------------------
+if [ -f "$doc" ] && [ -f "$reghdr" ] && [ -f "$flthdr" ]; then
+  # Names in the source: every single-word string lifetime_hist_name() /
+  # flight_event_name() return, minus the unknown_* fallbacks.
+  src_life="$(grep -hoE 'return "[a-z][a-z0-9_]*"' "$reghdr" "$flthdr" |
+              sed -E 's/return "([a-z0-9_]+)"/\1/' |
+              grep -v '^unknown_' | sort -u)"
+  # Names in the doc: `| `name`` rows between the lifetime-telemetry
+  # markers (the markers scope the match — the counter/gauge/phase tables
+  # above them belong to gate 2 and tests/test_docs.cpp).
+  doc_life="$(awk '/<!-- lifetime-telemetry:begin -->/{f=1;next}
+                   /<!-- lifetime-telemetry:end -->/{f=0} f' "$doc" |
+              grep -oE '^\| `[a-z][a-z0-9_]*`' |
+              sed -E 's/^\| `([a-z0-9_]+)`$/\1/' | sort -u)"
+  for s in $src_life; do
+    if ! printf '%s\n' "$doc_life" | grep -qx "$s"; then
+      echo "UNDOCUMENTED TELEMETRY NAME: $reghdr/$flthdr define '$s' but $doc's lifetime tables lack it"
+      if grep -qF "\"$s\"" "$reghdr"; then blame "$reghdr" "\"$s\""
+      else blame "$flthdr" "\"$s\""; fi
+      violations=$((violations + 1))
+    fi
+  done
+  for s in $doc_life; do
+    if ! printf '%s\n' "$src_life" | grep -qx "$s"; then
+      echo "STALE TELEMETRY NAME: $doc documents '$s' but neither $reghdr nor $flthdr defines it"
+      blame "$doc" "\`$s\`"
+      violations=$((violations + 1))
+    fi
+  done
+  if [ -z "$src_life" ] || [ -z "$doc_life" ]; then
+    echo "EMPTY REGISTRY: telemetry names in $reghdr/$flthdr or lifetime tables in $doc missing"
+    violations=$((violations + 1))
+  fi
+else
+  echo "MISSING: $doc, $reghdr, or $flthdr"
   violations=$((violations + 1))
 fi
 

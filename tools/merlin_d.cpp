@@ -36,6 +36,14 @@
 //     --shed-step-budget N  while shedding: dispatch jobs with their
 //                         per-net step budget tightened to N so they
 //                         degrade down the ladder preemptively (0 = off)
+//     --metrics-out PATH  write the lifetime-telemetry JSON (the
+//                         req.metrics document) atomically to PATH on the
+//                         --snapshot-every cadence and at drain
+//     --flightrec PATH    arm the crash flight recorder: a ring of the
+//                         last --flightrec-events structured events in a
+//                         file that survives ANY process death (even
+//                         kill -9); parse it with merlin_stat --flightrec
+//     --flightrec-events N  ring capacity in events (default 1024)
 //
 // The daemon keeps the buffer library, thread pool, per-worker arenas and
 // the shared SubproblemCache warm across requests (flow/batch.h
@@ -78,13 +86,28 @@ constexpr int kExitServer = 6;
                "[--fail-policy abort|skip|degrade] [--trace-spans] "
                "[--snapshot PATH] [--snapshot-every SECONDS] "
                "[--io-timeout-ms N] [--shed-queue-depth N] [--shed-ewma-ms X] "
-               "[--shed-lane-cap N] [--shed-step-budget N]\n");
+               "[--shed-lane-cap N] [--shed-step-budget N] "
+               "[--metrics-out PATH] [--flightrec PATH] "
+               "[--flightrec-events N]\n");
   std::exit(kExitUsage);
 }
 
 std::atomic<bool> g_stop{false};
 
 void on_signal(int) { g_stop.store(true); }
+
+merlin::FlightRecorder* g_flightrec = nullptr;
+
+// SIGSEGV/SIGABRT: flush the flight-recorder pages (one msync — async-
+// signal-safe), then re-raise with the default disposition so the crash
+// still produces its core/abort.  SIGKILL needs no handler at all: the
+// ring lives in a MAP_SHARED file mapping, which the kernel writes back
+// regardless of how the process died.
+void on_crash(int sig) {
+  if (g_flightrec != nullptr) g_flightrec->sigsync();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
 
 }  // namespace
 
@@ -106,6 +129,9 @@ int main(int argc, char** argv) {
   double shed_ewma_ms = 0.0;
   std::size_t shed_lane_cap = 0;
   std::uint64_t shed_step_budget = 0;
+  std::string metrics_out;
+  std::string flightrec_path;
+  std::uint32_t flightrec_events = 1024;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -158,6 +184,16 @@ int main(int argc, char** argv) {
     } else if (a == "--shed-step-budget") {
       need(1);
       shed_step_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--metrics-out") {
+      need(1);
+      metrics_out = argv[++i];
+    } else if (a == "--flightrec") {
+      need(1);
+      flightrec_path = argv[++i];
+    } else if (a == "--flightrec-events") {
+      need(1);
+      flightrec_events =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       usage();
     }
@@ -178,6 +214,9 @@ int main(int argc, char** argv) {
     opts.shed_ewma_ms = shed_ewma_ms;
     opts.shed_lane_cap = shed_lane_cap;
     opts.shed_step_budget = shed_step_budget;
+    opts.metrics_out = metrics_out;
+    opts.flightrec_path = flightrec_path;
+    opts.flightrec_events = flightrec_events;
     if (cache_mode == "on") {
       opts.cache_on = true;
     } else if (cache_mode == "off") {
@@ -208,6 +247,13 @@ int main(int argc, char** argv) {
     if (!core.snapshot_note().empty())
       std::fprintf(stderr, "merlin_d: snapshot %s\n",
                    core.snapshot_note().c_str());
+    if (!core.flightrec_note().empty())
+      std::fprintf(stderr, "merlin_d: %s\n", core.flightrec_note().c_str());
+    if (core.flight_recorder().armed()) {
+      g_flightrec = &core.flight_recorder();
+      std::signal(SIGSEGV, on_crash);
+      std::signal(SIGABRT, on_crash);
+    }
     // The socket layer throws std::runtime_error on create/bind/listen
     // failure — mapped to the server exit code, not the internal one.
     int exit_code = kExitOk;
@@ -225,6 +271,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "merlin_d: drained, %llu job(s) served\n",
                  static_cast<unsigned long long>(core.jobs_completed()));
+    g_flightrec = nullptr;  // core (and its recorder) is about to destruct
     return exit_code;
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "merlin_d: %s\n", e.what());
